@@ -1,0 +1,13 @@
+"""Bench: Figure 11 — worker availability per deployment window."""
+
+from repro.experiments.fig11_availability import run_fig11
+
+
+def test_bench_fig11(once, benchmark):
+    result = once(run_fig11, pool_size=400, repetitions=8, seed=23)
+    assert result.data["window2_peak"], "Window 2 must peak (paper's finding)"
+    expectation = result.data["distribution"].expectation()
+    assert 0.3 <= expectation <= 1.0
+    benchmark.extra_info["expected_availability"] = round(expectation, 3)
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Bench: Figure 12 — deployment parameters vs worker availability."""
+
+from repro.experiments.fig12_linearity import run_fig12
+
+
+def test_bench_fig12(once, benchmark):
+    result = once(run_fig12, seed=9, samples_per_level=4)
+    assert result.data["monotone_ok"], (
+        "quality/cost must rise and latency fall with availability"
+    )
+    benchmark.extra_info["monotone_ok"] = result.data["monotone_ok"]
+    print()
+    print(result.render())

@@ -1,0 +1,14 @@
+"""Bench: Figure 13 — StratRec vs no-StratRec mirror deployments."""
+
+from repro.experiments.fig13_effectiveness import run_fig13
+
+
+def test_bench_fig13(once, benchmark):
+    result = once(run_fig13, tasks_per_type=10, seed=31)
+    for task_type in ("translation", "creation"):
+        data = result.data[task_type]
+        assert data["quality_gain"] > 0 and data["quality_p"] < 0.05
+        assert data["latency_gain"] > 0 and data["latency_p"] < 0.05
+        benchmark.extra_info[f"{task_type}_quality_p"] = f"{data['quality_p']:.2e}"
+    print()
+    print(result.render())

@@ -1,0 +1,15 @@
+"""Bench: Figure 14 — % satisfied requests before invoking ADPaR."""
+
+from repro.experiments.fig14_satisfied import run_fig14
+
+
+def test_bench_fig14(once, benchmark):
+    result = once(run_fig14, repetitions=5, seed=17, quick=True)
+    for series in ("Uniform", "Normal"):
+        k_panel = result.data["k"][series]
+        assert k_panel[0] >= k_panel[-1], "satisfaction must fall with k"
+        s_panel = result.data["n_strategies"][series]
+        assert s_panel[-1] >= s_panel[0], "satisfaction must rise with |S|"
+    benchmark.extra_info["k_panel_uniform"] = result.data["k"]["Uniform"]
+    print()
+    print(result.render())

@@ -1,0 +1,11 @@
+"""Bench: Figure 15 — throughput: BruteForce vs BatchStrat vs BaselineG."""
+
+from repro.experiments.fig15_throughput import run_fig15
+
+
+def test_bench_fig15(once, benchmark):
+    result = once(run_fig15, repetitions=5, seed=41)
+    assert result.data["exact_everywhere"], "Theorem 2: greedy must match optimum"
+    benchmark.extra_info["exact_everywhere"] = True
+    print()
+    print(result.render())

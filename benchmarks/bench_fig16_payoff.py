@@ -1,0 +1,13 @@
+"""Bench: Figure 16 — pay-off objective and approximation factor."""
+
+from repro.experiments.fig16_payoff import run_fig16
+
+
+def test_bench_fig16(once, benchmark):
+    result = once(run_fig16, repetitions=5, seed=43)
+    assert result.data["min_factor"] >= 0.9, (
+        "empirical approximation factor must beat the paper's 0.9 floor"
+    )
+    benchmark.extra_info["min_approx_factor"] = round(result.data["min_factor"], 4)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench: Figure 17 — ADPaR distance: exact vs baselines vs brute force."""
+
+from repro.experiments.fig17_adpar_quality import run_fig17
+
+
+def test_bench_fig17(once, benchmark):
+    result = once(run_fig17, repetitions=4, seed=53)
+    assert result.data["exact_matches_brute"], "Theorem 4: ADPaR-Exact must be exact"
+    assert result.data["exact_never_worse"], "baselines must never beat the exact solver"
+    benchmark.extra_info["exact_matches_brute"] = True
+    print()
+    print(result.render())

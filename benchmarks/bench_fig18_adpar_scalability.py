@@ -1,0 +1,48 @@
+"""Bench: Figure 18b/c — ADPaR-Exact scalability in |S| and k."""
+
+from repro.core.adpar import ADPaRExact
+from repro.core.strategy import StrategyEnsemble
+from repro.experiments.fig18_scalability import run_fig18_adpar
+from repro.workloads.generators import generate_adpar_points, hard_request_for
+
+
+def test_bench_fig18bc_experiment(once, benchmark):
+    result = once(run_fig18_adpar, seed=67)
+    assert max(result.data["s_sweep"]["seconds"]) < 120
+    benchmark.extra_info["s_sweep_seconds"] = [
+        round(v, 3) for v in result.data["s_sweep"]["seconds"]
+    ]
+    print()
+    print(result.render())
+
+
+def _solver(n, seed):
+    points = generate_adpar_points(n, "uniform", seed=seed)
+    request = hard_request_for(points, seed=seed + 1)
+    return ADPaRExact(StrategyEnsemble.from_params(points)), request
+
+
+def test_bench_adpar_s5000_k5(benchmark):
+    solver, request = _solver(5000, seed=7)
+    result = benchmark.pedantic(
+        solver.solve, args=(request, 5), rounds=3, iterations=1
+    )
+    assert len(result.strategy_indices) == 5
+
+
+def test_bench_adpar_s25000_k5(benchmark):
+    """The paper's largest |S| point."""
+    solver, request = _solver(25000, seed=8)
+    result = benchmark.pedantic(
+        solver.solve, args=(request, 5), rounds=1, iterations=1
+    )
+    assert len(result.strategy_indices) == 5
+
+
+def test_bench_adpar_k250(benchmark):
+    """The paper's largest k point (|S|=10000)."""
+    solver, request = _solver(10000, seed=9)
+    result = benchmark.pedantic(
+        solver.solve, args=(request, 250), rounds=1, iterations=1
+    )
+    assert len(result.strategy_indices) == 250

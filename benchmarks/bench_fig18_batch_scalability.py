@@ -1,0 +1,43 @@
+"""Bench: Figure 18a — batch deployment scalability in m.
+
+Besides regenerating the experiment's table, this module micro-benchmarks
+BatchStrat directly at the paper's largest sweep point so pytest-benchmark
+captures a calibrated timing distribution.
+"""
+
+from repro.core.batchstrat import BatchStrat
+from repro.experiments.fig18_scalability import run_fig18_batch
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+
+def test_bench_fig18a_experiment(once, benchmark):
+    result = once(run_fig18_batch, seed=61)
+    batch_seconds = result.data["batchstrat"]["seconds"]
+    brute_seconds = result.data["bruteforce"]["seconds"]
+    assert max(batch_seconds) < 2.0
+    assert brute_seconds[-1] > brute_seconds[0] * 10
+    benchmark.extra_info["batchstrat_m1000_s"] = round(batch_seconds[-1], 4)
+    print()
+    print(result.render())
+
+
+def test_bench_batchstrat_m1000(benchmark):
+    """BatchStrat over m=1000 requests, |S|=30 (the paper's largest panel-a
+    point); the paper reports fractions of a second."""
+    ensemble = generate_strategy_ensemble(30, "uniform", seed=1)
+    requests = generate_requests(1000, k=10, seed=2)
+    solver = BatchStrat(ensemble, 0.75, aggregation="max", workforce_mode="strict")
+    outcome = benchmark(solver.run, requests, "throughput")
+    assert outcome.objective_value >= 0
+
+
+def test_bench_batchstrat_huge_catalog(benchmark):
+    """BatchStrat with |S|=1,000,000 strategies and a small batch — the
+    paper's 'millions of strategies in under a second' claim."""
+    ensemble = generate_strategy_ensemble(1_000_000, "uniform", seed=3)
+    requests = generate_requests(10, k=10, seed=4)
+    solver = BatchStrat(ensemble, 0.5, workforce_mode="strict")
+    outcome = benchmark.pedantic(
+        solver.run, args=(requests, "throughput"), rounds=3, iterations=1
+    )
+    assert outcome.objective_value >= 0

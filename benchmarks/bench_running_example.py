@@ -1,0 +1,18 @@
+"""Bench: Tables 1–5, the paper's running example (§2, §4)."""
+
+import pytest
+
+from repro.experiments.running_example import run_running_example
+
+
+def test_bench_running_example(once, benchmark):
+    result = once(run_running_example)
+    d1 = result.data["d1"]
+    d2 = result.data["d2"]
+    assert result.data["satisfied"]["d3"] == ["s2", "s3", "s4"]
+    assert d1.alternative.as_tuple() == pytest.approx((0.4, 0.5, 0.28))
+    assert d2.alternative.as_tuple() == pytest.approx((0.75, 0.58, 0.28))
+    benchmark.extra_info["d1_distance"] = round(d1.distance, 4)
+    benchmark.extra_info["d2_distance"] = round(d2.distance, 4)
+    print()
+    print(result.render())

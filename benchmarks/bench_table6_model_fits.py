@@ -1,0 +1,11 @@
+"""Bench: Table 6 — (α, β) estimation with 90% CI containment."""
+
+from repro.experiments.table6_model_fits import run_table6
+
+
+def test_bench_table6(once, benchmark):
+    result = once(run_table6, seed=5, samples_per_level=5)
+    assert result.data["ci_containment"] >= 0.8
+    benchmark.extra_info["ci_containment"] = result.data["ci_containment"]
+    print()
+    print(result.render())

@@ -1,0 +1,56 @@
+"""Quickstart: recommend deployment strategies for a batch of requests.
+
+Walks the paper's running example (Table 1 / Example 2.1) end to end:
+three requesters submit deployment requests with quality/cost/latency
+thresholds, the Aggregator satisfies what the workforce allows, and ADPaR
+recommends alternative parameters for the rest.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Aggregator, ResolutionStatus, StrategyEnsemble, TriParams, make_requests
+
+# --- 1. The candidate strategies (Table 1's s1..s4, estimated at W=0.8) ----
+strategies = StrategyEnsemble.from_params(
+    [
+        TriParams(quality=0.50, cost=0.25, latency=0.28),  # s1 = SIM-COL-CRO
+        TriParams(quality=0.75, cost=0.33, latency=0.28),  # s2 = SEQ-IND-CRO
+        TriParams(quality=0.80, cost=0.50, latency=0.14),  # s3 = SIM-IND-CRO
+        TriParams(quality=0.88, cost=0.58, latency=0.14),  # s4 = SIM-IND-HYB
+    ]
+)
+
+# --- 2. Three deployment requests, each wanting k=3 strategies -------------
+requests = make_requests(
+    [
+        (0.4, 0.17, 0.28),  # d1: modest quality, tiny budget
+        (0.8, 0.20, 0.28),  # d2: high quality, tiny budget
+        (0.7, 0.83, 0.28),  # d3: high quality, generous budget
+    ],
+    k=3,
+)
+
+# --- 3. Run the middle layer ----------------------------------------------
+aggregator = Aggregator(strategies, availability=0.8, objective="throughput")
+report = aggregator.process(requests)
+
+print(f"Worker availability (expected): {report.availability}")
+print(f"Satisfied {report.satisfied_count} of {len(requests)} requests\n")
+
+for resolution in report.resolutions:
+    request = resolution.request
+    if resolution.status is ResolutionStatus.SATISFIED:
+        print(
+            f"{request.request_id}: SATISFIED with strategies "
+            f"{', '.join(resolution.strategy_names)}"
+        )
+    elif resolution.status is ResolutionStatus.ALTERNATIVE:
+        q, c, l = resolution.params.as_tuple()
+        print(
+            f"{request.request_id}: cannot be satisfied as stated; closest "
+            f"alternative is quality>={q:.2f}, cost<={c:.2f}, latency<={l:.2f} "
+            f"(distance {resolution.distance:.3f}) with "
+            f"{', '.join(resolution.strategy_names)}"
+        )
+    else:
+        print(f"{request.request_id}: infeasible (fewer than k strategies exist)")

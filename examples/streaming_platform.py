@@ -1,0 +1,65 @@
+"""Streaming deployment admission — the paper's §7 open problem.
+
+Requests arrive one at a time; the platform admits what fits its worker
+availability, answers oversized requests with ADPaR alternatives instead
+of bare rejections, and recycles workforce when campaigns complete or are
+revoked.
+
+Run:  python examples/streaming_platform.py
+"""
+
+import numpy as np
+
+from repro import DeploymentRequest, TriParams
+from repro.core.streaming import StreamingAggregator, StreamStatus
+from repro.workloads import generate_strategy_ensemble
+
+SEED = 13
+AVAILABILITY = 0.6
+
+ensemble = generate_strategy_ensemble(2000, distribution="uniform", seed=SEED)
+stream = StreamingAggregator(
+    ensemble, AVAILABILITY, aggregation="max", workforce_mode="strict"
+)
+rng = np.random.default_rng(SEED + 1)
+
+print(f"Platform opens with availability W = {AVAILABILITY}\n")
+active: list[str] = []
+for t in range(12):
+    request = DeploymentRequest(
+        request_id=f"req-{t:02d}",
+        params=TriParams(
+            quality=float(rng.uniform(0.35, 0.75)),
+            cost=float(rng.uniform(0.625, 1.0)),
+            latency=float(rng.uniform(0.625, 1.0)),
+        ),
+        k=3,
+    )
+    decision = stream.submit(request)
+    line = f"t={t:02d} {request.request_id}: {decision.status.value:11s}"
+    if decision.status is StreamStatus.ADMITTED:
+        active.append(request.request_id)
+        line += (
+            f" strategies={list(decision.strategy_names)}"
+            f" reserved={decision.workforce_reserved:.3f}"
+            f" remaining={stream.remaining:.3f}"
+        )
+    elif decision.status is StreamStatus.ALTERNATIVE:
+        q, c, l = decision.alternative.alternative.as_tuple()
+        line += f" try (q>={q:.2f}, c<={c:.2f}, l<={l:.2f}) instead"
+    print(line)
+
+    # Campaigns finish (or get cancelled) over time, freeing workforce.
+    if active and rng.random() < 0.4:
+        finished = active.pop(0)
+        if rng.random() < 0.3:
+            stream.revoke(finished)
+            print(f"      {finished} revoked; remaining={stream.remaining:.3f}")
+        else:
+            stream.complete(finished)
+            print(f"      {finished} completed; remaining={stream.remaining:.3f}")
+
+print(
+    f"\nadmitted={stream.admitted_count} completed={stream.completed_count} "
+    f"revoked={stream.revoked_count} utilization={stream.utilization():.1%}"
+)

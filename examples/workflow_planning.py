@@ -1,0 +1,51 @@
+"""Recommending multi-stage workflow strategies (§2.1's Turkomatic case).
+
+With workflow tools a deployment runs several stages, each independently
+choosing Structure/Organization/Style — 8^x candidate workflows for x
+stages.  Because the per-stage parameter models compose into linear
+models again, the whole recommendation machinery applies unchanged: we
+enumerate two-stage workflows over the calibrated strategy models, let
+BatchStrat pick k of them for a demanding request, and fall back to ADPaR
+when even the workflow space cannot satisfy the thresholds.
+
+Run:  python examples/workflow_planning.py
+"""
+
+from repro import ADPaRExact, BatchStrat, DeploymentRequest, TriParams
+from repro.core.workflow import enumerate_workflows, workflow_ensemble
+from repro.experiments.fig13_effectiveness import build_model_bank
+
+AVAILABILITY = 0.8
+
+bank = build_model_bank(("translation",))
+workflows = enumerate_workflows(stage_count=2, model_bank=bank, task_type="translation")
+ensemble = workflow_ensemble(workflows)
+print(f"Enumerated {len(workflows)} two-stage workflows (8 strategies ^ 2 stages)\n")
+
+request = DeploymentRequest(
+    request_id="workflow-campaign",
+    params=TriParams(quality=0.85, cost=0.9, latency=0.9),
+    k=3,
+    task_type="translation",
+)
+outcome = BatchStrat(ensemble, AVAILABILITY, workforce_mode="strict").run(
+    [request], "throughput"
+)
+if outcome.satisfied:
+    rec = outcome.satisfied[0]
+    print(f"Request {request.params} is satisfiable; recommended workflows:")
+    for name in rec.strategy_names:
+        print(f"  - {name}")
+else:
+    print(f"Request {request.params} unsatisfiable even over workflows.")
+
+# A hopeless request: near-perfect quality on a shoestring.
+impossible = TriParams(quality=0.99, cost=0.2, latency=0.3)
+alternative = ADPaRExact(ensemble, availability=AVAILABILITY).solve(impossible, 3)
+q, c, l = alternative.alternative.as_tuple()
+print(
+    f"\nFor {impossible} ADPaR suggests quality>={q:.2f}, cost<={c:.2f}, "
+    f"latency<={l:.2f} (distance {alternative.distance:.3f}):"
+)
+for name in alternative.strategy_names:
+    print(f"  - {name}")

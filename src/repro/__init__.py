@@ -1,0 +1,76 @@
+"""repro — reproduction of "Recommending Deployment Strategies for
+Collaborative Tasks" (Wei, Basu Roy, Amer-Yahia; SIGMOD 2020).
+
+Public API highlights:
+
+* :class:`repro.TriParams`, :class:`repro.DeploymentRequest` — the
+  3-parameter deployment space.
+* :class:`repro.StrategyEnsemble` — candidate strategies with linear
+  parameter models (Equation 4).
+* :class:`repro.BatchStrat` — batch deployment recommendation
+  (throughput exact, pay-off 1/2-approximate).
+* :class:`repro.ADPaRExact` — exact alternative-parameter recommendation.
+* :class:`repro.Aggregator` / :class:`repro.StratRec` — the end-to-end
+  middle layer.
+* :mod:`repro.platform` / :mod:`repro.execution` — the simulated crowd
+  platform and strategy execution engine standing in for AMT.
+* :mod:`repro.experiments` — regenerates every table and figure of §5.
+"""
+
+from repro.core import (
+    ADPaRExact,
+    ADPaRResult,
+    Aggregator,
+    AggregatorReport,
+    BatchOutcome,
+    BatchStrat,
+    DeploymentRequest,
+    RequestResolution,
+    ResolutionStatus,
+    StratRec,
+    Strategy,
+    StrategyEnsemble,
+    StrategyProfile,
+    TriParams,
+    full_catalog,
+    make_requests,
+    paper_catalog,
+)
+from repro.exceptions import (
+    InfeasibleRequestError,
+    ModelNotFittedError,
+    ReproError,
+    UnknownStrategyError,
+)
+from repro.modeling import AvailabilityDistribution, LinearModel, ModelBank, ParamModels
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TriParams",
+    "DeploymentRequest",
+    "make_requests",
+    "Strategy",
+    "StrategyProfile",
+    "StrategyEnsemble",
+    "full_catalog",
+    "paper_catalog",
+    "BatchStrat",
+    "BatchOutcome",
+    "ADPaRExact",
+    "ADPaRResult",
+    "Aggregator",
+    "AggregatorReport",
+    "RequestResolution",
+    "ResolutionStatus",
+    "StratRec",
+    "LinearModel",
+    "ParamModels",
+    "ModelBank",
+    "AvailabilityDistribution",
+    "ReproError",
+    "InfeasibleRequestError",
+    "ModelNotFittedError",
+    "UnknownStrategyError",
+    "__version__",
+]

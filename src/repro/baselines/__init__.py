@@ -1,0 +1,24 @@
+"""Baselines from §5.2.1: exhaustive and heuristic comparators.
+
+Batch deployment: :func:`batch_brute_force` (exact, exponential) and
+:class:`BaselineG` (greedy without BatchStrat's backstop).
+
+ADPaR: :func:`adpar_brute_force` (ADPaRB — subset enumeration, exact,
+exponential), :class:`OneDimBaseline` (Baseline2 — relaxes one parameter
+at a time, Mishra-style), :class:`RTreeBaseline` (Baseline3 — R-tree MBB
+scan).
+"""
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.baselines.batch_greedy import BaselineG
+from repro.baselines.adpar_bruteforce import adpar_brute_force
+from repro.baselines.adpar_onedim import OneDimBaseline
+from repro.baselines.adpar_rtree import RTreeBaseline
+
+__all__ = [
+    "batch_brute_force",
+    "BaselineG",
+    "adpar_brute_force",
+    "OneDimBaseline",
+    "RTreeBaseline",
+]

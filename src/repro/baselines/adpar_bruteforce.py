@@ -1,0 +1,85 @@
+"""ADPaRB (§5.2.1): exact ADPaR by exhaustive subset enumeration.
+
+Examines every size-``k`` subset of strategies; the tightest alternative
+parameters covering a subset are the componentwise maxima of its
+relaxations, so each subset is scored in O(k).  Exponential
+(``C(|S|, k)``) but exact — the property tests pit ADPaR-Exact against it.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.adpar import ADPaRResult
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+
+MAX_SUBSETS = 5_000_000
+
+
+def _num_subsets(n: int, k: int) -> float:
+    return math.comb(n, k)
+
+
+def adpar_brute_force(
+    ensemble: StrategyEnsemble,
+    request: "DeploymentRequest | TriParams",
+    k: "int | None" = None,
+    availability: float = 1.0,
+) -> ADPaRResult:
+    """Exact alternative parameters by enumerating all k-subsets."""
+    if isinstance(request, DeploymentRequest):
+        params = request.params
+        if k is None:
+            k = request.k
+    else:
+        params = request
+        if k is None:
+            raise ValueError("k is required when passing bare TriParams")
+    n = len(ensemble)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
+    if _num_subsets(n, k) > MAX_SUBSETS:
+        raise ValueError(
+            f"C({n}, {k}) subsets exceed the brute-force budget of {MAX_SUBSETS}"
+        )
+
+    matrix = ensemble.estimate_matrix(availability)  # (n, 3) quality/cost/latency
+    points = np.column_stack([matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]])
+    origin = np.array([params.cost, 1.0 - params.quality, params.latency])
+    relax = np.maximum(points - origin[None, :], 0.0)
+
+    best_obj = math.inf
+    best_subset: "tuple[int, ...] | None" = None
+    best_bound = None
+    for subset in combinations(range(n), k):
+        bound = relax[list(subset)].max(axis=0)
+        obj = float((bound**2).sum())
+        if obj < best_obj - 1e-15:
+            best_obj = obj
+            best_subset = subset
+            best_bound = bound
+
+    assert best_subset is not None and best_bound is not None
+    x, y, z = (float(v) for v in best_bound)
+    alternative = TriParams(
+        quality=min(max(params.quality - y, 0.0), 1.0),
+        cost=min(max(params.cost + x, 0.0), 1.0),
+        latency=min(max(params.latency + z, 0.0), 1.0),
+    )
+    return ADPaRResult(
+        original=params,
+        alternative=alternative,
+        distance=math.sqrt(best_obj),
+        squared_distance=best_obj,
+        relaxation=(x, y, z),
+        strategy_indices=tuple(best_subset),
+        strategy_names=tuple(ensemble.names[i] for i in best_subset),
+    )

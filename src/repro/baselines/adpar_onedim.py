@@ -1,0 +1,131 @@
+"""Baseline2 (§5.2.1): one-parameter-at-a-time query refinement.
+
+Inspired by interactive query refinement (Mishra et al.): the original
+request is modified along *one* dimension at a time and is not
+optimization-driven.  For each dimension we compute the smallest single-
+dimension relaxation admitting ``k`` strategies; if no single dimension
+suffices, dimensions are relaxed greedily in (cost, quality, latency)
+order, each time fully unlocking that dimension's k-th candidate value.
+ADPaR-Exact, which co-relaxes multiple parameters, dominates it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.adpar import ADPaRResult
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+
+
+class OneDimBaseline:
+    """Single-dimension relaxation baseline for ADPaR."""
+
+    def __init__(self, ensemble: StrategyEnsemble, availability: float = 1.0):
+        self.ensemble = ensemble
+        self.availability = float(availability)
+        matrix = ensemble.estimate_matrix(self.availability)
+        self._points = np.column_stack(
+            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
+        )
+
+    def solve(
+        self, request: "DeploymentRequest | TriParams", k: "int | None" = None
+    ) -> ADPaRResult:
+        """Smallest one-dimension (or greedy multi-step) relaxation."""
+        if isinstance(request, DeploymentRequest):
+            params = request.params
+            if k is None:
+                k = request.k
+        else:
+            params = request
+            if k is None:
+                raise ValueError("k is required when passing bare TriParams")
+        n = self._points.shape[0]
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > n:
+            raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
+        origin = np.array([params.cost, 1.0 - params.quality, params.latency])
+        relax = np.maximum(self._points - origin[None, :], 0.0)
+
+        bound = self._single_dimension(relax, k)
+        if bound is None:
+            bound = self._greedy_multi(relax, k)
+        return self._result(params, relax, bound, k)
+
+    # ------------------------------------------------------------- strategies
+    def _single_dimension(self, relax: np.ndarray, k: int) -> "np.ndarray | None":
+        """Try relaxing exactly one dimension; keep the best objective."""
+        best = None
+        best_obj = math.inf
+        for dim in range(3):
+            others = [d for d in range(3) if d != dim]
+            eligible = (relax[:, others] <= 1e-12).all(axis=1)
+            values = relax[eligible, dim]
+            if values.size < k:
+                continue
+            needed = float(np.partition(values, k - 1)[k - 1])
+            obj = needed * needed
+            if obj < best_obj:
+                best_obj = obj
+                bound = np.zeros(3)
+                bound[dim] = needed
+                best = bound
+        return best
+
+    def _greedy_multi(self, relax: np.ndarray, k: int) -> np.ndarray:
+        """Fallback: unlock dimensions one at a time, in a fixed order.
+
+        After unlocking dimension ``d`` the bound is set to the k-th
+        smallest value of ``d`` among strategies already satisfying the
+        *locked* dimensions — the non-optimization-driven behaviour the
+        paper attributes to refinement baselines.
+        """
+        bound = np.zeros(3)
+        for dim in range(3):
+            later = list(range(dim + 1, 3))
+            mask = np.ones(relax.shape[0], dtype=bool)
+            for d in range(dim):
+                mask &= relax[:, d] <= bound[d] + 1e-12
+            if later:
+                mask &= (relax[:, later] <= 1e-12).all(axis=1)
+            values = relax[mask, dim]
+            if values.size >= k:
+                bound[dim] = float(np.partition(values, k - 1)[k - 1])
+                covered = (relax <= bound[None, :] + 1e-12).all(axis=1)
+                if int(covered.sum()) >= k:
+                    return bound
+            else:
+                # Not enough strategies under the locked prefix: fully open
+                # this dimension and move on.
+                bound[dim] = float(relax[:, dim].max()) if relax.size else 0.0
+        return bound
+
+    def _result(
+        self, params: TriParams, relax: np.ndarray, bound: np.ndarray, k: int
+    ) -> ADPaRResult:
+        covered = np.flatnonzero((relax <= bound[None, :] + 1e-9).all(axis=1))
+        norms = np.linalg.norm(relax[covered], axis=1)
+        order = np.lexsort((covered, norms))
+        chosen = tuple(int(i) for i in covered[order][:k])
+        x, y, z = (float(v) for v in bound)
+        alternative = TriParams(
+            quality=min(max(params.quality - y, 0.0), 1.0),
+            cost=min(max(params.cost + x, 0.0), 1.0),
+            latency=min(max(params.latency + z, 0.0), 1.0),
+        )
+        sq = float((bound**2).sum())
+        return ADPaRResult(
+            original=params,
+            alternative=alternative,
+            distance=math.sqrt(sq),
+            squared_distance=sq,
+            relaxation=(x, y, z),
+            strategy_indices=chosen,
+            strategy_names=tuple(self.ensemble.names[i] for i in chosen),
+        )

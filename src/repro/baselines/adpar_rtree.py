@@ -1,0 +1,124 @@
+"""Baseline3 (§5.2.1): R-tree MBB scan for alternative parameters.
+
+Strategies are indexed as 3-D points in an R-tree.  The baseline scans
+tree nodes looking for a minimum bounding box that (a) extends the
+original request box and (b) contains exactly ``k`` strategies, returning
+its top-right corner; failing that, it falls back to the smallest MBB
+with at least ``k`` strategies and returns ``k`` of them arbitrarily
+(deterministically here, for reproducibility).  Not optimization-driven —
+expected to trail both ADPaR-Exact and Baseline2 (it is the worst curve in
+Figure 17).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.adpar import ADPaRResult
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+from repro.geometry.box import Box3
+from repro.geometry.point import Point3
+from repro.index.rtree import RTree
+
+
+class RTreeBaseline:
+    """R-tree-driven heuristic for ADPaR."""
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float = 1.0,
+        max_entries: int = 8,
+    ):
+        self.ensemble = ensemble
+        self.availability = float(availability)
+        matrix = ensemble.estimate_matrix(self.availability)
+        self._points_arr = np.column_stack(
+            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
+        )
+        points = [Point3(*row) for row in self._points_arr]
+        self.tree = RTree.bulk_load(points, max_entries=max_entries)
+
+    def solve(
+        self, request: "DeploymentRequest | TriParams", k: "int | None" = None
+    ) -> ADPaRResult:
+        """Alternative parameters from the best-fitting MBB corner."""
+        if isinstance(request, DeploymentRequest):
+            params = request.params
+            if k is None:
+                k = request.k
+        else:
+            params = request
+            if k is None:
+                raise ValueError("k is required when passing bare TriParams")
+        n = len(self.ensemble)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > n:
+            raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
+
+        origin = np.array([params.cost, 1.0 - params.quality, params.latency])
+        exact_corner = None
+        exact_count = None
+        fallback_corner = None
+        fallback_count = math.inf
+        for node in self.tree.iter_nodes():
+            if node.mbb is None:
+                continue
+            corner = node.mbb.top_right().as_array()
+            # The candidate box must extend the request: bounds can only relax.
+            corner = np.maximum(corner, origin)
+            count = int((self._points_arr <= corner[None, :] + 1e-9).all(axis=1).sum())
+            if count == k:
+                candidate = corner
+                if exact_corner is None or self._norm(candidate, origin) < self._norm(
+                    exact_corner, origin
+                ):
+                    exact_corner = candidate
+                    exact_count = count
+            elif count > k and count < fallback_count:
+                fallback_count = count
+                fallback_corner = corner
+        if exact_corner is not None:
+            corner = exact_corner
+        elif fallback_corner is not None:
+            corner = fallback_corner
+        else:
+            # No MBB covers k strategies even after extension; cover everything.
+            corner = np.maximum(self._points_arr.max(axis=0), origin)
+        return self._result(params, origin, corner, k)
+
+    @staticmethod
+    def _norm(corner: np.ndarray, origin: np.ndarray) -> float:
+        delta = np.maximum(corner - origin, 0.0)
+        return float((delta**2).sum())
+
+    def _result(
+        self, params: TriParams, origin: np.ndarray, corner: np.ndarray, k: int
+    ) -> ADPaRResult:
+        delta = np.maximum(corner - origin, 0.0)
+        covered = np.flatnonzero(
+            (self._points_arr <= corner[None, :] + 1e-9).all(axis=1)
+        )
+        chosen = tuple(int(i) for i in covered[:k])
+        x, y, z = (float(v) for v in delta)
+        alternative = TriParams(
+            quality=min(max(params.quality - y, 0.0), 1.0),
+            cost=min(max(params.cost + x, 0.0), 1.0),
+            latency=min(max(params.latency + z, 0.0), 1.0),
+        )
+        sq = float((delta**2).sum())
+        return ADPaRResult(
+            original=params,
+            alternative=alternative,
+            distance=math.sqrt(sq),
+            squared_distance=sq,
+            relaxation=(x, y, z),
+            strategy_indices=chosen,
+            strategy_names=tuple(self.ensemble.names[i] for i in chosen),
+        )

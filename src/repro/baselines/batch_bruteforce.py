@@ -1,0 +1,108 @@
+"""Brute-force batch deployment (§5.2.1 "Brute Force").
+
+Enumerates every subset of deployment requests, keeps those whose total
+workforce requirement fits the availability budget, and returns the one
+maximizing the objective.  Exact for both objectives; exponential in
+``m``, so guarded (Figure 18a is precisely about this blow-up).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.batchstrat import BatchOutcome, StrategyRecommendation
+from repro.core.objectives import (
+    ObjectiveSpec,
+    objective_name,
+    request_value,
+    validate_objective,
+)
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.workforce import WorkforceComputer
+
+_EPS = 1e-9
+MAX_BRUTE_FORCE_M = 24
+
+
+def batch_brute_force(
+    ensemble: StrategyEnsemble,
+    requests: "list[DeploymentRequest]",
+    availability: float,
+    objective: ObjectiveSpec = "throughput",
+    aggregation: str = "sum",
+    workforce_mode: str = "paper",
+    eligibility: str = "pool",
+) -> BatchOutcome:
+    """Optimal batch selection by subset enumeration.
+
+    Raises ``ValueError`` for batches beyond :data:`MAX_BRUTE_FORCE_M`
+    requests — by then the search space exceeds 16M subsets and the greedy
+    solver is the intended tool.
+    """
+    validate_objective(objective)
+    if len(requests) > MAX_BRUTE_FORCE_M:
+        raise ValueError(
+            f"brute force limited to m <= {MAX_BRUTE_FORCE_M}, got {len(requests)}"
+        )
+    computer = WorkforceComputer(
+        ensemble,
+        mode=workforce_mode,
+        aggregation=aggregation,
+        eligibility=eligibility,
+        availability=availability,
+    )
+    needs = computer.aggregate_all(requests)
+    candidates = [
+        (request, need)
+        for request, need in zip(requests, needs)
+        if need.feasible and need.requirement <= availability + _EPS
+    ]
+    infeasible = tuple(
+        request for request, need in zip(requests, needs) if not need.feasible
+    )
+
+    best_subset: tuple = ()
+    best_value = 0.0
+    best_used = 0.0
+    n = len(candidates)
+    for size in range(1, n + 1):
+        for subset in combinations(range(n), size):
+            used = sum(candidates[i][1].requirement for i in subset)
+            if used > availability + _EPS:
+                continue
+            value = sum(
+                request_value(candidates[i][0], objective) for i in subset
+            )
+            if value > best_value + _EPS or (
+                abs(value - best_value) <= _EPS and used < best_used - _EPS
+            ):
+                best_value = value
+                best_used = used
+                best_subset = subset
+
+    chosen_ids = {candidates[i][0].request_id for i in best_subset}
+    satisfied = tuple(
+        StrategyRecommendation(
+            request=candidates[i][0],
+            strategy_names=tuple(
+                ensemble.names[j] for j in candidates[i][1].strategy_indices
+            ),
+            workforce=candidates[i][1].requirement,
+        )
+        for i in best_subset
+    )
+    unsatisfied = tuple(
+        request
+        for request, need in zip(requests, needs)
+        if need.feasible and request.request_id not in chosen_ids
+    )
+    return BatchOutcome(
+        objective=objective_name(objective),
+        objective_value=float(best_value),
+        workforce_available=float(availability),
+        workforce_used=float(best_used),
+        satisfied=satisfied,
+        unsatisfied=unsatisfied,
+        infeasible=infeasible,
+    )

@@ -1,0 +1,110 @@
+"""BaselineG (§5.2.1): plain density greedy without BatchStrat's backstop.
+
+Sorts requests by ``f_i / ~w_i`` descending and admits them until the
+workforce budget runs out.  Identical to BatchStrat for throughput (where
+the backstop never fires) but can lose up to the whole optimum for
+pay-off — the classic knapsack greedy failure mode — which is why it sits
+below BatchStrat in Figures 15/16.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.batchstrat import BatchOutcome, StrategyRecommendation
+from repro.core.objectives import (
+    ObjectiveSpec,
+    objective_name,
+    request_value,
+    validate_objective,
+)
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.workforce import WorkforceComputer
+
+_EPS = 1e-9
+
+
+class BaselineG:
+    """Greedy-by-density baseline sharing BatchStrat's workforce machinery."""
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        aggregation: str = "sum",
+        workforce_mode: str = "paper",
+        eligibility: str = "pool",
+    ):
+        self.ensemble = ensemble
+        self.availability = float(availability)
+        self.computer = WorkforceComputer(
+            ensemble,
+            mode=workforce_mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=self.availability,
+        )
+
+    def run(
+        self,
+        requests: "list[DeploymentRequest]",
+        objective: ObjectiveSpec = "throughput",
+    ) -> BatchOutcome:
+        """Greedy admission in non-increasing value-density order."""
+        validate_objective(objective)
+        needs = self.computer.aggregate_all(requests)
+        candidates = []
+        infeasible = []
+        for request, need in zip(requests, needs):
+            if need.feasible:
+                candidates.append((request, need))
+            else:
+                infeasible.append(request)
+
+        def density(item) -> float:
+            request, need = item
+            value = request_value(request, objective)
+            if need.requirement <= _EPS:
+                return math.inf
+            return value / need.requirement
+
+        candidates.sort(
+            key=lambda item: (-density(item), item[1].requirement, item[0].request_id)
+        )
+        chosen = []
+        used = 0.0
+        for request, need in candidates:
+            if used + need.requirement > self.availability + _EPS:
+                # BaselineG stops at the first request that does not fit —
+                # no skip-ahead, no backstop (that is the whole baseline).
+                break
+            chosen.append((request, need))
+            used += need.requirement
+
+        chosen_ids = {request.request_id for request, _ in chosen}
+        satisfied = tuple(
+            StrategyRecommendation(
+                request=request,
+                strategy_names=tuple(
+                    self.ensemble.names[i] for i in need.strategy_indices
+                ),
+                workforce=need.requirement,
+            )
+            for request, need in chosen
+        )
+        unsatisfied = tuple(
+            request
+            for request, _ in candidates
+            if request.request_id not in chosen_ids
+        )
+        value = float(sum(request_value(r, objective) for r, _ in chosen))
+        return BatchOutcome(
+            objective=objective_name(objective),
+            objective_value=value,
+            workforce_available=self.availability,
+            workforce_used=used,
+            satisfied=satisfied,
+            unsatisfied=unsatisfied,
+            infeasible=tuple(infeasible),
+        )

@@ -1,0 +1,112 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                  # enumerate experiments
+    python -m repro run fig14 --quick     # regenerate one table/figure
+    python -m repro run all               # the full report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.fig11_availability import run_fig11
+from repro.experiments.fig12_linearity import run_fig12
+from repro.experiments.fig13_effectiveness import run_fig13
+from repro.experiments.fig14_satisfied import run_fig14
+from repro.experiments.fig15_throughput import run_fig15
+from repro.experiments.fig16_payoff import run_fig16
+from repro.experiments.fig17_adpar_quality import run_fig17
+from repro.experiments.fig18_scalability import run_fig18_adpar, run_fig18_batch
+from repro.experiments.running_example import run_running_example
+from repro.experiments.table6_model_fits import run_table6
+
+#: name -> (description, factory(quick) -> ExperimentResult)
+EXPERIMENTS: "dict[str, tuple[str, Callable]]" = {
+    "example": (
+        "Tables 1-5: the running example",
+        lambda quick: run_running_example(),
+    ),
+    "fig11": (
+        "Figure 11: worker availability per window",
+        lambda quick: run_fig11(repetitions=3 if quick else 8),
+    ),
+    "table6": (
+        "Table 6: (alpha, beta) estimation",
+        lambda quick: run_table6(samples_per_level=3 if quick else 5),
+    ),
+    "fig12": (
+        "Figure 12: parameter linearity panels",
+        lambda quick: run_fig12(samples_per_level=2 if quick else 4),
+    ),
+    "fig13": (
+        "Figure 13: StratRec vs unguided deployments",
+        lambda quick: run_fig13(tasks_per_type=5 if quick else 10),
+    ),
+    "fig14": (
+        "Figure 14: % satisfied requests",
+        lambda quick: run_fig14(repetitions=3 if quick else 10, quick=quick),
+    ),
+    "fig15": (
+        "Figure 15: throughput objective",
+        lambda quick: run_fig15(repetitions=3 if quick else 10),
+    ),
+    "fig16": (
+        "Figure 16: pay-off objective + approximation factor",
+        lambda quick: run_fig16(repetitions=3 if quick else 10),
+    ),
+    "fig17": (
+        "Figure 17: ADPaR solution quality",
+        lambda quick: run_fig17(repetitions=2 if quick else 5, quick=quick),
+    ),
+    "fig18a": (
+        "Figure 18a: batch deployment scalability",
+        lambda quick: run_fig18_batch(),
+    ),
+    "fig18bc": (
+        "Figure 18b/c: ADPaR-Exact scalability",
+        lambda quick: run_fig18_adpar(quick=quick),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the StratRec paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced repetitions/sizes for a fast pass",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}", file=out)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _, factory = EXPERIMENTS[name]
+        result = factory(args.quick)
+        print(result.render(), file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

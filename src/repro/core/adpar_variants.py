@@ -1,0 +1,195 @@
+"""Generalized ADPaR: weighted distances and alternative norms.
+
+Extension beyond the paper (DESIGN.md §7).  Equation 3 minimizes the
+unweighted squared ℓ2 distance; in practice a requester may care more
+about the cost overrun than the quality concession.  This module solves
+
+    minimize  g(ΔC, ΔQ', ΔL)   s.t.  d + Δ admits k strategies
+
+for any *monotone* penalty ``g`` built from per-dimension weights and a
+norm in {l1, l2, linf}.  The discretization argument (Lemmas 1–2) only
+needs monotonicity, so the same sweep is exact: candidate relaxations of
+the cost dimension are scanned in increasing order with an early-exit
+bound, and each induced 2-D subproblem enumerates the Pareto frontier of
+(quality, latency) completions — every frontier point is evaluated under
+``g`` (for ℓ2 this reduces to the paper's objective; property tests check
+it against a weighted brute force).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.adpar import ADPaRResult
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+from repro.geometry.sweepline import ParetoSweep
+
+NORMS = ("l1", "l2", "linf")
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class RelaxationPenalty:
+    """A monotone penalty over (ΔC, ΔQ', ΔL) relaxations.
+
+    ``weights`` are per-dimension multipliers in unified-space order
+    (cost, quality', latency); ``norm`` picks the combining rule.  The
+    reported ``distance`` of results is the penalty value itself (for the
+    default unit-weight ℓ2 this equals the paper's Euclidean distance).
+    """
+
+    weights: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    norm: str = "l2"
+
+    def __post_init__(self):
+        if self.norm not in NORMS:
+            raise ValueError(f"norm must be one of {NORMS}, got {self.norm!r}")
+        if len(self.weights) != 3:
+            raise ValueError("weights must have exactly 3 entries")
+        if any(w < 0 or not math.isfinite(w) for w in self.weights):
+            raise ValueError("weights must be finite and >= 0")
+        if all(w == 0 for w in self.weights):
+            raise ValueError("at least one weight must be positive")
+
+    def value(self, dx: float, dy: float, dz: float) -> float:
+        """Penalty of one relaxation triple."""
+        wx, wy, wz = self.weights
+        if self.norm == "l2":
+            return math.sqrt(wx * dx * dx + wy * dy * dy + wz * dz * dz)
+        if self.norm == "l1":
+            return wx * dx + wy * dy + wz * dz
+        return max(wx * dx, wy * dy, wz * dz)
+
+    def partial_x(self, dx: float) -> float:
+        """Penalty lower bound when only the swept dimension is known."""
+        return self.value(dx, 0.0, 0.0)
+
+
+class WeightedADPaR:
+    """Exact ADPaR under a :class:`RelaxationPenalty`."""
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        penalty: "RelaxationPenalty | None" = None,
+        availability: float = 1.0,
+    ):
+        self.ensemble = ensemble
+        self.penalty = penalty or RelaxationPenalty()
+        self.availability = float(availability)
+        matrix = ensemble.estimate_matrix(self.availability)
+        self._points = np.column_stack(
+            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
+        )
+
+    def solve(
+        self, request: "DeploymentRequest | TriParams", k: "int | None" = None
+    ) -> ADPaRResult:
+        """Minimal-penalty alternative admitting ``k`` strategies."""
+        params, k = _unpack(request, k, self._points.shape[0])
+        origin = np.array(
+            [params.cost, 1.0 - params.quality, params.latency], dtype=float
+        )
+        relax = np.maximum(self._points - origin[None, :], 0.0)
+
+        best_value = math.inf
+        best: "tuple[float, float, float] | None" = None
+        for x in np.unique(relax[:, 0]):
+            x = float(x)
+            if self.penalty.partial_x(x) >= best_value:
+                break
+            mask = relax[:, 0] <= x + _EPS
+            if int(mask.sum()) < k:
+                continue
+            sub = relax[mask]
+            for y, z in ParetoSweep(sub[:, 1], sub[:, 2]).frontier(k):
+                value = self.penalty.value(x, y, z)
+                if value < best_value:
+                    best_value = value
+                    best = (x, y, z)
+        if best is None:
+            raise InfeasibleRequestError("sweep found no covering relaxation")
+        return _build_result(self.ensemble, params, relax, best, best_value, k)
+
+
+def weighted_adpar_brute_force(
+    ensemble: StrategyEnsemble,
+    request: "DeploymentRequest | TriParams",
+    k: "int | None" = None,
+    penalty: "RelaxationPenalty | None" = None,
+    availability: float = 1.0,
+    max_subsets: int = 2_000_000,
+) -> ADPaRResult:
+    """Exhaustive reference for :class:`WeightedADPaR` (tests only)."""
+    penalty = penalty or RelaxationPenalty()
+    matrix = ensemble.estimate_matrix(availability)
+    points = np.column_stack([matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]])
+    params, k = _unpack(request, k, points.shape[0])
+    if math.comb(points.shape[0], k) > max_subsets:
+        raise ValueError("instance too large for the brute-force budget")
+    origin = np.array([params.cost, 1.0 - params.quality, params.latency])
+    relax = np.maximum(points - origin[None, :], 0.0)
+    best_value = math.inf
+    best = None
+    for subset in combinations(range(points.shape[0]), k):
+        bound = relax[list(subset)].max(axis=0)
+        value = penalty.value(*(float(v) for v in bound))
+        if value < best_value - 1e-15:
+            best_value = value
+            best = tuple(float(v) for v in bound)
+    assert best is not None
+    return _build_result(ensemble, params, relax, best, best_value, k)
+
+
+def _unpack(request, k, n) -> tuple[TriParams, int]:
+    if isinstance(request, DeploymentRequest):
+        params = request.params
+        if k is None:
+            k = request.k
+    else:
+        params = request
+        if k is None:
+            raise ValueError("k is required when passing bare TriParams")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > n:
+        raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
+    return params, int(k)
+
+
+def _build_result(
+    ensemble: StrategyEnsemble,
+    params: TriParams,
+    relax: np.ndarray,
+    best: tuple[float, float, float],
+    best_value: float,
+    k: int,
+) -> ADPaRResult:
+    x, y, z = best
+    alternative = TriParams(
+        quality=min(max(params.quality - y, 0.0), 1.0),
+        cost=min(max(params.cost + x, 0.0), 1.0),
+        latency=min(max(params.latency + z, 0.0), 1.0),
+    )
+    bound = np.array([x, y, z])
+    covered = np.flatnonzero((relax <= bound[None, :] + 1e-9).all(axis=1))
+    norms = np.linalg.norm(relax[covered], axis=1)
+    order = np.lexsort((covered, norms))
+    chosen = tuple(int(i) for i in covered[order][:k])
+    return ADPaRResult(
+        original=params,
+        alternative=alternative,
+        distance=float(best_value),
+        squared_distance=float(best_value) ** 2,
+        relaxation=(float(x), float(y), float(z)),
+        strategy_indices=chosen,
+        strategy_names=tuple(ensemble.names[i] for i in chosen),
+    )

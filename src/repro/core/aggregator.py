@@ -1,0 +1,159 @@
+"""The Aggregator — StratRec's batching front end (Figure 1, §2.2).
+
+The Aggregator receives a batch of deployment requests, estimates worker
+availability from the pool, runs BatchStrat under a platform objective,
+and routes every request BatchStrat could not serve to ADPaR one by one,
+attaching the alternative parameters (and their k strategies) to the
+response.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.adpar import ADPaRExact, ADPaRResult
+from repro.core.batchstrat import BatchOutcome, BatchStrat
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+from repro.modeling.availability import AvailabilityDistribution
+
+
+class ResolutionStatus(enum.Enum):
+    """How a request left the middle layer."""
+
+    SATISFIED = "satisfied"
+    ALTERNATIVE = "alternative"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class RequestResolution:
+    """Final answer for one request: strategies, or alternative parameters."""
+
+    request: DeploymentRequest
+    status: ResolutionStatus
+    strategy_names: tuple[str, ...]
+    params: TriParams
+    distance: float = 0.0
+    adpar: "ADPaRResult | None" = None
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+
+@dataclass(frozen=True)
+class AggregatorReport:
+    """Everything the middle layer returns for one batch."""
+
+    availability: float
+    objective: str
+    batch: BatchOutcome
+    resolutions: tuple[RequestResolution, ...]
+
+    def resolution_for(self, request_id: str) -> RequestResolution:
+        for resolution in self.resolutions:
+            if resolution.request_id == request_id:
+                return resolution
+        raise KeyError(request_id)
+
+    @property
+    def satisfied_count(self) -> int:
+        return sum(
+            1 for r in self.resolutions if r.status is ResolutionStatus.SATISFIED
+        )
+
+    @property
+    def alternative_count(self) -> int:
+        return sum(
+            1 for r in self.resolutions if r.status is ResolutionStatus.ALTERNATIVE
+        )
+
+
+class Aggregator:
+    """Batch front end: BatchStrat + ADPaR routing.
+
+    Parameters
+    ----------
+    ensemble:
+        Candidate strategy profiles.
+    availability:
+        Either an expected workforce fraction in ``[0, 1]`` or a full
+        :class:`AvailabilityDistribution` (its expectation is used,
+        matching §2.1's "StratRec works with expected values").
+    objective, aggregation, workforce_mode, eligibility:
+        Forwarded to :class:`BatchStrat` / the workforce computer.
+    """
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: "float | AvailabilityDistribution",
+        objective: str = "throughput",
+        aggregation: str = "sum",
+        workforce_mode: str = "paper",
+        eligibility: str = "pool",
+    ):
+        if isinstance(availability, AvailabilityDistribution):
+            availability = availability.expectation()
+        self.availability = float(availability)
+        self.objective = objective
+        self.ensemble = ensemble
+        self._batchstrat = BatchStrat(
+            ensemble,
+            self.availability,
+            aggregation=aggregation,
+            workforce_mode=workforce_mode,
+            eligibility=eligibility,
+        )
+        self._adpar = ADPaRExact(ensemble, availability=self.availability)
+
+    def process(self, requests: "list[DeploymentRequest]") -> AggregatorReport:
+        """Serve a batch: optimize, then recommend alternatives for the rest."""
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request ids within a batch must be unique")
+        batch = self._batchstrat.run(requests, objective=self.objective)
+        resolutions: list[RequestResolution] = []
+        satisfied_by_id = {rec.request_id: rec for rec in batch.satisfied}
+        for request in requests:
+            if request.request_id in satisfied_by_id:
+                rec = satisfied_by_id[request.request_id]
+                resolutions.append(
+                    RequestResolution(
+                        request=request,
+                        status=ResolutionStatus.SATISFIED,
+                        strategy_names=rec.strategy_names,
+                        params=request.params,
+                    )
+                )
+                continue
+            resolutions.append(self._resolve_via_adpar(request))
+        return AggregatorReport(
+            availability=self.availability,
+            objective=self.objective,
+            batch=batch,
+            resolutions=tuple(resolutions),
+        )
+
+    def _resolve_via_adpar(self, request: DeploymentRequest) -> RequestResolution:
+        try:
+            result = self._adpar.solve(request)
+        except InfeasibleRequestError:
+            return RequestResolution(
+                request=request,
+                status=ResolutionStatus.INFEASIBLE,
+                strategy_names=(),
+                params=request.params,
+            )
+        return RequestResolution(
+            request=request,
+            status=ResolutionStatus.ALTERNATIVE,
+            strategy_names=result.strategy_names,
+            params=result.alternative,
+            distance=result.distance,
+            adpar=result,
+        )

@@ -1,0 +1,206 @@
+"""BatchStrat — the unified batch deployment optimizer (§3, Algorithm 1).
+
+Given ``m`` deployment requests, a strategy ensemble and expected worker
+availability ``W``, BatchStrat:
+
+1. estimates model parameters per (strategy, deployment) pair
+   (done once, inside the :class:`~repro.core.workforce.WorkforceComputer`),
+2. computes the workforce requirement vector ``~W``,
+3. greedily admits requests in non-increasing ``f_i / ~w_i`` order.
+
+For *throughput* the greedy order is non-decreasing ``~w_i`` and the
+result is exact (Theorem 2).  For *pay-off* the problem is NP-hard
+(Theorem 1, reduction from 0/1-Knapsack); the greedy prefix is compared
+against the best single admissible request, which yields the classic
+1/2-approximation (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.objectives import (
+    ObjectiveSpec,
+    objective_name,
+    request_value,
+    validate_objective,
+)
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.workforce import RequestWorkforce, WorkforceComputer
+from repro.utils.validation import check_fraction
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class StrategyRecommendation:
+    """k recommended strategies for one satisfied request."""
+
+    request: DeploymentRequest
+    strategy_names: tuple[str, ...]
+    workforce: float
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of one BatchStrat run over a batch of requests."""
+
+    objective: str
+    objective_value: float
+    workforce_available: float
+    workforce_used: float
+    satisfied: tuple[StrategyRecommendation, ...]
+    unsatisfied: tuple[DeploymentRequest, ...]
+    infeasible: tuple[DeploymentRequest, ...] = field(default=())
+
+    @property
+    def satisfied_ids(self) -> set[str]:
+        return {rec.request_id for rec in self.satisfied}
+
+    @property
+    def satisfaction_rate(self) -> float:
+        """Fraction of the batch fully served (Figure 14's y-axis)."""
+        total = len(self.satisfied) + len(self.unsatisfied) + len(self.infeasible)
+        return len(self.satisfied) / total if total else 0.0
+
+
+class BatchStrat:
+    """Greedy batch deployment recommender (Algorithm 1).
+
+    Parameters mirror :class:`~repro.core.workforce.WorkforceComputer`;
+    ``availability`` is the expected workforce ``W ∈ [0, 1]``.
+    """
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        aggregation: str = "sum",
+        workforce_mode: str = "paper",
+        eligibility: str = "pool",
+    ):
+        self.ensemble = ensemble
+        self.availability = check_fraction("availability", availability)
+        self.computer = WorkforceComputer(
+            ensemble,
+            mode=workforce_mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=self.availability,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        requests: "list[DeploymentRequest]",
+        objective: ObjectiveSpec = "throughput",
+    ) -> BatchOutcome:
+        """Recommend strategies for the subset of requests optimizing
+        ``objective`` under the availability budget.
+
+        ``objective`` is ``"throughput"``, ``"payoff"``, or a
+        :class:`~repro.core.objectives.MultiGoalObjective` blending both.
+        """
+        validate_objective(objective)
+        workforce = self.computer.aggregate_all(requests)
+        candidates: list[tuple[DeploymentRequest, RequestWorkforce]] = []
+        infeasible: list[DeploymentRequest] = []
+        for request, need in zip(requests, workforce):
+            if need.feasible:
+                candidates.append((request, need))
+            else:
+                infeasible.append(request)
+
+        order = self._greedy_order(candidates, objective)
+        chosen, used = self._greedy_prefix(order)
+        if objective != "throughput":
+            # The better-of-two backstop only matters when per-request
+            # values differ (pay-off or multi-goal objectives).
+            chosen, used = self._apply_backstop(order, chosen, used, objective)
+
+        chosen_ids = {request.request_id for request, _ in chosen}
+        satisfied = tuple(
+            StrategyRecommendation(
+                request=request,
+                strategy_names=tuple(
+                    self.ensemble.names[i] for i in need.strategy_indices
+                ),
+                workforce=need.requirement,
+            )
+            for request, need in chosen
+        )
+        unsatisfied = tuple(
+            request
+            for request, _ in candidates
+            if request.request_id not in chosen_ids
+        )
+        value = float(
+            sum(request_value(request, objective) for request, _ in chosen)
+        )
+        return BatchOutcome(
+            objective=objective_name(objective),
+            objective_value=value,
+            workforce_available=self.availability,
+            workforce_used=used,
+            satisfied=satisfied,
+            unsatisfied=unsatisfied,
+            infeasible=tuple(infeasible),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _greedy_order(
+        self,
+        candidates: "list[tuple[DeploymentRequest, RequestWorkforce]]",
+        objective: str,
+    ) -> "list[tuple[DeploymentRequest, RequestWorkforce]]":
+        def ratio(item: tuple[DeploymentRequest, RequestWorkforce]) -> float:
+            request, need = item
+            value = request_value(request, objective)
+            if need.requirement <= _EPS:
+                return math.inf
+            return value / need.requirement
+
+        # Descending ratio; deterministic tie-break on (requirement, id).
+        return sorted(
+            candidates,
+            key=lambda item: (-ratio(item), item[1].requirement, item[0].request_id),
+        )
+
+    def _greedy_prefix(
+        self, order: "list[tuple[DeploymentRequest, RequestWorkforce]]"
+    ) -> tuple[list, float]:
+        chosen = []
+        used = 0.0
+        for request, need in order:
+            if used + need.requirement <= self.availability + _EPS:
+                chosen.append((request, need))
+                used += need.requirement
+        return chosen, used
+
+    def _apply_backstop(
+        self,
+        order: "list[tuple[DeploymentRequest, RequestWorkforce]]",
+        chosen: list,
+        used: float,
+        objective: ObjectiveSpec,
+    ) -> tuple[list, float]:
+        """Better of greedy prefix vs best single admissible request
+        (Algorithm 1 line 9; this is what secures the 1/2 factor)."""
+        prefix_value = sum(request_value(r, objective) for r, _ in chosen)
+        best_single = None
+        best_single_value = -math.inf
+        for request, need in order:
+            if need.requirement <= self.availability + _EPS:
+                value = request_value(request, objective)
+                if value > best_single_value:
+                    best_single_value = value
+                    best_single = (request, need)
+        if best_single is not None and best_single_value > prefix_value:
+            return [best_single], best_single[1].requirement
+        return chosen, used

@@ -1,0 +1,197 @@
+"""Workforce requirement computation (§3.2).
+
+Step 1 builds the matrix ``W[i][j]`` — the minimum workforce needed to
+deploy request ``i`` with strategy ``j`` — by inverting the linear models
+(Figure 3a).  Step 2 aggregates each row into a single requirement
+``~w_i``: the *sum-case* deploys all ``k`` recommended strategies (sum of
+the ``k`` smallest cells, Figure 3b); the *max-case* deploys only one of
+them (the ``k``-th smallest cell, Figure 3c).
+
+Everything here is vectorized over strategies so a single request row is
+one numpy pass even with millions of strategies; the full ``m × |S|``
+matrix is only materialized on demand (tests, the running example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+
+AGGREGATIONS = ("sum", "max")
+ELIGIBILITIES = ("pool", "availability")
+WORKFORCE_MODES = ("paper", "strict")
+
+_EPS = 1e-9
+
+
+def threshold_workforce(
+    alpha: np.ndarray, beta: np.ndarray, target: float, lower_bound: bool
+) -> np.ndarray:
+    """Vectorized Eq. 4 inversion for one parameter across all strategies.
+
+    Mirrors :func:`repro.modeling.modelbank._threshold_workforce`:
+    the minimal workforce making the parameter constraint hold (0 when
+    free, ``inf`` when impossible).
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    out = np.empty_like(alpha)
+
+    constant = alpha == 0
+    if lower_bound:
+        out[constant] = np.where(beta[constant] >= target - _EPS, 0.0, math.inf)
+    else:
+        out[constant] = np.where(beta[constant] <= target + _EPS, 0.0, math.inf)
+
+    varying = ~constant
+    with np.errstate(divide="ignore", invalid="ignore"):
+        solved = np.where(varying, (target - beta) / np.where(varying, alpha, 1.0), 0.0)
+    grows_toward = (alpha > 0) if lower_bound else (alpha < 0)
+    needs_at_least = varying & grows_toward
+    out[needs_at_least] = np.maximum(solved[needs_at_least], 0.0)
+    bounded_above = varying & ~grows_toward
+    out[bounded_above] = np.where(
+        solved[bounded_above] >= 0.0, solved[bounded_above], math.inf
+    )
+    return out
+
+
+@dataclass(frozen=True)
+class RequestWorkforce:
+    """Aggregated workforce requirement of one request (§3.2 step 2)."""
+
+    request_id: str
+    requirement: float
+    strategy_indices: tuple[int, ...]
+    eligible_count: int
+
+    @property
+    def feasible(self) -> bool:
+        """True iff ``k`` eligible strategies exist."""
+        return math.isfinite(self.requirement)
+
+
+class WorkforceComputer:
+    """Computes workforce rows and per-request aggregates for an ensemble.
+
+    Parameters
+    ----------
+    ensemble:
+        The candidate strategies with their linear models.
+    mode:
+        ``"paper"`` takes the max of the three per-parameter solutions
+        (the paper's rule); ``"strict"`` treats cost as a budget cap.
+    aggregation:
+        ``"sum"`` (deploy all k strategies) or ``"max"`` (deploy one).
+    eligibility:
+        ``"pool"`` admits strategies needing at most the whole worker pool
+        (``w_ij <= 1``); ``"availability"`` additionally bounds each cell
+        by the current availability ``W``.
+    availability:
+        Current expected availability; required for
+        ``eligibility="availability"``.
+    """
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        mode: str = "paper",
+        aggregation: str = "sum",
+        eligibility: str = "pool",
+        availability: "float | None" = None,
+    ):
+        if mode not in WORKFORCE_MODES:
+            raise ValueError(f"mode must be one of {WORKFORCE_MODES}, got {mode!r}")
+        if aggregation not in AGGREGATIONS:
+            raise ValueError(
+                f"aggregation must be one of {AGGREGATIONS}, got {aggregation!r}"
+            )
+        if eligibility not in ELIGIBILITIES:
+            raise ValueError(
+                f"eligibility must be one of {ELIGIBILITIES}, got {eligibility!r}"
+            )
+        if eligibility == "availability" and availability is None:
+            raise ValueError('eligibility="availability" requires availability')
+        self.ensemble = ensemble
+        self.mode = mode
+        self.aggregation = aggregation
+        self.eligibility = eligibility
+        self.availability = availability
+
+    # ------------------------------------------------------------------- rows
+    def row(self, params: TriParams) -> np.ndarray:
+        """Workforce requirement ``w_ij`` of one request against every strategy."""
+        alpha = self.ensemble.alpha
+        beta = self.ensemble.beta
+        w_q = threshold_workforce(alpha[:, 0], beta[:, 0], params.quality, True)
+        w_c = threshold_workforce(alpha[:, 1], beta[:, 1], params.cost, False)
+        w_l = threshold_workforce(alpha[:, 2], beta[:, 2], params.latency, False)
+        if self.mode == "paper":
+            return np.maximum(np.maximum(w_q, w_c), w_l)
+        # strict: cost is a cap for increasing cost models, a floor otherwise.
+        requirement = np.maximum(w_q, w_l)
+        ac = alpha[:, 1]
+        bc = beta[:, 1]
+        increasing = ac > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cap = np.where(increasing, (params.cost - bc) / np.where(increasing, ac, 1.0), math.inf)
+        requirement = np.where(
+            increasing & (requirement > cap + _EPS), math.inf, requirement
+        )
+        constant_over = (ac == 0) & (bc > params.cost + _EPS)
+        requirement = np.where(constant_over, math.inf, requirement)
+        decreasing = ac < 0
+        requirement = np.where(decreasing, np.maximum(requirement, w_c), requirement)
+        return requirement
+
+    def matrix(self, requests: "list[DeploymentRequest]") -> np.ndarray:
+        """The full ``m × |S|`` matrix (Figure 3a). Prefer :meth:`aggregate`
+        for large inputs — rows are recomputed on demand there instead."""
+        return np.vstack([self.row(req.params) for req in requests])
+
+    # -------------------------------------------------------------- aggregate
+    def _eligibility_bound(self) -> float:
+        if self.eligibility == "pool":
+            return 1.0
+        return float(self.availability)
+
+    def aggregate(self, request: DeploymentRequest) -> RequestWorkforce:
+        """Per-request requirement ``~w_i`` plus the k strategies backing it."""
+        row = self.row(request.params)
+        bound = self._eligibility_bound()
+        eligible = np.flatnonzero(row <= bound + _EPS)
+        k = request.k
+        if eligible.size < k:
+            return RequestWorkforce(
+                request_id=request.request_id,
+                requirement=math.inf,
+                strategy_indices=(),
+                eligible_count=int(eligible.size),
+            )
+        values = row[eligible]
+        top = np.argpartition(values, k - 1)[:k]
+        chosen = eligible[top]
+        chosen = chosen[np.lexsort((chosen, row[chosen]))]
+        chosen_values = row[chosen]
+        if self.aggregation == "sum":
+            requirement = float(chosen_values.sum())
+        else:
+            requirement = float(chosen_values.max())
+        return RequestWorkforce(
+            request_id=request.request_id,
+            requirement=requirement,
+            strategy_indices=tuple(int(i) for i in chosen),
+            eligible_count=int(eligible.size),
+        )
+
+    def aggregate_all(
+        self, requests: "list[DeploymentRequest]"
+    ) -> list[RequestWorkforce]:
+        """Vector ``~W`` of §3.2 step 2, one entry per request."""
+        return [self.aggregate(request) for request in requests]

@@ -1,0 +1,23 @@
+"""Library-wide exception types."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class InfeasibleRequestError(ReproError):
+    """A deployment request cannot be satisfied by any parameter relaxation.
+
+    Raised by ADPaR when fewer than ``k`` strategies exist at all — no
+    alternative parameters can conjure strategies that are not in ``S``.
+    """
+
+
+class ModelNotFittedError(ReproError):
+    """A linear parameter model was used before being fitted or configured."""
+
+
+class UnknownStrategyError(ReproError, KeyError):
+    """A strategy name was looked up that the catalog/model bank lacks."""

@@ -1,0 +1,46 @@
+"""Strategy execution engine (the Google-Docs/expert-judging stand-in).
+
+Runs a (Structure, Organization, Style) deployment strategy over a
+simulated collaborative task with a crew of simulated workers and returns
+the observed (quality, cost, latency) plus edit telemetry.  The aggregate
+response surface is linear in worker availability by construction — the
+paper's empirically validated model (Table 6) — while the micro-dynamics
+(per-worker contributions, collaborative documents, edit wars, machine
+help) exercise the code paths the real deployments exercised.
+"""
+
+from repro.execution.tasks import (
+    CollaborativeTask,
+    NURSERY_RHYMES,
+    CREATION_TOPICS,
+    make_creation_tasks,
+    make_translation_tasks,
+)
+from repro.execution.document import Edit, SharedDocument
+from repro.execution.editwar import CollaborationDynamics
+from repro.execution.machine import MachineContributor
+from repro.execution.quality import (
+    best_of_independent,
+    collaborative_merge,
+    sequential_refinement,
+)
+from repro.execution.outcomes import DeploymentOutcome
+from repro.execution.engine import GROUND_TRUTH, ExecutionEngine
+
+__all__ = [
+    "CollaborativeTask",
+    "NURSERY_RHYMES",
+    "CREATION_TOPICS",
+    "make_translation_tasks",
+    "make_creation_tasks",
+    "Edit",
+    "SharedDocument",
+    "CollaborationDynamics",
+    "MachineContributor",
+    "sequential_refinement",
+    "best_of_independent",
+    "collaborative_merge",
+    "DeploymentOutcome",
+    "ExecutionEngine",
+    "GROUND_TRUTH",
+]

@@ -1,0 +1,79 @@
+"""Shared collaborative documents and edit tracking.
+
+The real deployments directed workers to a shared Google Doc in editing
+mode so edits could be monitored (§5.1.1); Figure 13's second observation
+counts those edits.  :class:`SharedDocument` is the simulated equivalent:
+segments accumulate quality through edits, and an edit can *override*
+a previous one (losing its contribution) — the raw material of edit wars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Edit:
+    """One tracked edit to a document segment."""
+
+    worker_id: str
+    time_hours: float
+    segment: int
+    delta_quality: float
+    overridden: bool = False
+
+
+class SharedDocument:
+    """A segmented document whose quality grows with (surviving) edits."""
+
+    def __init__(self, segments: int, base_quality: float = 0.0):
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        if not 0.0 <= base_quality <= 1.0:
+            raise ValueError("base_quality must lie in [0, 1]")
+        self.segments = segments
+        self.base_quality = base_quality
+        self.edits: list[Edit] = []
+
+    def apply_edit(self, edit: Edit) -> None:
+        """Record one edit."""
+        if not 0 <= edit.segment < self.segments:
+            raise ValueError(
+                f"segment {edit.segment} outside document of {self.segments} segments"
+            )
+        self.edits.append(edit)
+
+    def override(self, edit: Edit) -> None:
+        """Mark an edit overridden: its quality contribution is lost."""
+        edit.overridden = True
+
+    @property
+    def edit_count(self) -> int:
+        """Total number of edits (the Figure 13 telemetry)."""
+        return len(self.edits)
+
+    @property
+    def overridden_count(self) -> int:
+        return sum(1 for e in self.edits if e.overridden)
+
+    def segment_quality(self, segment: int) -> float:
+        """Quality of one segment: base plus surviving deltas, capped at 1."""
+        total = self.base_quality + sum(
+            e.delta_quality for e in self.edits if e.segment == segment and not e.overridden
+        )
+        return float(min(max(total, 0.0), 1.0))
+
+    def quality(self) -> float:
+        """Document quality: mean over segments."""
+        return float(
+            np.mean([self.segment_quality(s) for s in range(self.segments)])
+        )
+
+    def edits_by_segment(self) -> dict[int, list[Edit]]:
+        """Edits grouped by segment (conflict detection uses this)."""
+        grouped: dict[int, list[Edit]] = {s: [] for s in range(self.segments)}
+        for edit in self.edits:
+            grouped[edit.segment].append(edit)
+        return grouped

@@ -1,0 +1,78 @@
+"""Edit-war dynamics for simultaneous collaborative sessions.
+
+The paper's post-mortem of Figure 13: "when workers were not guided, they
+repeatedly overrode each other's contributions, giving rise to an edit
+war" — unguided deployments averaged 6.25 edits per translation vs 3.45
+under StratRec guidance, with depressed quality.  This module injects
+exactly that failure mode: concurrent edits to the same segment conflict
+with a probability that grows with concurrency and falls with guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.execution.document import Edit, SharedDocument
+
+
+@dataclass(frozen=True)
+class CollaborationDynamics:
+    """Tunable conflict behaviour of a simultaneous collaborative session."""
+
+    guided_conflict_rate: float = 0.08
+    unguided_conflict_rate: float = 0.30
+    unguided_extra_edit_factor: float = 1.8
+    conflict_quality_penalty: float = 0.035
+
+    def conflict_rate(self, guided: bool, concurrency: int) -> float:
+        """Per-overlap conflict probability; saturates with concurrency."""
+        base = self.guided_conflict_rate if guided else self.unguided_conflict_rate
+        return float(min(base * (1.0 + 0.15 * max(concurrency - 2, 0)), 0.9))
+
+    def run_session(
+        self,
+        document: SharedDocument,
+        contributions: "list[tuple[str, int, float]]",
+        guided: bool,
+        rng: np.random.Generator,
+        session_hours: float = 2.0,
+    ) -> float:
+        """Play out a simultaneous collaborative session.
+
+        ``contributions`` are (worker_id, segment, delta_quality) triples.
+        Unguided sessions generate redundant re-edits; whenever two edits
+        land on the same segment, the earlier one is overridden with the
+        conflict probability, costing its quality and a small penalty.
+        Returns the total quality penalty incurred.
+        """
+        work = list(contributions)
+        if not guided and work:
+            extra = int(len(work) * (self.unguided_extra_edit_factor - 1.0))
+            for _ in range(extra):
+                worker_id, segment, delta = work[int(rng.integers(0, len(work)))]
+                # A re-edit of someone else's segment, usually lower value.
+                work.append((worker_id, segment, delta * float(rng.uniform(0.2, 0.6))))
+
+        penalty = 0.0
+        concurrency = max(len({w for w, _, _ in work}), 1)
+        rate = self.conflict_rate(guided, concurrency)
+        for worker_id, segment, delta in work:
+            edit = Edit(
+                worker_id=worker_id,
+                time_hours=float(rng.uniform(0.0, session_hours)),
+                segment=segment,
+                delta_quality=delta,
+            )
+            document.apply_edit(edit)
+        by_segment = document.edits_by_segment()
+        for segment, edits in by_segment.items():
+            edits.sort(key=lambda e: e.time_hours)
+            for earlier, later in zip(edits, edits[1:]):
+                if earlier.overridden:
+                    continue
+                if later.worker_id != earlier.worker_id and rng.random() < rate:
+                    document.override(earlier)
+                    penalty += self.conflict_quality_penalty
+        return penalty

@@ -1,0 +1,47 @@
+"""Machine contributors for hybrid (HYB) strategies.
+
+The paper's example pairs workers with Google Translate
+(Figure 2d, SIM-IND-HYB).  The simulated machine produces an instant,
+zero-cost draft whose quality floor depends on the task type — machine
+translation of nursery rhymes is serviceable, open-ended text creation
+less so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.execution.tasks import CollaborativeTask
+
+_DEFAULT_FLOORS = {"translation": 0.58, "creation": 0.48}
+
+
+@dataclass(frozen=True)
+class MachineContributor:
+    """An algorithmic teammate (e.g. an MT system)."""
+
+    name: str = "machine-translate"
+    quality_floors: "tuple[tuple[str, float], ...]" = tuple(_DEFAULT_FLOORS.items())
+    noise_std: float = 0.03
+
+    def floor_for(self, task_type: str) -> float:
+        """Baseline quality the machine achieves on a task type."""
+        floors = dict(self.quality_floors)
+        return floors.get(task_type, 0.45)
+
+    def contribute(self, task: CollaborativeTask, rng: np.random.Generator) -> float:
+        """Machine draft quality for ``task`` (difficulty hurts a little)."""
+        base = self.floor_for(task.task_type) - 0.08 * (task.difficulty - 0.5)
+        return float(np.clip(base + rng.normal(0.0, self.noise_std), 0.0, 1.0))
+
+    @property
+    def cost_usd(self) -> float:
+        """Machines are free at this scale."""
+        return 0.0
+
+    @property
+    def latency_hours(self) -> float:
+        """Machine drafts are effectively instant."""
+        return 0.0

@@ -1,0 +1,49 @@
+"""Deployment outcomes: what one executed strategy run yields."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.tasks import CollaborativeTask
+from repro.modeling.calibration import Observation
+
+
+@dataclass(frozen=True)
+class DeploymentOutcome:
+    """Observed result of deploying one task with one strategy.
+
+    ``quality`` is the expert-judged score in [0, 1]; ``cost`` and
+    ``latency`` are normalized against the deployment budget ($14 cap and
+    72-hour window in §5.1.2) so they compare directly with deployment
+    parameters.  Raw units are kept alongside.
+    """
+
+    task: CollaborativeTask
+    strategy_name: str
+    availability: float
+    quality: float
+    cost: float
+    latency: float
+    cost_usd: float
+    latency_hours: float
+    workers_engaged: int
+    edit_count: int
+    overridden_edits: int
+    guided: bool
+
+    def observation(self) -> Observation:
+        """Project onto the calibration observation type."""
+        return Observation(
+            availability=self.availability,
+            quality=self.quality,
+            cost=self.cost,
+            latency=self.latency,
+        )
+
+    def meets(self, quality: float, cost: float, latency: float) -> bool:
+        """Threshold check in normalized units."""
+        return (
+            self.quality >= quality - 1e-9
+            and self.cost <= cost + 1e-9
+            and self.latency <= latency + 1e-9
+        )

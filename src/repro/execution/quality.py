@@ -1,0 +1,63 @@
+"""Quality aggregation per deployment-strategy shape.
+
+How individual contributions combine depends on the strategy:
+
+* ``sequential_refinement`` — SEQ: each worker improves the previous
+  state with diminishing returns (Figure 2a).
+* ``best_of_independent`` — SIM-IND: independent attempts, an evaluation
+  step keeps the best (Figures 2c/2d).
+* ``collaborative_merge`` — COL: contributions merge; conflicts cost
+  (the edit-war channel, Figure 2b).
+
+Expert judging (§5.1.1 step 3) is modelled as a noiseless read of the
+resulting latent quality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(contributions: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(list(contributions), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one contribution")
+    if ((arr < 0) | (arr > 1)).any():
+        raise ValueError("contribution qualities must lie in [0, 1]")
+    return arr
+
+
+def sequential_refinement(
+    contributions: Sequence[float], improvement_rate: float = 0.45
+) -> float:
+    """SEQ aggregation: start from the first contribution, each later
+    worker closes a fraction of the gap to their own ceiling.
+
+    Order matters; quality is monotone in the number of workers.
+    """
+    arr = _validate(contributions)
+    if not 0.0 < improvement_rate <= 1.0:
+        raise ValueError("improvement_rate must lie in (0, 1]")
+    quality = float(arr[0])
+    for contribution in arr[1:]:
+        ceiling = max(quality, float(contribution))
+        quality = quality + improvement_rate * (ceiling - quality)
+    return float(min(quality, 1.0))
+
+
+def best_of_independent(contributions: Sequence[float]) -> float:
+    """SIM-IND aggregation: the evaluation step keeps the best attempt."""
+    return float(_validate(contributions).max())
+
+
+def collaborative_merge(
+    contributions: Sequence[float], conflict_penalty: float = 0.0
+) -> float:
+    """COL aggregation: a merge slightly above the mean (collaboration
+    helps), minus whatever the edit war cost."""
+    arr = _validate(contributions)
+    synergy = 0.3 * (arr.max() - arr.mean())
+    merged = float(arr.mean() + synergy - conflict_penalty)
+    return float(min(max(merged, 0.0), 1.0))

@@ -1,0 +1,84 @@
+"""Collaborative text-editing tasks.
+
+The paper's two task types: sentence translation (English→Hindi nursery
+rhymes) and text creation (short texts on news topics).  Tasks carry a
+latent difficulty that shapes contribution quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_positive_int
+
+#: The three rhymes used in the paper's translation deployments (Figure 9).
+NURSERY_RHYMES = (
+    "Mary Had a Little Lamb",
+    "Lavender's Blue",
+    "Rock-a-bye Baby",
+)
+
+#: The three topics used in the paper's creation deployments (Figure 10).
+CREATION_TOPICS = (
+    "Robert Mueller Report",
+    "Notre Dame Cathedral",
+    "2019 Pulitzer Prizes",
+)
+
+TASK_TYPES = ("translation", "creation")
+
+
+@dataclass(frozen=True)
+class CollaborativeTask:
+    """One collaborative text-editing task."""
+
+    task_id: str
+    task_type: str
+    title: str
+    segments: int = 5  # lines of the rhyme / sentences to write
+    difficulty: float = 0.5  # latent difficulty in [0, 1]
+
+    def __post_init__(self):
+        if self.task_type not in TASK_TYPES:
+            raise ValueError(
+                f"task_type must be one of {TASK_TYPES}, got {self.task_type!r}"
+            )
+        check_positive_int("segments", self.segments)
+        check_fraction("difficulty", self.difficulty)
+
+
+def make_translation_tasks(
+    count: int, seed: "int | np.random.Generator | None" = None
+) -> list[CollaborativeTask]:
+    """Sentence-translation tasks cycling over the paper's rhymes."""
+    rng = ensure_rng(seed)
+    return [
+        CollaborativeTask(
+            task_id=f"tr{i:03d}",
+            task_type="translation",
+            title=NURSERY_RHYMES[i % len(NURSERY_RHYMES)],
+            segments=int(rng.integers(4, 6)),
+            difficulty=float(rng.uniform(0.35, 0.65)),
+        )
+        for i in range(count)
+    ]
+
+
+def make_creation_tasks(
+    count: int, seed: "int | np.random.Generator | None" = None
+) -> list[CollaborativeTask]:
+    """Text-creation tasks cycling over the paper's topics."""
+    rng = ensure_rng(seed)
+    return [
+        CollaborativeTask(
+            task_id=f"cr{i:03d}",
+            task_type="creation",
+            title=CREATION_TOPICS[i % len(CREATION_TOPICS)],
+            segments=int(rng.integers(4, 6)),
+            difficulty=float(rng.uniform(0.4, 0.7)),
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table/figure of the paper's §5.
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.runner.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports.  The benchmarks under
+``benchmarks/`` wrap these functions; EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.running_example import run_running_example
+from repro.experiments.fig11_availability import run_fig11
+from repro.experiments.table6_model_fits import run_table6
+from repro.experiments.fig12_linearity import run_fig12
+from repro.experiments.fig13_effectiveness import run_fig13
+from repro.experiments.fig14_satisfied import run_fig14
+from repro.experiments.fig15_throughput import run_fig15
+from repro.experiments.fig16_payoff import run_fig16
+from repro.experiments.fig17_adpar_quality import run_fig17
+from repro.experiments.fig18_scalability import run_fig18_batch, run_fig18_adpar
+
+__all__ = [
+    "ExperimentResult",
+    "run_running_example",
+    "run_fig11",
+    "run_table6",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18_batch",
+    "run_fig18_adpar",
+]

@@ -1,0 +1,93 @@
+"""Figure 11: worker availability estimation across deployment windows.
+
+The paper deploys each task in three windows and finds availability (a)
+is estimable, (b) varies over time, peaking in Window 2 (Mon–Thu), for
+both SEQ-IND-CRO ("Seq-IC") and SIM-COL-CRO ("Sim-CC").  We reproduce
+the protocol against the simulated platform: repeated deployments per
+window, mean availability with standard error bars.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.platform.history import AvailabilityRecord, HistoryLog
+from repro.platform.pool import WorkerPool
+from repro.platform.simulator import PAPER_WINDOWS, PlatformSimulator
+from repro.platform.worker import generate_workers
+from repro.stats.descriptive import standard_error, summarize
+from repro.utils.tables import format_table
+
+STRATEGIES = ("SEQ-IND-CRO", "SIM-COL-CRO")
+
+
+def run_fig11(
+    pool_size: int = 400,
+    repetitions: int = 5,
+    task_type: str = "translation",
+    seed: int = 23,
+) -> ExperimentResult:
+    """Deploy per window × strategy, observe availability, log history."""
+    pool = WorkerPool(generate_workers(pool_size, seed=seed))
+    simulator = PlatformSimulator(pool, seed=seed + 1)
+    history = HistoryLog()
+
+    result = ExperimentResult(
+        name="Figure 11: Worker Availability Estimation",
+        description=(
+            f"{repetitions} simulated deployments per window x strategy "
+            f"({task_type}); mean availability with standard error."
+        ),
+    )
+    rows = []
+    series: dict = {name: [] for name in STRATEGIES}
+    for window in PAPER_WINDOWS:
+        for strategy_name in STRATEGIES:
+            samples = []
+            for _ in range(repetitions):
+                obs = simulator.run_window(
+                    window, task_type, strategy_name=strategy_name
+                )
+                samples.append(obs.availability)
+                history.add(
+                    AvailabilityRecord(
+                        window_name=window.name,
+                        task_type=task_type,
+                        strategy_name=strategy_name,
+                        availability=obs.availability,
+                    )
+                )
+            summary = summarize(samples)
+            series[strategy_name].append(summary.mean)
+            rows.append(
+                [window.name, strategy_name, summary.mean, standard_error(samples)]
+            )
+
+    result.add_table(
+        format_table(
+            ["window", "strategy", "mean availability", "stderr"],
+            rows,
+            title="Availability per deployment window",
+        )
+    )
+    result.data["series"] = series
+    result.data["history"] = history
+
+    pooled = [
+        (series[STRATEGIES[0]][w] + series[STRATEGIES[1]][w]) / 2.0
+        for w in range(len(PAPER_WINDOWS))
+    ]
+    window2_peak = pooled[1] >= pooled[0] and pooled[1] >= pooled[2]
+    result.data["pooled_means"] = pooled
+    result.data["window2_peak"] = window2_peak
+    result.add_note(
+        "Window 2 (Mon-Thu) shows the highest pooled availability: "
+        f"{window2_peak} (paper: yes; per-strategy estimates carry the "
+        "0.1-granularity noise of 10-worker HITs, like the paper's error bars)."
+    )
+    distribution = history.estimate_distribution(task_type=task_type, bins=8)
+    result.data["distribution"] = distribution
+    result.add_note(
+        f"Estimated availability pdf has E[W] = {distribution.expectation():.3f} "
+        "- this expectation is what StratRec plans with."
+    )
+    return result

@@ -1,0 +1,187 @@
+"""Figure 13: StratRec-guided vs unguided deployments.
+
+§5.1.2: 10 sentence-translation + 10 text-creation tasks, each deployed
+twice (mirror deployments): once with StratRec's recommended strategy,
+once with workers "given the liberty to complete the task the way they
+preferred" — which the paper's post-mortem identifies as chaotic
+simultaneous collaboration with edit wars.  Thresholds: quality 70%,
+cost $14, latency 72h.  The paper reports, with statistical significance,
+higher quality and lower latency under a fixed cost for the guided runs,
+and 3.45 vs 6.25 average edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.stratrec import StratRec
+from repro.core.strategy import full_catalog
+from repro.execution.engine import ExecutionEngine, ground_truth_for
+from repro.execution.tasks import make_creation_tasks, make_translation_tasks
+from repro.experiments.runner import ExperimentResult
+from repro.modeling.availability import AvailabilityDistribution
+from repro.modeling.linear import LinearModel
+from repro.modeling.modelbank import ModelBank, ParamModels
+from repro.platform.worker import generate_workers
+from repro.stats.significance import paired_t_test
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+
+#: §5.1.2 thresholds, normalized: 70% quality, $14 of a $20 crew budget,
+#: 72 h of a 72 h window.
+THRESHOLDS = TriParams(quality=0.70, cost=0.70, latency=1.0)
+
+UNGUIDED_STRATEGY = "SIM-COL-CRO"
+
+
+def build_model_bank(task_types: "tuple[str, ...]" = ("translation", "creation")) -> ModelBank:
+    """Model bank over all 8 strategies per task type from ground truth."""
+    bank = ModelBank()
+    for task_type in task_types:
+        for strategy in full_catalog():
+            truth = ground_truth_for(task_type, strategy.name)
+            bank.register(
+                task_type,
+                strategy.name,
+                ParamModels(
+                    quality=LinearModel(*truth["quality"]),
+                    cost=LinearModel(*truth["cost"]),
+                    latency=LinearModel(*truth["latency"]),
+                ),
+            )
+    return bank
+
+
+@dataclass(frozen=True)
+class MirrorOutcome:
+    """Guided vs unguided observation for one task."""
+
+    task_id: str
+    task_type: str
+    guided_strategy: str
+    guided_quality: float
+    guided_cost: float
+    guided_latency: float
+    guided_edits: int
+    unguided_quality: float
+    unguided_cost: float
+    unguided_latency: float
+    unguided_edits: int
+
+
+def run_fig13(
+    tasks_per_type: int = 10,
+    seed: int = 31,
+    availability_mean: float = 0.7,
+) -> ExperimentResult:
+    """Run the mirror-deployment experiment and test significance."""
+    rng = ensure_rng(seed)
+    bank = build_model_bank()
+    availability = AvailabilityDistribution.point(availability_mean)
+    stratrec = StratRec(bank, availability)
+    engine = ExecutionEngine()
+    workers = generate_workers(150, seed=rng)
+
+    mirrors: list[MirrorOutcome] = []
+    for task_type, make_tasks in (
+        ("translation", make_translation_tasks),
+        ("creation", make_creation_tasks),
+    ):
+        tasks = make_tasks(tasks_per_type, seed=rng)
+        for task in tasks:
+            request = DeploymentRequest(
+                request_id=f"req-{task.task_id}",
+                params=THRESHOLDS,
+                k=1,
+                task_type=task_type,
+            )
+            advice = stratrec.recommend_strategy(request)
+            strategy_name = advice.best_strategy or UNGUIDED_STRATEGY
+            task_availability = float(
+                np.clip(rng.normal(availability_mean, 0.05), 0.4, 1.0)
+            )
+            guided = engine.run(
+                strategy_name, task, task_availability,
+                workers=workers, guided=True, seed=rng,
+            )
+            unguided = engine.run(
+                UNGUIDED_STRATEGY, task, task_availability,
+                workers=workers, guided=False, seed=rng,
+            )
+            mirrors.append(
+                MirrorOutcome(
+                    task_id=task.task_id,
+                    task_type=task_type,
+                    guided_strategy=strategy_name,
+                    guided_quality=guided.quality,
+                    guided_cost=guided.cost,
+                    guided_latency=guided.latency,
+                    guided_edits=guided.edit_count,
+                    unguided_quality=unguided.quality,
+                    unguided_cost=unguided.cost,
+                    unguided_latency=unguided.latency,
+                    unguided_edits=unguided.edit_count,
+                )
+            )
+
+    result = ExperimentResult(
+        name="Figure 13: StratRec vs no-StratRec deployments",
+        description=(
+            f"{tasks_per_type} translation + {tasks_per_type} creation tasks, "
+            "mirror deployments; quality in %, cost in $, latency in hours."
+        ),
+    )
+    for task_type in ("translation", "creation"):
+        subset = [m for m in mirrors if m.task_type == task_type]
+        guided_q = [m.guided_quality for m in subset]
+        unguided_q = [m.unguided_quality for m in subset]
+        guided_l = [m.guided_latency for m in subset]
+        unguided_l = [m.unguided_latency for m in subset]
+        q_test = paired_t_test(guided_q, unguided_q)
+        l_test = paired_t_test(guided_l, unguided_l)
+        rows = [
+            ["Quality (%)", 100 * float(np.mean(guided_q)), 100 * float(np.mean(unguided_q))],
+            [
+                "Cost ($)",
+                20 * float(np.mean([m.guided_cost for m in subset])),
+                20 * float(np.mean([m.unguided_cost for m in subset])),
+            ],
+            ["Latency (h)", 72 * float(np.mean(guided_l)), 72 * float(np.mean(unguided_l))],
+            [
+                "Edits / task",
+                float(np.mean([m.guided_edits for m in subset])),
+                float(np.mean([m.unguided_edits for m in subset])),
+            ],
+        ]
+        result.add_table(
+            format_table(
+                ["metric", "StratRec", "Without StratRec"],
+                rows,
+                title=f"{task_type.capitalize()} (n={len(subset)})",
+                precision=2,
+            )
+        )
+        result.data[task_type] = {
+            "rows": rows,
+            "quality_p": q_test.p_value,
+            "latency_p": l_test.p_value,
+            "quality_gain": q_test.mean_difference,
+            "latency_gain": -l_test.mean_difference,
+        }
+        result.add_note(
+            f"{task_type}: quality gain p={q_test.p_value:.2e}, "
+            f"latency reduction p={l_test.p_value:.2e} (paper: significant)."
+        )
+    result.data["mirrors"] = mirrors
+    mean_guided_edits = float(np.mean([m.guided_edits for m in mirrors]))
+    mean_unguided_edits = float(np.mean([m.unguided_edits for m in mirrors]))
+    result.add_note(
+        f"Edits per task: {mean_guided_edits:.2f} guided vs "
+        f"{mean_unguided_edits:.2f} unguided (paper: 3.45 vs 6.25 — "
+        "unguided edit wars roughly double the edit count)."
+    )
+    return result

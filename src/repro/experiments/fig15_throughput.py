@@ -1,0 +1,133 @@
+"""Figure 15: throughput objective — BruteForce vs BatchStrat vs BaselineG.
+
+Defaults k=10, m=5, |S|=30, W=0.5 ("because brute force does not scale
+beyond that"); panels sweep k, m and |S| over {10, 20, 30}.  Expected:
+BatchStrat exactly matches BruteForce (Theorem 2) and BaselineG never
+exceeds it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.baselines.batch_greedy import BaselineG
+from repro.core.batchstrat import BatchStrat
+from repro.experiments.runner import ExperimentResult
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_series
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+DEFAULTS = {"n_strategies": 30, "m": 5, "k": 10, "availability": 0.5}
+SWEEP_VALUES = (10, 20, 30)
+#: m is capped below the paper's 30 because exhaustive enumeration over 30
+#: requests (2^30 subsets) is not tractable on any testbed; the shape
+#: (BatchStrat == BruteForce >= BaselineG) is unaffected.
+M_SWEEP = (5, 10, 15)
+
+
+def _objectives(
+    n_strategies: int,
+    m: int,
+    k: int,
+    availability: float,
+    objective: str,
+    rng: np.random.Generator,
+) -> tuple[float, float, float]:
+    """(BruteForce, BatchStrat, BaselineG) objective values, one draw."""
+    rng_s, rng_r = spawn_rngs(rng, 2)
+    ensemble = generate_strategy_ensemble(n_strategies, "uniform", rng_s)
+    requests = generate_requests(m, k=min(k, n_strategies), seed=rng_r)
+    # max-case aggregation (deploy one of the k recommended strategies,
+    # Figure 3c) + strict workforce mode: the combination that reproduces
+    # the paper's objective magnitudes at |S|=30 (see EXPERIMENTS.md).
+    brute = batch_brute_force(
+        ensemble, requests, availability, objective,
+        aggregation="max", workforce_mode="strict",
+    )
+    batch = BatchStrat(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
+    ).run(requests, objective)
+    greedy = BaselineG(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
+    ).run(requests, objective)
+    return brute.objective_value, batch.objective_value, greedy.objective_value
+
+
+def sweep_objective(
+    parameter: str,
+    values: tuple,
+    objective: str,
+    repetitions: int,
+    seed: int,
+) -> dict:
+    """Sweep one parameter; returns mean objective per algorithm."""
+    out = {"x": list(values), "BruteForce": [], "BatchStrat": [], "BaselineG": []}
+    for i, value in enumerate(values):
+        config = dict(DEFAULTS)
+        config[parameter] = value
+        rngs = spawn_rngs(seed + 31 * i, repetitions)
+        samples = np.array(
+            [
+                _objectives(
+                    config["n_strategies"],
+                    config["m"],
+                    config["k"],
+                    config["availability"],
+                    objective,
+                    rng,
+                )
+                for rng in rngs
+            ]
+        )
+        means = samples.mean(axis=0)
+        out["BruteForce"].append(float(means[0]))
+        out["BatchStrat"].append(float(means[1]))
+        out["BaselineG"].append(float(means[2]))
+    return out
+
+
+def run_fig15(repetitions: int = 5, seed: int = 41) -> ExperimentResult:
+    """Regenerate the three throughput panels."""
+    result = ExperimentResult(
+        name="Figure 15: Objective Function for Throughput",
+        description=(
+            f"defaults |S|={DEFAULTS['n_strategies']}, m={DEFAULTS['m']}, "
+            f"k={DEFAULTS['k']}, W={DEFAULTS['availability']}; avg of "
+            f"{repetitions} runs. m sweep capped at {max(M_SWEEP)} (see note)."
+        ),
+    )
+    exact_everywhere = True
+    for parameter, values, label in (
+        ("k", SWEEP_VALUES, "k"),
+        ("m", M_SWEEP, "m"),
+        ("n_strategies", SWEEP_VALUES, "|S|"),
+    ):
+        data = sweep_objective(parameter, values, "throughput", repetitions, seed)
+        result.data[parameter] = data
+        result.add_table(
+            format_series(
+                label,
+                data["x"],
+                {
+                    "BruteForce": data["BruteForce"],
+                    "BatchStrat": data["BatchStrat"],
+                    "BaselineG": data["BaselineG"],
+                },
+                title=f"Panel: varying {label}",
+                precision=3,
+            )
+        )
+        exact_everywhere = exact_everywhere and np.allclose(
+            data["BruteForce"], data["BatchStrat"], atol=1e-9
+        )
+    result.data["exact_everywhere"] = exact_everywhere
+    result.add_note(
+        f"BatchStrat matches BruteForce at every point: {exact_everywhere} "
+        "(Theorem 2: the greedy is exact for throughput)."
+    )
+    result.add_note(
+        "Brute force over m=30 requests (2^30 subsets) is intractable for "
+        "any implementation; the m panel sweeps 5/10/15 instead."
+    )
+    return result

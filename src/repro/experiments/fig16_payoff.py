@@ -1,0 +1,109 @@
+"""Figure 16: pay-off objective and empirical approximation factor.
+
+Same setup as Figure 15 with the pay-off objective.  The paper annotates
+each point with BatchStrat's empirical approximation factor, which stays
+above 0.9 — far better than the theoretical 1/2 guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.baselines.batch_greedy import BaselineG
+from repro.core.batchstrat import BatchStrat
+from repro.experiments.fig15_throughput import DEFAULTS, M_SWEEP, SWEEP_VALUES
+from repro.experiments.runner import ExperimentResult
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_series
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+
+def _payoffs(
+    n_strategies: int, m: int, k: int, availability: float, rng: np.random.Generator
+) -> tuple[float, float, float]:
+    """(BruteForce, BatchStrat, BaselineG) pay-off values, one draw."""
+    rng_s, rng_r = spawn_rngs(rng, 2)
+    ensemble = generate_strategy_ensemble(n_strategies, "uniform", rng_s)
+    requests = generate_requests(m, k=min(k, n_strategies), seed=rng_r)
+    brute = batch_brute_force(
+        ensemble, requests, availability, "payoff",
+        aggregation="max", workforce_mode="strict",
+    )
+    batch = BatchStrat(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
+    ).run(requests, "payoff")
+    greedy = BaselineG(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
+    ).run(requests, "payoff")
+    return brute.objective_value, batch.objective_value, greedy.objective_value
+
+
+def run_fig16(repetitions: int = 5, seed: int = 43) -> ExperimentResult:
+    """Regenerate the three pay-off panels with approximation factors."""
+    result = ExperimentResult(
+        name="Figure 16: Objective Function and Approximation Factor for Payoff",
+        description=(
+            f"defaults |S|={DEFAULTS['n_strategies']}, m={DEFAULTS['m']}, "
+            f"k={DEFAULTS['k']}, W={DEFAULTS['availability']}; avg of "
+            f"{repetitions} runs."
+        ),
+    )
+    min_factor = 1.0
+    for parameter, values, label in (
+        ("k", SWEEP_VALUES, "k"),
+        ("m", M_SWEEP, "m"),
+        ("n_strategies", SWEEP_VALUES, "|S|"),
+    ):
+        brute_means, batch_means, greedy_means, factors = [], [], [], []
+        for i, value in enumerate(values):
+            config = dict(DEFAULTS)
+            config[parameter] = value
+            rngs = spawn_rngs(seed + 31 * i, repetitions)
+            samples = np.array(
+                [
+                    _payoffs(
+                        config["n_strategies"],
+                        config["m"],
+                        config["k"],
+                        config["availability"],
+                        rng,
+                    )
+                    for rng in rngs
+                ]
+            )
+            run_factors = [
+                s[1] / s[0] if s[0] > 0 else 1.0 for s in samples
+            ]
+            brute_means.append(float(samples[:, 0].mean()))
+            batch_means.append(float(samples[:, 1].mean()))
+            greedy_means.append(float(samples[:, 2].mean()))
+            factors.append(float(np.mean(run_factors)))
+            min_factor = min(min_factor, min(run_factors))
+        result.data[parameter] = {
+            "x": list(values),
+            "BruteForce": brute_means,
+            "BatchStrat": batch_means,
+            "BaselineG": greedy_means,
+            "approx_factor": factors,
+        }
+        result.add_table(
+            format_series(
+                label,
+                list(values),
+                {
+                    "BruteForce": brute_means,
+                    "BatchStrat": batch_means,
+                    "BaselineG": greedy_means,
+                    "approx factor": factors,
+                },
+                title=f"Panel: varying {label}",
+                precision=3,
+            )
+        )
+    result.data["min_factor"] = min_factor
+    result.add_note(
+        f"Worst observed approximation factor {min_factor:.3f} — always above "
+        "the 1/2 guarantee; the paper reports factors above 0.9 most of the time."
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Render a full reproduction report (all tables and figures).
+
+``python -m repro.experiments.report`` regenerates every experiment at
+reduced repetition counts and prints the combined report — the quickest
+way to eyeball the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.fig11_availability import run_fig11
+from repro.experiments.fig12_linearity import run_fig12
+from repro.experiments.fig13_effectiveness import run_fig13
+from repro.experiments.fig14_satisfied import run_fig14
+from repro.experiments.fig15_throughput import run_fig15
+from repro.experiments.fig16_payoff import run_fig16
+from repro.experiments.fig17_adpar_quality import run_fig17
+from repro.experiments.fig18_scalability import run_fig18_adpar, run_fig18_batch
+from repro.experiments.running_example import run_running_example
+from repro.experiments.table6_model_fits import run_table6
+
+ALL_EXPERIMENTS: "list[tuple[str, Callable]]" = [
+    ("running-example", run_running_example),
+    ("fig11", run_fig11),
+    ("table6", run_table6),
+    ("fig12", run_fig12),
+    ("fig13", run_fig13),
+    ("fig14", lambda: run_fig14(quick=True)),
+    ("fig15", run_fig15),
+    ("fig16", run_fig16),
+    ("fig17", lambda: run_fig17(quick=True)),
+    ("fig18-batch", run_fig18_batch),
+    ("fig18-adpar", lambda: run_fig18_adpar(quick=True)),
+]
+
+
+def full_report() -> str:
+    """Run everything and return the combined report text."""
+    blocks = []
+    for _, fn in ALL_EXPERIMENTS:
+        blocks.append(fn().render())
+    return "\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(full_report())

@@ -1,0 +1,75 @@
+"""Shared experiment plumbing: result containers and repetition helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    name: str
+    description: str
+    tables: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, rendered: str) -> None:
+        self.tables.append(rendered)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        parts = [f"=== {self.name} ===", self.description, ""]
+        for table in self.tables:
+            parts.append(table)
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts).rstrip() + "\n"
+
+
+def averaged_over_seeds(
+    fn: Callable[[np.random.Generator], float],
+    seed: int,
+    repetitions: int,
+) -> tuple[float, float]:
+    """Run ``fn`` with independent generators; return (mean, stderr).
+
+    This is the paper's "average of 10 runs is presented" protocol.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    rngs = spawn_rngs(seed, repetitions)
+    values = np.array([float(fn(rng)) for rng in rngs])
+    stderr = float(values.std(ddof=1) / np.sqrt(len(values))) if len(values) > 1 else 0.0
+    return float(values.mean()), stderr
+
+
+def sweep(
+    x_values: Sequence,
+    fn: Callable[[object, np.random.Generator], float],
+    seed: int,
+    repetitions: int,
+) -> tuple[list[float], list[float]]:
+    """Evaluate ``fn`` at each x value, averaged over seeds.
+
+    Returns parallel (means, stderrs) lists.
+    """
+    means, errs = [], []
+    for i, x in enumerate(x_values):
+        mean, err = averaged_over_seeds(
+            lambda rng, x=x: fn(x, rng), seed + 1000 * i, repetitions
+        )
+        means.append(mean)
+        errs.append(err)
+    return means, errs

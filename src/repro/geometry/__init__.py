@@ -1,0 +1,29 @@
+"""Computational-geometry substrate for ADPaR.
+
+ADPaR-Exact (paper §4) treats each strategy as a point in a 3-D
+smaller-is-better space and a deployment request as an axis-parallel box
+anchored at the origin.  This package provides those primitives plus the
+sweep-line event machinery the algorithm is built from.
+"""
+
+from repro.geometry.point import Point3
+from repro.geometry.box import Box3
+from repro.geometry.dominance import (
+    covers,
+    coverage_count,
+    covered_indices,
+    pareto_minima,
+)
+from repro.geometry.sweepline import SweepEvent, build_relaxation_events, ParetoSweep
+
+__all__ = [
+    "Point3",
+    "Box3",
+    "covers",
+    "coverage_count",
+    "covered_indices",
+    "pareto_minima",
+    "SweepEvent",
+    "build_relaxation_events",
+    "ParetoSweep",
+]

@@ -1,0 +1,96 @@
+"""Axis-parallel 3-D boxes (hyper-rectangles).
+
+Deployment requests are boxes anchored at the origin in the unified space
+(§4.1); the R-tree baseline additionally uses general boxes as minimum
+bounding boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.geometry.point import Point3
+
+
+@dataclass(frozen=True)
+class Box3:
+    """A closed axis-parallel box ``[lo, hi]`` in 3-D."""
+
+    lo: Point3
+    hi: Point3
+
+    def __post_init__(self):
+        if not self.lo.dominates(self.hi):
+            raise ValueError(f"box lo {self.lo} must be <= hi {self.hi} componentwise")
+
+    @classmethod
+    def from_origin(cls, hi: Point3) -> "Box3":
+        """The request box ``[0, hi]`` of §4.1."""
+        return cls(Point3(0.0, 0.0, 0.0), hi)
+
+    @classmethod
+    def bounding(cls, points: Iterable[Point3]) -> "Box3":
+        """Minimum bounding box of a non-empty point set."""
+        arr = np.array([[p.x, p.y, p.z] for p in points], dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot bound an empty point set")
+        lo = arr.min(axis=0)
+        hi = arr.max(axis=0)
+        return cls(Point3(*lo), Point3(*hi))
+
+    def contains(self, point: Point3) -> bool:
+        """True iff ``point`` lies inside the closed box."""
+        return self.lo.dominates(point) and point.dominates(self.hi)
+
+    def intersects(self, other: "Box3") -> bool:
+        """True iff the closed boxes share at least one point."""
+        return (
+            self.lo.x <= other.hi.x
+            and other.lo.x <= self.hi.x
+            and self.lo.y <= other.hi.y
+            and other.lo.y <= self.hi.y
+            and self.lo.z <= other.hi.z
+            and other.lo.z <= self.hi.z
+        )
+
+    def union(self, other: "Box3") -> "Box3":
+        """Smallest box containing both boxes."""
+        return Box3(
+            Point3(
+                min(self.lo.x, other.lo.x),
+                min(self.lo.y, other.lo.y),
+                min(self.lo.z, other.lo.z),
+            ),
+            Point3(
+                max(self.hi.x, other.hi.x),
+                max(self.hi.y, other.hi.y),
+                max(self.hi.z, other.hi.z),
+            ),
+        )
+
+    def volume(self) -> float:
+        """Product of side lengths."""
+        return (
+            (self.hi.x - self.lo.x)
+            * (self.hi.y - self.lo.y)
+            * (self.hi.z - self.lo.z)
+        )
+
+    def margin(self) -> float:
+        """Sum of side lengths (used by R-tree split heuristics)."""
+        return (
+            (self.hi.x - self.lo.x)
+            + (self.hi.y - self.lo.y)
+            + (self.hi.z - self.lo.z)
+        )
+
+    def enlargement(self, other: "Box3") -> float:
+        """Volume growth if ``other`` were merged into this box."""
+        return self.union(other).volume() - self.volume()
+
+    def top_right(self) -> Point3:
+        """The ``hi`` corner — what Baseline3 returns as alternative params."""
+        return self.hi

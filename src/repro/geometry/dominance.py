@@ -1,0 +1,63 @@
+"""Dominance/coverage predicates over point sets.
+
+"Coverage" is the paper's satisfaction relation in the unified space: an
+alternative deployment ``d'`` covers strategy ``s`` iff ``s <= d'``
+componentwise (every parameter of the strategy fits the relaxed bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point3, points_to_array
+
+
+def covers(candidate: Point3, strategy: Point3) -> bool:
+    """True iff ``candidate`` covers ``strategy`` (``strategy <= candidate``)."""
+    return strategy.dominates(candidate)
+
+
+def coverage_count(candidate: Point3, strategies: Sequence[Point3]) -> int:
+    """Number of strategies covered by ``candidate``."""
+    arr = points_to_array(list(strategies))
+    if arr.size == 0:
+        return 0
+    c = candidate.as_array()
+    return int((arr <= c + 1e-12).all(axis=1).sum())
+
+
+def covered_indices(candidate: Point3, strategies: Sequence[Point3]) -> list[int]:
+    """Indices of the strategies covered by ``candidate`` (ascending)."""
+    arr = points_to_array(list(strategies))
+    if arr.size == 0:
+        return []
+    c = candidate.as_array()
+    mask = (arr <= c + 1e-12).all(axis=1)
+    return [int(i) for i in np.flatnonzero(mask)]
+
+
+def pareto_minima(points: Sequence[Point3]) -> list[int]:
+    """Indices of the Pareto-minimal points (no other point dominates them).
+
+    Strategies that are Pareto-dominated can never be the *unique* reason a
+    relaxation is optimal, which is the geometric fact behind the paper's
+    sweep pruning (Figure 8).  Ties count as dominance only when the points
+    differ, so duplicate points are all kept.
+    """
+    pts = list(points)
+    arr = points_to_array(pts)
+    n = len(pts)
+    keep: list[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if j == i:
+                continue
+            if (arr[j] <= arr[i]).all() and (arr[j] < arr[i]).any():
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep

@@ -1,0 +1,70 @@
+"""3-D points in the unified smaller-is-better parameter space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DIMENSION_NAMES = ("cost", "quality", "latency")
+
+
+@dataclass(frozen=True)
+class Point3:
+    """An immutable point in the unified 3-D space.
+
+    By the paper's §4.1 convention all coordinates are normalized to
+    ``[0, 1]`` and *smaller is better*; quality has already been inverted
+    (``1 − quality``) by the caller.
+    """
+
+    x: float
+    y: float
+    z: float
+
+    def __post_init__(self):
+        for name, value in zip("xyz", (self.x, self.y, self.z)):
+            if not np.isfinite(value):
+                raise ValueError(f"coordinate {name} must be finite, got {value}")
+
+    def as_array(self) -> np.ndarray:
+        """Coordinates as a float ndarray of shape (3,)."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def dominates(self, other: "Point3") -> bool:
+        """True iff ``self <= other`` componentwise (weak dominance)."""
+        return self.x <= other.x and self.y <= other.y and self.z <= other.z
+
+    def distance_to(self, other: "Point3") -> float:
+        """Euclidean (ℓ2) distance — the ADPaR objective (Equation 3)."""
+        return float(
+            np.sqrt(
+                (self.x - other.x) ** 2
+                + (self.y - other.y) ** 2
+                + (self.z - other.z) ** 2
+            )
+        )
+
+    def clipped_relaxation_from(self, origin: "Point3") -> "Point3":
+        """Per-dimension relaxation needed for ``origin`` to cover ``self``.
+
+        This is the paper's Step-1 transform (Table 3): coordinates already
+        inside the request box map to 0.
+        """
+        return Point3(
+            max(self.x - origin.x, 0.0),
+            max(self.y - origin.y, 0.0),
+            max(self.z - origin.z, 0.0),
+        )
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+        yield self.z
+
+
+def points_to_array(points: "list[Point3]") -> np.ndarray:
+    """Stack points into an ``(n, 3)`` float array."""
+    if not points:
+        return np.empty((0, 3), dtype=float)
+    return np.array([[p.x, p.y, p.z] for p in points], dtype=float)

@@ -1,0 +1,117 @@
+"""Sweep-line machinery used by ADPaR-Exact.
+
+The paper (§4.1, Tables 2–5) sorts all ``3·|S|`` per-dimension relaxation
+values into one event list ``R`` with parallel index/dimension arrays
+``I``/``D``, then advances a cursor while maintaining which strategies are
+covered.  :func:`build_relaxation_events` constructs exactly that event
+list.  :class:`ParetoSweep` is the 2-D subroutine: given points with two
+remaining free dimensions it enumerates the Pareto frontier of
+``(Y, Z)`` pairs such that choosing bound ``(Y, Z)`` covers at least ``k``
+points — a sorted sweep over one dimension with a size-``k`` max-heap over
+the other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+DIM_LABELS = ("C", "Q", "L")
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One entry of the paper's sorted relaxation list.
+
+    ``value`` is the relaxation amount (list ``R``), ``strategy`` the
+    strategy index (list ``I``) and ``dimension`` the parameter index in
+    ``(cost, quality, latency)`` order (list ``D``, labels ``C/Q/L``).
+    """
+
+    value: float
+    strategy: int
+    dimension: int
+
+    @property
+    def dimension_label(self) -> str:
+        """Paper-style label of the relaxed parameter."""
+        return DIM_LABELS[self.dimension]
+
+
+def build_relaxation_events(relaxations: np.ndarray) -> list[SweepEvent]:
+    """Flatten an ``(n, 3)`` relaxation matrix into the sorted event list.
+
+    Ties are broken by (value, strategy, dimension) so the order — and hence
+    any trace output — is deterministic.
+    """
+    arr = np.asarray(relaxations, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValueError(f"relaxations must have shape (n, 3), got {arr.shape}")
+    events = [
+        SweepEvent(float(arr[i, d]), i, d)
+        for i in range(arr.shape[0])
+        for d in range(3)
+    ]
+    events.sort(key=lambda e: (e.value, e.strategy, e.dimension))
+    return events
+
+
+class ParetoSweep:
+    """Enumerate Pareto-optimal 2-D covering bounds for ``k`` points.
+
+    Given ``n`` points ``(y_i, z_i)`` (both smaller-is-better relaxations),
+    a bound ``(Y, Z)`` covers point ``i`` iff ``y_i <= Y`` and ``z_i <= Z``.
+    :meth:`frontier` yields every Pareto-minimal bound covering at least
+    ``k`` points, in increasing ``Y`` order, in ``O(n log n)``.
+
+    This is the discretized form of the paper's 2-D projection step
+    (Figure 5b): after fixing one parameter, the best completion relaxes the
+    remaining two to coordinates of actual strategies.
+    """
+
+    def __init__(self, ys: Sequence[float], zs: Sequence[float]):
+        self._ys = np.asarray(ys, dtype=float)
+        self._zs = np.asarray(zs, dtype=float)
+        if self._ys.shape != self._zs.shape or self._ys.ndim != 1:
+            raise ValueError("ys and zs must be equal-length 1-D sequences")
+
+    def frontier(self, k: int) -> Iterator[tuple[float, float]]:
+        """Yield Pareto-minimal ``(Y, Z)`` bounds covering >= k points."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        n = self._ys.size
+        if n < k:
+            return
+        order = np.lexsort((self._zs, self._ys))
+        heap: list[float] = []  # max-heap over z via negation
+        best_z = np.inf
+        for idx in order:
+            z = float(self._zs[idx])
+            if len(heap) < k:
+                heapq.heappush(heap, -z)
+            elif z < -heap[0]:
+                heapq.heapreplace(heap, -z)
+            else:
+                # z does not improve the k smallest so far; the bound at this
+                # Y is identical to the previous one — skip the duplicate.
+                continue
+            if len(heap) == k:
+                y_bound = float(self._ys[idx])
+                z_bound = -heap[0]
+                if z_bound < best_z:
+                    best_z = z_bound
+                    yield (y_bound, z_bound)
+
+    def best_bound(self, k: int) -> "tuple[float, float] | None":
+        """The frontier bound minimizing ``Y² + Z²`` (ADPaR's objective)."""
+        best = None
+        best_obj = np.inf
+        for y, z in self.frontier(k):
+            obj = y * y + z * z
+            if obj < best_obj:
+                best_obj = obj
+                best = (y, z)
+        return best

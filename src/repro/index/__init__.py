@@ -1,0 +1,5 @@
+"""Spatial indexing substrate (from-scratch R-tree) used by Baseline3."""
+
+from repro.index.rtree import RTree, RTreeNode
+
+__all__ = ["RTree", "RTreeNode"]

@@ -1,0 +1,309 @@
+"""A from-scratch R-tree over 3-D points.
+
+The paper's Baseline3 (§5.2.1) indexes strategy points with an R-tree
+(Beckmann et al.) and scans minimum bounding boxes for one containing
+exactly ``k`` strategies.  No third-party spatial index is available
+offline, so this module implements the classic structure:
+
+* Guttman-style insertion with least-enlargement descent and quadratic
+  split.
+* Sort-Tile-Recursive (STR) bulk loading for building large static indexes
+  quickly (this is what the experiments use).
+* Range queries, node iteration (for the MBB scan), and structural
+  invariant checks used by the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box3
+from repro.geometry.point import Point3
+
+
+@dataclass
+class RTreeNode:
+    """One R-tree node: a leaf holds point entries, an inner node holds children."""
+
+    is_leaf: bool
+    entries: list = field(default_factory=list)  # leaf: (Point3, payload)
+    children: "list[RTreeNode]" = field(default_factory=list)
+    mbb: "Box3 | None" = None
+
+    def recompute_mbb(self) -> None:
+        """Recompute this node's minimum bounding box from its contents."""
+        if self.is_leaf:
+            points = [point for point, _ in self.entries]
+        else:
+            points = []
+            for child in self.children:
+                if child.mbb is None:
+                    child.recompute_mbb()
+                points.extend([child.mbb.lo, child.mbb.hi])
+        self.mbb = Box3.bounding(points) if points else None
+
+    def count_points(self) -> int:
+        """Number of points stored in this subtree."""
+        if self.is_leaf:
+            return len(self.entries)
+        return sum(child.count_points() for child in self.children)
+
+
+class RTree:
+    """R-tree over :class:`Point3` with optional integer payloads."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def bulk_load(
+        cls,
+        points: Sequence[Point3],
+        payloads: "Sequence[int] | None" = None,
+        max_entries: int = 8,
+    ) -> "RTree":
+        """Build a packed R-tree with Sort-Tile-Recursive loading.
+
+        STR sorts by x, slices into vertical slabs, sorts each slab by y,
+        tiles into runs, sorts runs by z and packs leaves of ``max_entries``
+        points; parent levels are packed the same way over child MBB
+        centers.
+        """
+        tree = cls(max_entries=max_entries)
+        pts = list(points)
+        if payloads is None:
+            payloads = list(range(len(pts)))
+        if len(payloads) != len(pts):
+            raise ValueError("payloads must match points in length")
+        if not pts:
+            return tree
+        leaves = tree._pack_leaves(pts, list(payloads))
+        tree.root = tree._pack_upward(leaves)
+        tree._size = len(pts)
+        return tree
+
+    def _pack_leaves(self, points: list[Point3], payloads: list[int]) -> list[RTreeNode]:
+        cap = self.max_entries
+        n = len(points)
+        order = sorted(range(n), key=lambda i: (points[i].x, points[i].y, points[i].z))
+        leaf_count = int(np.ceil(n / cap))
+        slab_count = max(1, int(np.ceil(np.sqrt(leaf_count))))
+        slab_size = int(np.ceil(n / slab_count))
+        leaves: list[RTreeNode] = []
+        for s in range(0, n, slab_size):
+            slab = order[s : s + slab_size]
+            slab.sort(key=lambda i: (points[i].y, points[i].z, points[i].x))
+            for t in range(0, len(slab), cap):
+                chunk = slab[t : t + cap]
+                leaf = RTreeNode(
+                    is_leaf=True,
+                    entries=[(points[i], payloads[i]) for i in chunk],
+                )
+                leaf.recompute_mbb()
+                leaves.append(leaf)
+        return leaves
+
+    def _pack_upward(self, nodes: list[RTreeNode]) -> RTreeNode:
+        cap = self.max_entries
+        while len(nodes) > 1:
+            nodes.sort(
+                key=lambda nd: (
+                    (nd.mbb.lo.x + nd.mbb.hi.x),
+                    (nd.mbb.lo.y + nd.mbb.hi.y),
+                    (nd.mbb.lo.z + nd.mbb.hi.z),
+                )
+            )
+            parents: list[RTreeNode] = []
+            for i in range(0, len(nodes), cap):
+                parent = RTreeNode(is_leaf=False, children=nodes[i : i + cap])
+                parent.recompute_mbb()
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, point: Point3, payload: "int | None" = None) -> None:
+        """Insert one point (Guttman descent + quadratic split on overflow)."""
+        if payload is None:
+            payload = self._size
+        leaf, path = self._choose_leaf(point)
+        leaf.entries.append((point, payload))
+        leaf.recompute_mbb()
+        self._size += 1
+        self._handle_overflow(leaf, path)
+        for node in reversed(path):
+            node.recompute_mbb()
+
+    def _choose_leaf(self, point: Point3) -> tuple[RTreeNode, list[RTreeNode]]:
+        node = self.root
+        path: list[RTreeNode] = []
+        point_box = Box3(point, point)
+        while not node.is_leaf:
+            path.append(node)
+            best = None
+            best_key = None
+            for child in node.children:
+                enlargement = child.mbb.enlargement(point_box)
+                key = (enlargement, child.mbb.volume())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = child
+            node = best
+        return node, path
+
+    def _handle_overflow(self, node: RTreeNode, path: list[RTreeNode]) -> None:
+        while True:
+            count = len(node.entries) if node.is_leaf else len(node.children)
+            if count <= self.max_entries:
+                break
+            left, right = self._quadratic_split(node)
+            if path:
+                parent = path.pop()
+                parent.children.remove(node)
+                parent.children.extend([left, right])
+                parent.recompute_mbb()
+                node = parent
+            else:
+                new_root = RTreeNode(is_leaf=False, children=[left, right])
+                new_root.recompute_mbb()
+                self.root = new_root
+                break
+
+    def _quadratic_split(self, node: RTreeNode) -> tuple[RTreeNode, RTreeNode]:
+        if node.is_leaf:
+            items = node.entries
+            boxes = [Box3(p, p) for p, _ in items]
+        else:
+            items = node.children
+            boxes = [child.mbb for child in items]
+        seed_a, seed_b = self._pick_seeds(boxes)
+        groups: list[list[int]] = [[seed_a], [seed_b]]
+        group_boxes = [boxes[seed_a], boxes[seed_b]]
+        remaining = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
+        while remaining:
+            # Stop distributing freely if one group must absorb the rest to
+            # reach min_entries.
+            for g in (0, 1):
+                need = self.min_entries - len(groups[g])
+                if need > 0 and need >= len(remaining):
+                    groups[g].extend(remaining)
+                    for i in remaining:
+                        group_boxes[g] = group_boxes[g].union(boxes[i])
+                    remaining = []
+                    break
+            if not remaining:
+                break
+            # Pick the item with the largest preference difference.
+            best_i = None
+            best_diff = -1.0
+            for i in remaining:
+                d0 = group_boxes[0].enlargement(boxes[i])
+                d1 = group_boxes[1].enlargement(boxes[i])
+                diff = abs(d0 - d1)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_i = i
+                    best_d = (d0, d1)
+            g = 0 if best_d[0] <= best_d[1] else 1
+            groups[g].append(best_i)
+            group_boxes[g] = group_boxes[g].union(boxes[best_i])
+            remaining.remove(best_i)
+
+        def make(indices: list[int]) -> RTreeNode:
+            if node.is_leaf:
+                fresh = RTreeNode(is_leaf=True, entries=[items[i] for i in indices])
+            else:
+                fresh = RTreeNode(is_leaf=False, children=[items[i] for i in indices])
+            fresh.recompute_mbb()
+            return fresh
+
+        return make(groups[0]), make(groups[1])
+
+    @staticmethod
+    def _pick_seeds(boxes: list[Box3]) -> tuple[int, int]:
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = (
+                    boxes[i].union(boxes[j]).volume()
+                    - boxes[i].volume()
+                    - boxes[j].volume()
+                )
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    # ------------------------------------------------------------------ query
+    def query_box(self, box: Box3) -> list[tuple[Point3, int]]:
+        """All (point, payload) pairs inside the closed ``box``."""
+        results: list[tuple[Point3, int]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbb is None or not node.mbb.intersects(box):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    (p, payload) for p, payload in node.entries if box.contains(p)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def iter_nodes(self) -> Iterator[RTreeNode]:
+        """Depth-first iteration over all nodes (Baseline3's MBB scan)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is violated.
+
+        Checked: MBBs tightly contain contents, fanout bounds hold for
+        non-root nodes, all leaves are at the same depth, and the point
+        count matches ``len(tree)``.
+        """
+        if self._size == 0:
+            assert self.root.is_leaf and not self.root.entries
+            return
+        leaf_depths: set[int] = set()
+        total = 0
+
+        def visit(node: RTreeNode, depth: int, is_root: bool) -> None:
+            nonlocal total
+            count = len(node.entries) if node.is_leaf else len(node.children)
+            if not is_root:
+                assert count >= 1, "non-root node is empty"
+                assert count <= self.max_entries, "node overflows max_entries"
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                total += count
+                for point, _ in node.entries:
+                    assert node.mbb.contains(point), "leaf MBB does not contain point"
+            else:
+                for child in node.children:
+                    assert node.mbb.contains(child.mbb.lo), "MBB misses child lo"
+                    assert node.mbb.contains(child.mbb.hi), "MBB misses child hi"
+                    visit(child, depth + 1, False)
+
+        visit(self.root, 0, True)
+        assert len(leaf_depths) == 1, f"leaves at unequal depths: {leaf_depths}"
+        assert total == self._size, f"stored {total} points, expected {self._size}"

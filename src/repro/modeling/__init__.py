@@ -1,0 +1,17 @@
+"""Parameter modeling: linear models, worker availability, calibration."""
+
+from repro.modeling.linear import LinearModel, LinearFit, fit_linear
+from repro.modeling.availability import AvailabilityDistribution
+from repro.modeling.modelbank import ParamModels, ModelBank
+from repro.modeling.calibration import CalibrationResult, calibrate_from_observations
+
+__all__ = [
+    "LinearModel",
+    "LinearFit",
+    "fit_linear",
+    "AvailabilityDistribution",
+    "ParamModels",
+    "ModelBank",
+    "CalibrationResult",
+    "calibrate_from_observations",
+]

@@ -1,0 +1,101 @@
+"""Worker availability as a discrete probability distribution.
+
+§2.1: availability is a discrete random variable over the *proportion* of
+suitable workers available within the deployment horizon; StratRec works
+with its expectation.  The paper's running example: 50% chance of 700 and
+50% chance of 900 out of 1000 suitable workers ⇒ E[W] = 0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_probability_vector
+
+
+@dataclass(frozen=True)
+class AvailabilityDistribution:
+    """Discrete pdf over availability fractions in ``[0, 1]``."""
+
+    fractions: tuple[float, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self):
+        probs = check_probability_vector("probabilities", self.probabilities)
+        fracs = np.asarray(self.fractions, dtype=float)
+        if fracs.shape != probs.shape:
+            raise ValueError("fractions and probabilities must have equal length")
+        if ((fracs < 0) | (fracs > 1)).any():
+            raise ValueError("availability fractions must lie in [0, 1]")
+
+    @classmethod
+    def point(cls, fraction: float) -> "AvailabilityDistribution":
+        """A deterministic availability level."""
+        return cls((float(fraction),), (1.0,))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[float, float]]
+    ) -> "AvailabilityDistribution":
+        """Build from ``(fraction, probability)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            raise ValueError("need at least one (fraction, probability) pair")
+        fractions, probabilities = zip(*pairs)
+        return cls(tuple(map(float, fractions)), tuple(map(float, probabilities)))
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], bins: int = 10
+    ) -> "AvailabilityDistribution":
+        """Empirical pdf from observed availability fractions (platform history).
+
+        Samples are histogrammed into ``bins`` equal-width cells over
+        ``[0, 1]``; each non-empty cell contributes its within-cell mean with
+        its relative frequency.
+        """
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        if ((arr < 0) | (arr > 1)).any():
+            raise ValueError("samples must lie in [0, 1]")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        which = np.clip(np.digitize(arr, edges) - 1, 0, bins - 1)
+        fractions = []
+        probabilities = []
+        for b in range(bins):
+            mask = which == b
+            if mask.any():
+                fractions.append(float(arr[mask].mean()))
+                probabilities.append(float(mask.sum()) / arr.size)
+        return cls(tuple(fractions), tuple(probabilities))
+
+    def expectation(self) -> float:
+        """Expected availability ``E[W]`` — the value StratRec plans with."""
+        fracs = np.asarray(self.fractions)
+        probs = np.asarray(self.probabilities)
+        return float((fracs * probs).sum())
+
+    def variance(self) -> float:
+        """Variance of the availability fraction."""
+        fracs = np.asarray(self.fractions)
+        probs = np.asarray(self.probabilities)
+        mean = self.expectation()
+        return float((probs * (fracs - mean) ** 2).sum())
+
+    def expected_workers(self, pool_size: int) -> float:
+        """Expected head-count given a suitable pool of ``pool_size`` workers."""
+        if pool_size < 0:
+            raise ValueError("pool_size must be >= 0")
+        return self.expectation() * pool_size
+
+    def sample(self, rng: np.random.Generator, size: "int | None" = None):
+        """Draw availability fractions from the pdf."""
+        return rng.choice(
+            np.asarray(self.fractions), size=size, p=np.asarray(self.probabilities)
+        )

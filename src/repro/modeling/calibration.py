@@ -1,0 +1,86 @@
+"""Calibration: fit per-(task, strategy) parameter models from observations.
+
+The real-data pipeline of §5.1.1: deploy a (task type, strategy) pair at
+several availability levels, observe quality/cost/latency, fit the linear
+models and register them in a :class:`~repro.modeling.modelbank.ModelBank`.
+Table 6 is exactly the (α, β) table this produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.modeling.linear import LinearFit, fit_linear
+from repro.modeling.modelbank import ModelBank, ParamModels
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One deployment's observed operating point."""
+
+    availability: float
+    quality: float
+    cost: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted models plus diagnostics for one (task type, strategy) pair."""
+
+    task_type: str
+    strategy_name: str
+    quality_fit: LinearFit
+    cost_fit: LinearFit
+    latency_fit: LinearFit
+
+    @property
+    def models(self) -> ParamModels:
+        """The fitted :class:`ParamModels`, ready for the model bank."""
+        return ParamModels(
+            quality=self.quality_fit.model,
+            cost=self.cost_fit.model,
+            latency=self.latency_fit.model,
+        )
+
+    def rows(self) -> list[list]:
+        """Table 6-style rows: parameter name, α, β, R²."""
+        return [
+            ["Quality", self.quality_fit.alpha, self.quality_fit.beta, self.quality_fit.r_squared],
+            ["Cost", self.cost_fit.alpha, self.cost_fit.beta, self.cost_fit.r_squared],
+            ["Latency", self.latency_fit.alpha, self.latency_fit.beta, self.latency_fit.r_squared],
+        ]
+
+
+def calibrate_from_observations(
+    task_type: str,
+    strategy_name: str,
+    observations: Sequence[Observation],
+    confidence: float = 0.90,
+) -> CalibrationResult:
+    """Fit the three linear models from observed deployments."""
+    observations = list(observations)
+    if len(observations) < 3:
+        raise ValueError(
+            f"need at least 3 observations to calibrate, got {len(observations)}"
+        )
+    availability = [o.availability for o in observations]
+    return CalibrationResult(
+        task_type=task_type,
+        strategy_name=strategy_name,
+        quality_fit=fit_linear(availability, [o.quality for o in observations], confidence),
+        cost_fit=fit_linear(availability, [o.cost for o in observations], confidence),
+        latency_fit=fit_linear(availability, [o.latency for o in observations], confidence),
+    )
+
+
+def calibrate_bank(
+    results: Iterable[CalibrationResult], bank: "ModelBank | None" = None
+) -> ModelBank:
+    """Register calibration results into a model bank."""
+    if bank is None:
+        bank = ModelBank()
+    for result in results:
+        bank.register(result.task_type, result.strategy_name, result.models)
+    return bank

@@ -1,0 +1,108 @@
+"""Linear parameter models (Equation 4): ``parameter = α·w + β``.
+
+Each (strategy, task-type, parameter) combination carries one such model.
+The forward direction estimates the parameter at a given worker
+availability; the inverse direction (``solve_for_input``) recovers the
+workforce needed to hit a requested threshold, which is how the workforce
+requirement matrix of §3.2 is computed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.stats.significance import SlopeSignificance, linear_fit_significance
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """``value(w) = alpha * w + beta`` over availability ``w ∈ [0, 1]``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self):
+        if not (math.isfinite(self.alpha) and math.isfinite(self.beta)):
+            raise ValueError(f"alpha/beta must be finite, got {self.alpha}, {self.beta}")
+
+    @property
+    def increasing(self) -> bool:
+        """True iff the parameter grows with availability (quality, cost)."""
+        return self.alpha > 0
+
+    @property
+    def decreasing(self) -> bool:
+        """True iff the parameter shrinks with availability (latency)."""
+        return self.alpha < 0
+
+    def predict(self, w: "float | np.ndarray") -> "float | np.ndarray":
+        """Parameter value at availability ``w``."""
+        return self.alpha * w + self.beta
+
+    def solve_for_input(self, target: float) -> float:
+        """Availability at which the model hits ``target`` (may fall outside [0,1]).
+
+        Raises ``ZeroDivisionError``-style ``ValueError`` for constant models;
+        callers handle those explicitly because the feasibility answer is
+        then all-or-nothing.
+        """
+        if self.alpha == 0:
+            raise ValueError("constant model has no unique solution")
+        return (target - self.beta) / self.alpha
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(alpha, beta)`` — the form Table 6 reports."""
+        return (self.alpha, self.beta)
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted :class:`LinearModel` plus goodness-of-fit diagnostics."""
+
+    model: LinearModel
+    r_squared: float
+    residual_std: float
+    significance: SlopeSignificance
+
+    @property
+    def alpha(self) -> float:
+        return self.model.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.model.beta
+
+
+def fit_linear(
+    availability: Iterable[float],
+    values: Iterable[float],
+    confidence: float = 0.90,
+) -> LinearFit:
+    """OLS-fit a :class:`LinearModel` from observed (availability, value) pairs.
+
+    This is the curve-fitting step of §5.1.1 question 2; ``confidence``
+    defaults to the paper's 90% interval.
+    """
+    x = np.asarray(list(availability), dtype=float)
+    y = np.asarray(list(values), dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"availability and values differ in length ({x.size} vs {y.size})")
+    if x.size < 3:
+        raise ValueError("need at least 3 observations to fit a line with diagnostics")
+    if np.allclose(x, x[0]):
+        raise ValueError("availability values are all identical; slope is unidentifiable")
+    sig = linear_fit_significance(x, y, confidence=confidence)
+    model = LinearModel(alpha=sig.slope, beta=sig.intercept)
+    residuals = y - model.predict(x)
+    dof = max(x.size - 2, 1)
+    residual_std = float(np.sqrt((residuals**2).sum() / dof))
+    return LinearFit(
+        model=model,
+        r_squared=sig.r_squared,
+        residual_std=residual_std,
+        significance=sig,
+    )

@@ -1,0 +1,148 @@
+"""Per-strategy parameter model bundles and the model bank.
+
+:class:`ParamModels` bundles the three linear models (quality, cost,
+latency) of one strategy for one task type and implements the §3.2
+workforce inversion.  :class:`ModelBank` is the registry the Aggregator
+consults ("Deployment Strategy Modeling" box in Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.params import TriParams
+from repro.exceptions import UnknownStrategyError
+from repro.modeling.linear import LinearModel
+
+_WORKFORCE_MODES = ("paper", "strict")
+
+
+def _threshold_workforce(model: LinearModel, target: float, lower_bound: bool) -> float:
+    """Workforce at which ``model`` meets a threshold.
+
+    ``lower_bound=True`` means the parameter must reach *at least*
+    ``target`` (quality); ``False`` means *at most* ``target``
+    (cost/latency).  Returns 0.0 when the threshold already holds with no
+    workers, ``inf`` when no workforce in ``[0, ∞)`` can meet it.
+    """
+    if model.alpha == 0:
+        satisfied = model.beta >= target if lower_bound else model.beta <= target
+        return 0.0 if satisfied else math.inf
+    w = model.solve_for_input(target)
+    # Determine on which side of w the threshold holds.
+    grows_toward_target = model.alpha > 0 if lower_bound else model.alpha < 0
+    if grows_toward_target:
+        # Need w or more workers; negative w means always satisfied.
+        return max(w, 0.0)
+    # Threshold holds for w or fewer workers: satisfied at zero workforce
+    # if w >= 0, impossible otherwise.  Under the paper's uniform max-rule
+    # the solved value itself is used; the caller decides.
+    return max(w, 0.0) if w >= 0 else math.inf
+
+
+@dataclass(frozen=True)
+class ParamModels:
+    """The (quality, cost, latency) linear models of one strategy."""
+
+    quality: LinearModel
+    cost: LinearModel
+    latency: LinearModel
+
+    @classmethod
+    def constant(cls, params: TriParams) -> "ParamModels":
+        """Models with α = 0 pinning the parameters at ``params``."""
+        return cls(
+            quality=LinearModel(0.0, params.quality),
+            cost=LinearModel(0.0, params.cost),
+            latency=LinearModel(0.0, params.latency),
+        )
+
+    def estimate(self, availability: float) -> TriParams:
+        """Estimated parameters at availability ``W`` (Equation 4), clipped
+        to the normalized ``[0, 1]`` range."""
+        clip = lambda v: min(max(float(v), 0.0), 1.0)
+        return TriParams(
+            quality=clip(self.quality.predict(availability)),
+            cost=clip(self.cost.predict(availability)),
+            latency=clip(self.latency.predict(availability)),
+        )
+
+    def workforce_components(self, request: TriParams) -> tuple[float, float, float]:
+        """``(w_q, w_c, w_l)`` — per-parameter workforce by Eq. 4 inversion.
+
+        Quality needs *at least* its threshold, cost/latency *at most*
+        theirs.  Each component is the minimal workforce making its own
+        constraint hold (0 if free, ``inf`` if impossible).
+        """
+        w_q = _threshold_workforce(self.quality, request.quality, lower_bound=True)
+        w_c = _threshold_workforce(self.cost, request.cost, lower_bound=False)
+        w_l = _threshold_workforce(self.latency, request.latency, lower_bound=False)
+        return (w_q, w_c, w_l)
+
+    def workforce_required(self, request: TriParams, mode: str = "paper") -> float:
+        """Workforce requirement ``w_ij`` for one (deployment, strategy) pair.
+
+        ``mode="paper"`` (default) is the paper's rule: solve each equality
+        and take the max of the three (Figure 3a).  ``mode="strict"``
+        recognizes that cost *increases* with workforce, so the cost
+        equation is a budget cap: the requirement is ``max(w_q, w_l)``,
+        infeasible (``inf``) when that exceeds the cap.
+        """
+        if mode not in _WORKFORCE_MODES:
+            raise ValueError(f"mode must be one of {_WORKFORCE_MODES}, got {mode!r}")
+        w_q, w_c, w_l = self.workforce_components(request)
+        if mode == "paper":
+            return max(w_q, w_c, w_l)
+        # strict mode: cost bounds from above.
+        requirement = max(w_q, w_l)
+        if self.cost.alpha > 0:
+            cap = self.cost.solve_for_input(request.cost)
+            if requirement > cap + 1e-12:
+                return math.inf
+        elif self.cost.alpha == 0 and self.cost.beta > request.cost + 1e-12:
+            return math.inf
+        # Decreasing cost models (alpha < 0) relax with workforce; w_c above
+        # already contributes the floor.
+        if self.cost.alpha < 0:
+            requirement = max(requirement, w_c)
+        return requirement
+
+
+class ModelBank:
+    """Registry of :class:`ParamModels` keyed by (task_type, strategy name).
+
+    Filled by calibration from historical deployments and consulted by the
+    Aggregator when estimating strategy parameters for incoming requests.
+    """
+
+    def __init__(self):
+        self._models: dict[tuple[str, str], ParamModels] = {}
+
+    def register(self, task_type: str, strategy_name: str, models: ParamModels) -> None:
+        """Register (replacing any previous entry)."""
+        self._models[(task_type, strategy_name)] = models
+
+    def get(self, task_type: str, strategy_name: str) -> ParamModels:
+        """Look up models; raises :class:`UnknownStrategyError` if absent."""
+        try:
+            return self._models[(task_type, strategy_name)]
+        except KeyError:
+            raise UnknownStrategyError(
+                f"no models for task_type={task_type!r}, strategy={strategy_name!r}"
+            ) from None
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def items(self) -> Iterator[tuple[tuple[str, str], ParamModels]]:
+        """Iterate over ((task_type, strategy_name), models) pairs."""
+        return iter(sorted(self._models.items()))
+
+    def strategies_for(self, task_type: str) -> list[str]:
+        """Strategy names with models for ``task_type``."""
+        return sorted(name for (task, name) in self._models if task == task_type)

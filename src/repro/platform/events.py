@@ -1,0 +1,71 @@
+"""A small discrete-event simulation engine.
+
+Drives the worker arrival/departure process inside
+:class:`~repro.platform.simulator.PlatformSimulator`.  Events are
+(time, kind, payload) records processed in time order; handlers may
+schedule further events, so Poisson arrival chains unfold naturally.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """One scheduled event."""
+
+    time: float
+    kind: str
+    payload: object = None
+
+
+class DiscreteEventSimulator:
+    """Minimal priority-queue DES with per-kind handlers.
+
+    Handlers are callables ``(sim, event) -> None`` registered per event
+    kind; they may call :meth:`schedule` to enqueue follow-up events.
+    Processing stops at ``horizon`` (events beyond it are dropped).
+    """
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._handlers: dict[str, Callable] = {}
+        self.now = 0.0
+        self.processed = 0
+
+    def on(self, kind: str, handler: Callable) -> None:
+        """Register (or replace) the handler for an event kind."""
+        self._handlers[kind] = handler
+
+    def schedule(self, event: Event) -> None:
+        """Enqueue an event; events in the past are rejected."""
+        if event.time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before now={self.now}"
+            )
+        heapq.heappush(self._queue, (event.time, next(self._counter), event))
+
+    def run(self, horizon: float) -> int:
+        """Process events in time order up to ``horizon``; returns the count."""
+        if horizon < self.now:
+            raise ValueError("horizon must be >= current time")
+        processed_before = self.processed
+        while self._queue and self._queue[0][0] <= horizon:
+            time, _, event = heapq.heappop(self._queue)
+            self.now = time
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise KeyError(f"no handler registered for event kind {event.kind!r}")
+            handler(self, event)
+            self.processed += 1
+        self.now = horizon
+        return self.processed - processed_before
+
+    def pending(self) -> int:
+        """Number of queued (not yet processed) events."""
+        return len(self._queue)

@@ -1,0 +1,70 @@
+"""Platform history: the raw material for availability estimation.
+
+§2.1: the availability pdf "is computed from historical data on workers'
+arrival and departure on a platform".  The history log accumulates
+per-window availability observations; estimators turn them into
+:class:`~repro.modeling.availability.AvailabilityDistribution` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.modeling.availability import AvailabilityDistribution
+
+
+@dataclass(frozen=True)
+class AvailabilityRecord:
+    """One observed deployment's availability."""
+
+    window_name: str
+    task_type: str
+    strategy_name: str
+    availability: float
+
+
+class HistoryLog:
+    """Append-only log of availability observations."""
+
+    def __init__(self):
+        self._records: list[AvailabilityRecord] = []
+
+    def add(self, record: AvailabilityRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[AvailabilityRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        task_type: "str | None" = None,
+        window_name: "str | None" = None,
+        strategy_name: "str | None" = None,
+    ) -> list[AvailabilityRecord]:
+        """Filtered view of the log."""
+        out = self._records
+        if task_type is not None:
+            out = [r for r in out if r.task_type == task_type]
+        if window_name is not None:
+            out = [r for r in out if r.window_name == window_name]
+        if strategy_name is not None:
+            out = [r for r in out if r.strategy_name == strategy_name]
+        return list(out)
+
+    def samples(self, task_type: "str | None" = None, **filters) -> list[float]:
+        """Availability fractions matching the filters."""
+        return [r.availability for r in self.records(task_type=task_type, **filters)]
+
+    def estimate_distribution(
+        self, task_type: "str | None" = None, bins: int = 10, **filters
+    ) -> AvailabilityDistribution:
+        """Empirical availability pdf for a task type (what StratRec plans with)."""
+        samples = self.samples(task_type=task_type, **filters)
+        if not samples:
+            raise ValueError("no history records match the requested filters")
+        return AvailabilityDistribution.from_samples(samples, bins=bins)

@@ -1,0 +1,52 @@
+"""HITs (Human Intelligence Tasks) and qualification tests.
+
+Matches the paper's deployment design (§5.1.1): a HIT bundles a few
+collaborative tasks, caps the number of workers, pays a fixed reward when
+a worker spends enough time, and runs for a bounded window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.worker import Worker
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class HIT:
+    """One deployed HIT."""
+
+    hit_id: str
+    task_type: str
+    tasks_per_hit: int = 3
+    max_workers: int = 10
+    reward_usd: float = 2.0
+    min_minutes: float = 10.0
+    window_hours: float = 72.0
+
+    def __post_init__(self):
+        check_positive_int("tasks_per_hit", self.tasks_per_hit)
+        check_positive_int("max_workers", self.max_workers)
+        check_non_negative("reward_usd", self.reward_usd)
+        check_non_negative("min_minutes", self.min_minutes)
+        if self.window_hours <= 0:
+            raise ValueError("window_hours must be > 0")
+
+    def payout(self, minutes_spent: float) -> float:
+        """Reward paid iff the worker spent at least the minimum time."""
+        return self.reward_usd if minutes_spent >= self.min_minutes else 0.0
+
+
+@dataclass(frozen=True)
+class QualificationTest:
+    """The pre-deployment test of §5.1.1 (threshold 80%)."""
+
+    task_type: str
+    threshold: float = 0.80
+
+    def passes(self, worker: Worker, rng: np.random.Generator) -> bool:
+        """Whether ``worker`` clears the bar for this task type."""
+        return worker.qualification_score(self.task_type, rng) >= self.threshold

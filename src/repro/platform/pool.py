@@ -1,0 +1,94 @@
+"""The platform's worker pool and recruitment filtering.
+
+Recruitment reproduces §5.1.1: approval rate above 90%, location filters
+for translation (US or India), education filters for creation (US-based
+with a Bachelor's degree), then a qualification test with an 80% bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.platform.worker import Worker
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class RecruitmentPolicy:
+    """Filters applied before workers may take a HIT."""
+
+    min_approval_rate: float = 0.90
+    countries: "tuple[str, ...] | None" = None
+    education: "tuple[str, ...] | None" = None
+    qualification_threshold: float = 0.80
+
+    @classmethod
+    def for_task_type(cls, task_type: str) -> "RecruitmentPolicy":
+        """The paper's per-task recruitment policies."""
+        if task_type == "translation":
+            return cls(countries=("US", "IN"))
+        if task_type == "creation":
+            return cls(countries=("US",), education=("bachelor", "master"))
+        return cls()
+
+    def admits(self, worker: Worker) -> bool:
+        """Attribute-level screen (before the qualification test)."""
+        if worker.approval_rate < self.min_approval_rate:
+            return False
+        if self.countries is not None and worker.country not in self.countries:
+            return False
+        if self.education is not None and worker.education not in self.education:
+            return False
+        return True
+
+
+class WorkerPool:
+    """All workers registered on the platform."""
+
+    def __init__(self, workers: Sequence[Worker]):
+        self._workers = list(workers)
+        ids = [w.worker_id for w in self._workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("worker ids must be unique")
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def suitable_for(self, task_type: str) -> list[Worker]:
+        """Workers whose skills match the task type (the binary match)."""
+        return [w for w in self._workers if w.suits(task_type)]
+
+    def recruit(
+        self,
+        task_type: str,
+        policy: "RecruitmentPolicy | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        limit: "int | None" = None,
+    ) -> list[Worker]:
+        """Recruit qualified workers for a task type (§5.1.1 step 1).
+
+        Applies the attribute screen, runs the qualification test, keeps
+        workers scoring at or above the threshold, optionally capped at
+        ``limit`` (highest scores first).
+        """
+        rng = ensure_rng(seed)
+        if policy is None:
+            policy = RecruitmentPolicy.for_task_type(task_type)
+        scored = []
+        for worker in self.suitable_for(task_type):
+            if not policy.admits(worker):
+                continue
+            score = worker.qualification_score(task_type, rng)
+            if score >= policy.qualification_threshold:
+                scored.append((score, worker))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].worker_id))
+        recruited = [worker for _, worker in scored]
+        if limit is not None:
+            recruited = recruited[:limit]
+        return recruited

@@ -1,0 +1,89 @@
+"""Crowd workers: skills, speed, reliability, recruitment attributes.
+
+Workers carry the attributes the paper filters on when recruiting
+(§5.1.1): HIT-approval rate, location, and education, plus the latent
+skill/speed traits the execution engine draws contributions from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+COUNTRIES = ("US", "IN", "FR", "DE", "PH")
+EDUCATION_LEVELS = ("high-school", "bachelor", "master")
+DEFAULT_TASK_TYPES = ("translation", "creation")
+
+
+@dataclass(frozen=True)
+class Worker:
+    """One crowd worker."""
+
+    worker_id: str
+    skills: frozenset
+    skill_level: float  # latent contribution quality in [0, 1]
+    speed: float  # throughput multiplier, ~1.0 is average
+    approval_rate: float  # historical HIT approval in [0, 1]
+    country: str = "US"
+    education: str = "bachelor"
+
+    def __post_init__(self):
+        check_fraction("skill_level", self.skill_level)
+        check_fraction("approval_rate", self.approval_rate)
+        if self.speed <= 0:
+            raise ValueError(f"speed must be > 0, got {self.speed}")
+
+    def suits(self, task_type: str) -> bool:
+        """Binary skill/task-type match (§1: "binary match between workers'
+        skills and task types")."""
+        return task_type in self.skills
+
+    def qualification_score(self, task_type: str, rng: np.random.Generator) -> float:
+        """Score on a qualification test for ``task_type`` (§5.1.1 step 1).
+
+        Skill shines through with test noise; unskilled workers score low.
+        """
+        base = self.skill_level if self.suits(task_type) else 0.3 * self.skill_level
+        noise = rng.normal(0.0, 0.05)
+        return float(min(max(base + noise, 0.0), 1.0))
+
+
+def generate_workers(
+    count: int,
+    seed: "int | np.random.Generator | None" = None,
+    task_types: "tuple[str, ...]" = DEFAULT_TASK_TYPES,
+    skill_mean: float = 0.75,
+    skill_std: float = 0.12,
+) -> list[Worker]:
+    """Generate a synthetic worker population.
+
+    Skill levels are normal around ``skill_mean`` (clipped to [0, 1]); each
+    worker is skilled in a random non-empty subset of ``task_types``;
+    approval rates skew high the way public platforms do.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = ensure_rng(seed)
+    workers = []
+    for i in range(count):
+        n_skills = int(rng.integers(1, len(task_types) + 1))
+        skills = frozenset(
+            rng.choice(len(task_types), size=n_skills, replace=False).tolist()
+        )
+        skill_names = frozenset(task_types[j] for j in skills)
+        workers.append(
+            Worker(
+                worker_id=f"w{i:05d}",
+                skills=skill_names,
+                skill_level=float(np.clip(rng.normal(skill_mean, skill_std), 0.0, 1.0)),
+                speed=float(np.clip(rng.normal(1.0, 0.2), 0.4, 2.0)),
+                approval_rate=float(np.clip(rng.beta(18, 2), 0.0, 1.0)),
+                country=str(rng.choice(COUNTRIES)),
+                education=str(rng.choice(EDUCATION_LEVELS)),
+            )
+        )
+    return workers

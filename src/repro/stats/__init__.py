@@ -1,0 +1,19 @@
+"""Descriptive statistics and significance tests used by the evaluation."""
+
+from repro.stats.descriptive import Summary, summarize, standard_error
+from repro.stats.significance import (
+    TTestResult,
+    welch_t_test,
+    paired_t_test,
+    linear_fit_significance,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "standard_error",
+    "TTestResult",
+    "welch_t_test",
+    "paired_t_test",
+    "linear_fit_significance",
+]

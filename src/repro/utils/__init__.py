@@ -1,0 +1,20 @@
+"""Shared utilities: seeded randomness, ASCII tables, validation helpers."""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_vector",
+]

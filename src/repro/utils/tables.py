@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned ASCII tables so benches
+and examples are readable without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: "str | None" = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered = [[_fmt_cell(cell, precision) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: "str | None" = None,
+    precision: int = 4,
+) -> str:
+    """Render one figure panel: an x column plus one column per named series.
+
+    This matches how the paper's figures are tabulated in EXPERIMENTS.md —
+    each plotted line becomes a column.
+    """
+    headers = [x_label] + list(series)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, precision=precision)

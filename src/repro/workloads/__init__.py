@@ -1,0 +1,25 @@
+"""Synthetic workload generation (the §5.2 experimental setup)."""
+
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    generate_adpar_points,
+    generate_requests,
+    generate_strategy_ensemble,
+)
+from repro.workloads.scenarios import (
+    BatchScenario,
+    ADPaRScenario,
+    default_batch_scenario,
+    default_adpar_scenario,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate_strategy_ensemble",
+    "generate_requests",
+    "generate_adpar_points",
+    "BatchScenario",
+    "ADPaRScenario",
+    "default_batch_scenario",
+    "default_adpar_scenario",
+]

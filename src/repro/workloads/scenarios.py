@@ -1,0 +1,84 @@
+"""Named experiment scenarios with the paper's default parameters.
+
+§5.2.2: batch experiments default to ``|S| = 10000, m = 10, k = 10,
+W = 0.5`` (quality sweeps) and ``|S| = 30, m = 5, k = 10, W = 0.5`` when
+brute force must participate; ADPaR defaults to ``|S| = 200, k = 5``
+(``|S| = 20, k = 5`` with brute force).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.workloads.generators import (
+    generate_adpar_points,
+    generate_requests,
+    generate_strategy_ensemble,
+    hard_request_for,
+)
+
+
+@dataclass(frozen=True)
+class BatchScenario:
+    """One batch-deployment experiment configuration."""
+
+    n_strategies: int = 10_000
+    m_requests: int = 10
+    k: int = 10
+    availability: float = 0.5
+    distribution: str = "uniform"
+    seed: int = 7
+
+    def build(self) -> tuple[StrategyEnsemble, list[DeploymentRequest]]:
+        """Materialize the ensemble and request batch."""
+        rng_strategies, rng_requests = spawn_rngs(self.seed, 2)
+        ensemble = generate_strategy_ensemble(
+            self.n_strategies, self.distribution, rng_strategies
+        )
+        requests = generate_requests(self.m_requests, self.k, rng_requests)
+        return ensemble, requests
+
+    def with_(self, **overrides) -> "BatchScenario":
+        """Copy with overrides (sweep helper)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ADPaRScenario:
+    """One ADPaR experiment configuration."""
+
+    n_strategies: int = 200
+    k: int = 5
+    distribution: str = "uniform"
+    seed: int = 11
+    tightness: float = 0.15
+
+    def build(self) -> tuple[StrategyEnsemble, TriParams]:
+        """Materialize the strategy points and a hard request."""
+        rng_points, rng_request = spawn_rngs(self.seed, 2)
+        points = generate_adpar_points(self.n_strategies, self.distribution, rng_points)
+        request = hard_request_for(points, rng_request, tightness=self.tightness)
+        ensemble = StrategyEnsemble.from_params(points)
+        return ensemble, request
+
+    def with_(self, **overrides) -> "ADPaRScenario":
+        """Copy with overrides (sweep helper)."""
+        return replace(self, **overrides)
+
+
+def default_batch_scenario(brute_force: bool = False) -> BatchScenario:
+    """Paper defaults; the brute-force variant shrinks to tractable sizes."""
+    if brute_force:
+        return BatchScenario(n_strategies=30, m_requests=5, k=10, availability=0.5)
+    return BatchScenario()
+
+
+def default_adpar_scenario(brute_force: bool = False) -> ADPaRScenario:
+    """Paper defaults for ADPaR quality experiments."""
+    if brute_force:
+        return ADPaRScenario(n_strategies=20, k=5)
+    return ADPaRScenario()

@@ -1,0 +1,51 @@
+"""Shared fixtures: the paper's running example and small synthetic worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import TriParams
+from repro.core.request import make_requests
+from repro.core.strategy import StrategyEnsemble
+from repro.modeling.linear import LinearModel
+from repro.modeling.modelbank import ParamModels
+
+
+@pytest.fixture
+def table1_strategies() -> list[TriParams]:
+    """Table 1's s1..s4 parameter triples."""
+    return [
+        TriParams(0.5, 0.25, 0.28),
+        TriParams(0.75, 0.33, 0.28),
+        TriParams(0.8, 0.5, 0.14),
+        TriParams(0.88, 0.58, 0.14),
+    ]
+
+
+@pytest.fixture
+def table1_ensemble(table1_strategies) -> StrategyEnsemble:
+    return StrategyEnsemble.from_params(table1_strategies)
+
+
+@pytest.fixture
+def table1_requests():
+    """Table 1's d1..d3 with k=3."""
+    return make_requests(
+        [(0.4, 0.17, 0.28), (0.8, 0.2, 0.28), (0.7, 0.83, 0.28)], k=3
+    )
+
+
+@pytest.fixture
+def linear_param_models() -> ParamModels:
+    """A realistic modeled strategy: quality/cost rise, latency falls."""
+    return ParamModels(
+        quality=LinearModel(0.09, 0.85),
+        cost=LinearModel(1.00, 0.00),
+        latency=LinearModel(-0.98, 1.40),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

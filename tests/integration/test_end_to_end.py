@@ -1,0 +1,124 @@
+"""Integration test: the full pipeline the paper's architecture implies.
+
+platform history -> availability estimation -> execution-engine probes ->
+calibration -> model bank -> StratRec -> recommended deployment ->
+executed outcome meeting the requester's thresholds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.stratrec import StratRec
+from repro.execution.engine import ExecutionEngine
+from repro.execution.tasks import make_translation_tasks
+from repro.modeling.calibration import calibrate_bank, calibrate_from_observations
+from repro.platform.history import AvailabilityRecord, HistoryLog
+from repro.platform.pool import WorkerPool
+from repro.platform.simulator import PAPER_WINDOWS, PlatformSimulator
+from repro.platform.worker import generate_workers
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Build the whole stack once."""
+    seed = 77
+    pool = WorkerPool(generate_workers(400, seed=seed))
+    simulator = PlatformSimulator(pool, seed=seed + 1)
+    engine = ExecutionEngine()
+
+    # 1. Availability estimation from repeated window deployments.
+    history = HistoryLog()
+    for window in PAPER_WINDOWS:
+        for _ in range(4):
+            obs = simulator.run_window(window, "translation")
+            history.add(
+                AvailabilityRecord(
+                    window.name, "translation", "SEQ-IND-CRO", obs.availability
+                )
+            )
+    availability = history.estimate_distribution(task_type="translation", bins=8)
+
+    # 2. Calibration probes along an availability ladder for two strategies.
+    rng = np.random.default_rng(seed + 2)
+    workers = pool.recruit("translation", seed=seed + 3)
+    results = []
+    for strategy_name in ("SEQ-IND-CRO", "SIM-COL-CRO"):
+        observations = []
+        tasks = iter(make_translation_tasks(20, seed=rng))
+        for level in (0.6, 0.7, 0.8, 0.9, 1.0):
+            for _ in range(3):
+                outcome = engine.run(
+                    strategy_name, next(tasks), level, workers=workers, seed=rng
+                )
+                observations.append(outcome.observation())
+        results.append(
+            calibrate_from_observations("translation", strategy_name, observations)
+        )
+    bank = calibrate_bank(results)
+
+    # 3. The middle layer.
+    stratrec = StratRec(bank, availability)
+    return pool, engine, availability, bank, stratrec
+
+
+class TestEndToEnd:
+    def test_availability_estimate_sane(self, pipeline):
+        _, _, availability, _, _ = pipeline
+        assert 0.3 <= availability.expectation() <= 1.0
+
+    def test_bank_has_both_strategies(self, pipeline):
+        _, _, _, bank, _ = pipeline
+        assert bank.strategies_for("translation") == ["SEQ-IND-CRO", "SIM-COL-CRO"]
+
+    def test_recommendation_and_execution_meet_thresholds(self, pipeline):
+        pool, engine, availability, _, stratrec = pipeline
+        request = DeploymentRequest(
+            "campaign",
+            TriParams(quality=0.7, cost=0.9, latency=1.0),
+            k=1,
+            task_type="translation",
+        )
+        advice = stratrec.recommend_strategy(request)
+        assert advice.best_strategy in ("SEQ-IND-CRO", "SIM-COL-CRO")
+
+        # Execute with the recommended strategy at the estimated availability;
+        # the observed quality should clear the threshold on average.
+        rng = np.random.default_rng(5)
+        workers = pool.recruit("translation", seed=6)
+        tasks = make_translation_tasks(6, seed=7)
+        outcomes = [
+            engine.run(
+                advice.best_strategy,
+                task,
+                availability.expectation(),
+                workers=workers,
+                seed=rng,
+            )
+            for task in tasks
+        ]
+        assert float(np.mean([o.quality for o in outcomes])) >= 0.7
+
+    def test_batch_path_produces_resolutions(self, pipeline):
+        _, _, _, _, stratrec = pipeline
+        requests = [
+            DeploymentRequest(
+                f"r{i}",
+                TriParams(quality=0.7, cost=0.5 + 0.1 * i, latency=1.0),
+                k=1,
+                task_type="translation",
+            )
+            for i in range(4)
+        ]
+        report = stratrec.deploy_batch(requests)
+        assert len(report.resolutions) == 4
+        for resolution in report.resolutions:
+            assert resolution.status.value in {"satisfied", "alternative", "infeasible"}
+
+    def test_calibrated_models_close_to_ground_truth(self, pipeline):
+        _, _, _, bank, _ = pipeline
+        models = bank.get("translation", "SEQ-IND-CRO")
+        assert models.quality.alpha == pytest.approx(0.09, abs=0.08)
+        assert models.cost.alpha == pytest.approx(1.0, abs=0.1)
+        assert models.latency.alpha == pytest.approx(-0.98, abs=0.35)

@@ -1,0 +1,39 @@
+"""Integration test: the paper's running example end to end."""
+
+import pytest
+
+from repro.experiments.running_example import build_example, run_running_example
+
+
+class TestRunningExample:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_running_example()
+
+    def test_d3_satisfied_by_paper_strategies(self, result):
+        assert result.data["satisfied"]["d3"] == ["s2", "s3", "s4"]
+
+    def test_d1_and_d2_satisfied_by_none(self, result):
+        assert result.data["satisfied"]["d1"] == []
+        assert result.data["satisfied"]["d2"] == []
+
+    def test_d1_alternative_matches_paper(self, result):
+        d1 = result.data["d1"]
+        assert d1.alternative.as_tuple() == pytest.approx((0.4, 0.5, 0.28))
+        assert set(d1.strategy_names) == {"s1", "s2", "s3"}
+
+    def test_d2_documented_correction(self, result):
+        d2 = result.data["d2"]
+        assert d2.alternative.as_tuple() == pytest.approx((0.75, 0.58, 0.28))
+        assert d2.distance < 0.4243  # tighter than the paper's stated answer
+
+    def test_render_contains_all_tables(self, result):
+        text = result.render()
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "ADPaR answers"):
+            assert marker in text
+
+    def test_build_example_shapes(self):
+        ensemble, requests = build_example()
+        assert len(ensemble) == 4
+        assert [r.request_id for r in requests] == ["d1", "d2", "d3"]
+        assert all(r.k == 3 for r in requests)

@@ -1,0 +1,101 @@
+"""Property-based tests for ADPaR: exactness against brute force (Theorem 4)
+and structural invariants of the returned alternative."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.adpar_bruteforce import adpar_brute_force
+from repro.baselines.adpar_onedim import OneDimBaseline
+from repro.baselines.adpar_rtree import RTreeBaseline
+from repro.core.adpar import ADPaRExact
+from repro.core.params import TriParams
+from repro.core.strategy import StrategyEnsemble
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+params_strategy = st.builds(TriParams, quality=unit, cost=unit, latency=unit)
+
+
+@st.composite
+def adpar_instances(draw, max_points=9):
+    points = draw(st.lists(params_strategy, min_size=1, max_size=max_points))
+    request = draw(params_strategy)
+    k = draw(st.integers(min_value=1, max_value=len(points)))
+    return points, request, k
+
+
+@settings(max_examples=150, deadline=None)
+@given(adpar_instances())
+def test_exact_matches_brute_force_objective(instance):
+    """ADPaR-Exact's objective equals the exhaustive optimum (Theorem 4)."""
+    points, request, k = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    exact = ADPaRExact(ensemble).solve(request, k)
+    brute = adpar_brute_force(ensemble, request, k)
+    assert math.isclose(exact.squared_distance, brute.squared_distance, abs_tol=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(adpar_instances())
+def test_alternative_covers_k_and_only_relaxes(instance):
+    points, request, k = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    result = ADPaRExact(ensemble).solve(request, k)
+    alt = result.alternative
+    # Only relaxation: quality never raised, cost/latency never tightened.
+    assert alt.quality <= request.quality + 1e-9
+    assert alt.cost >= request.cost - 1e-9
+    assert alt.latency >= request.latency - 1e-9
+    # Coverage: at least k strategies satisfy the alternative.
+    covered = sum(1 for p in points if alt.satisfied_by(p))
+    assert covered >= k
+    assert len(result.strategy_indices) == k
+    # The returned strategies themselves satisfy the alternative.
+    for index in result.strategy_indices:
+        assert alt.satisfied_by(points[index])
+
+
+@settings(max_examples=100, deadline=None)
+@given(adpar_instances())
+def test_exact_dominates_heuristic_baselines(instance):
+    points, request, k = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    exact = ADPaRExact(ensemble).solve(request, k).distance
+    b2 = OneDimBaseline(ensemble).solve(request, k).distance
+    b3 = RTreeBaseline(ensemble).solve(request, k).distance
+    assert exact <= b2 + 1e-9
+    assert exact <= b3 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(adpar_instances())
+def test_distance_monotone_in_k(instance):
+    """Lemma 1's corollary: covering more strategies never costs less."""
+    points, request, _ = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    solver = ADPaRExact(ensemble)
+    distances = [solver.solve(request, k).distance for k in range(1, len(points) + 1)]
+    assert all(a <= b + 1e-9 for a, b in zip(distances, distances[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(adpar_instances())
+def test_satisfiable_requests_need_no_relaxation(instance):
+    points, request, _ = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    satisfied = sum(1 for p in points if request.satisfied_by(p))
+    if satisfied >= 1:
+        result = ADPaRExact(ensemble).solve(request, satisfied)
+        assert result.squared_distance <= 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(adpar_instances(), unit)
+def test_idempotent_on_alternative(instance, _):
+    """Re-solving with the alternative as the request changes nothing."""
+    points, request, k = instance
+    ensemble = StrategyEnsemble.from_params(points)
+    first = ADPaRExact(ensemble).solve(request, k)
+    second = ADPaRExact(ensemble).solve(first.alternative, k)
+    assert second.squared_distance <= 1e-12

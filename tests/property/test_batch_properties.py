@@ -1,0 +1,112 @@
+"""Property-based tests for BatchStrat: Theorem 2 (throughput exactness),
+Theorem 3 (pay-off 1/2-approximation) and greedy sanity invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.baselines.batch_greedy import BaselineG
+from repro.core.batchstrat import BatchStrat
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def batch_instances(draw):
+    """Small random worlds where brute force stays tractable.
+
+    Strategies are modeled with a cost slope of 1 so every request's
+    workforce requirement is its cost threshold — a clean knapsack.
+    """
+    n_strategies = draw(st.integers(min_value=1, max_value=4))
+    alpha = np.zeros((n_strategies, 3))
+    beta = np.zeros((n_strategies, 3))
+    for j in range(n_strategies):
+        alpha[j] = [0.0, 1.0, 0.0]
+        beta[j] = [draw(unit), 0.0, draw(unit)]
+    ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+    m = draw(st.integers(min_value=1, max_value=8))
+    requests = []
+    for i in range(m):
+        requests.append(
+            DeploymentRequest(
+                f"d{i}",
+                TriParams(draw(unit), draw(unit), draw(unit)),
+                k=draw(st.integers(min_value=1, max_value=n_strategies)),
+            )
+        )
+    availability = draw(unit)
+    return ensemble, requests, availability
+
+
+@settings(max_examples=120, deadline=None)
+@given(batch_instances())
+def test_throughput_greedy_is_exact(instance):
+    """Theorem 2: BatchStrat matches brute force on throughput."""
+    ensemble, requests, availability = instance
+    greedy = BatchStrat(ensemble, availability).run(requests, "throughput")
+    brute = batch_brute_force(ensemble, requests, availability, "throughput")
+    assert greedy.objective_value == brute.objective_value
+
+
+@settings(max_examples=120, deadline=None)
+@given(batch_instances())
+def test_payoff_at_least_half_of_optimum(instance):
+    """Theorem 3: BatchStrat pay-off is at least OPT/2."""
+    ensemble, requests, availability = instance
+    greedy = BatchStrat(ensemble, availability).run(requests, "payoff")
+    brute = batch_brute_force(ensemble, requests, availability, "payoff")
+    assert greedy.objective_value >= brute.objective_value / 2 - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch_instances())
+def test_baseline_g_never_beats_batchstrat(instance):
+    ensemble, requests, availability = instance
+    for objective in ("throughput", "payoff"):
+        baseline = BaselineG(ensemble, availability).run(requests, objective)
+        batch = BatchStrat(ensemble, availability).run(requests, objective)
+        assert baseline.objective_value <= batch.objective_value + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch_instances())
+def test_capacity_respected_and_outcome_consistent(instance):
+    ensemble, requests, availability = instance
+    outcome = BatchStrat(ensemble, availability).run(requests, "throughput")
+    assert outcome.workforce_used <= availability + 1e-6
+    np.testing.assert_allclose(
+        outcome.workforce_used,
+        sum(rec.workforce for rec in outcome.satisfied),
+        atol=1e-9,
+    )
+    # Every request is accounted for exactly once.
+    total = len(outcome.satisfied) + len(outcome.unsatisfied) + len(outcome.infeasible)
+    assert total == len(requests)
+    # Objective equals the satisfied count for throughput.
+    assert outcome.objective_value == len(outcome.satisfied)
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch_instances())
+def test_recommendations_satisfy_request_cardinality(instance):
+    ensemble, requests, availability = instance
+    outcome = BatchStrat(ensemble, availability).run(requests, "throughput")
+    by_id = {r.request_id: r for r in requests}
+    for rec in outcome.satisfied:
+        assert len(rec.strategy_names) == by_id[rec.request_id].k
+
+
+@settings(max_examples=80, deadline=None)
+@given(batch_instances(), unit)
+def test_more_workforce_never_hurts(instance, extra):
+    """Monotonicity: raising W never lowers the optimal greedy objective."""
+    ensemble, requests, availability = instance
+    higher = min(availability + extra, 1.0)
+    low = BatchStrat(ensemble, availability).run(requests, "throughput")
+    high = BatchStrat(ensemble, higher).run(requests, "throughput")
+    assert high.objective_value >= low.objective_value

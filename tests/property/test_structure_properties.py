@@ -1,0 +1,118 @@
+"""Property-based tests for the structural substrates: R-tree invariants,
+ParetoSweep correctness, and workforce monotonicity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.workforce import WorkforceComputer
+from repro.geometry.box import Box3
+from repro.geometry.point import Point3
+from repro.geometry.sweepline import ParetoSweep
+from repro.index.rtree import RTree
+from repro.workloads.generators import generate_strategy_ensemble
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+point_strategy = st.builds(Point3, unit, unit, unit)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(point_strategy, min_size=1, max_size=80))
+def test_rtree_bulk_load_invariants_and_query(points):
+    tree = RTree.bulk_load(points, max_entries=4)
+    tree.check_invariants()
+    box = Box3(Point3(0.25, 0.25, 0.25), Point3(0.75, 0.75, 0.75))
+    got = sorted(payload for _, payload in tree.query_box(box))
+    expected = sorted(i for i, p in enumerate(points) if box.contains(p))
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(point_strategy, min_size=1, max_size=40))
+def test_rtree_insert_invariants(points):
+    tree = RTree(max_entries=4)
+    for i, point in enumerate(points):
+        tree.insert(point, i)
+    tree.check_invariants()
+    assert len(tree) == len(points)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.tuples(unit, unit), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=10),
+)
+def test_pareto_sweep_bounds_cover_and_are_optimal(pairs, k):
+    ys = [p[0] for p in pairs]
+    zs = [p[1] for p in pairs]
+    sweep = ParetoSweep(ys, zs)
+    best = sweep.best_bound(k)
+    if len(pairs) < k:
+        assert best is None
+        return
+    assert best is not None
+    y, z = best
+    covered = sum(1 for a, b in zip(ys, zs) if a <= y + 1e-12 and b <= z + 1e-12)
+    assert covered >= k
+    # Optimality against naive enumeration of candidate pairs.
+    naive = min(
+        (
+            max(yv for yv in subset_y) ** 2 + max(zv for zv in subset_z) ** 2
+            for subset_y, subset_z in _k_subsets(ys, zs, k)
+        ),
+        default=None,
+    )
+    if naive is not None:
+        assert y * y + z * z <= naive + 1e-9
+
+
+def _k_subsets(ys, zs, k, cap=300):
+    """Bounded enumeration of k-subsets for the optimality check."""
+    from itertools import combinations, islice
+
+    indices = range(len(ys))
+    for subset in islice(combinations(indices, k), cap):
+        yield [ys[i] for i in subset], [zs[i] for i in subset]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=60),
+    unit,
+    unit,
+    unit,
+    st.sampled_from(["paper", "strict"]),
+)
+def test_workforce_monotone_in_request_looseness(n, quality, cost, latency, mode):
+    """A looser request never needs more workforce, cell by cell."""
+    ensemble = generate_strategy_ensemble(n, "uniform", seed=7)
+    tight = TriParams(quality, cost, latency)
+    loose = TriParams(
+        max(quality - 0.1, 0.0), min(cost + 0.1, 1.0), min(latency + 0.1, 1.0)
+    )
+    computer = WorkforceComputer(ensemble, mode=mode)
+    row_tight = computer.row(tight)
+    row_loose = computer.row(loose)
+    if mode == "strict":
+        assert (row_loose <= row_tight + 1e-9).all()
+    else:
+        # Paper mode: the cost equality term can grow with a looser budget;
+        # quality/latency components still shrink, so check feasibility only.
+        finite_tight = np.isfinite(row_tight)
+        assert np.isfinite(row_loose[finite_tight]).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=1, max_value=5))
+def test_workforce_aggregate_monotone_in_k(n, k):
+    ensemble = generate_strategy_ensemble(n, "uniform", seed=3)
+    computer = WorkforceComputer(ensemble, mode="strict")
+    params = TriParams(0.4, 0.8, 0.8)
+    smaller = computer.aggregate(DeploymentRequest("a", params, k=k))
+    bigger = computer.aggregate(
+        DeploymentRequest("b", params, k=min(k + 1, n))
+    )
+    if smaller.feasible and bigger.feasible:
+        assert bigger.requirement >= smaller.requirement - 1e-9

@@ -1,0 +1,149 @@
+"""Unit tests for ADPaR-Exact (§4)."""
+
+import math
+
+import pytest
+
+from repro.core.adpar import ADPaRExact
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+
+
+class TestRunningExample:
+    def test_d1_matches_paper(self, table1_ensemble):
+        result = ADPaRExact(table1_ensemble).solve(TriParams(0.4, 0.17, 0.28), 3)
+        assert result.alternative.as_tuple() == pytest.approx((0.4, 0.5, 0.28))
+        assert set(result.strategy_names) == {"s1", "s2", "s3"}
+        assert result.distance == pytest.approx(0.33)
+
+    def test_d2_true_optimum(self, table1_ensemble):
+        """The paper's stated answer for d2 is internally inconsistent; the
+        actual optimum covers s2, s3, s4 (see DESIGN.md)."""
+        result = ADPaRExact(table1_ensemble).solve(TriParams(0.8, 0.2, 0.28), 3)
+        assert result.alternative.as_tuple() == pytest.approx((0.75, 0.58, 0.28))
+        assert set(result.strategy_names) == {"s2", "s3", "s4"}
+        assert result.distance == pytest.approx(math.sqrt(0.05**2 + 0.38**2))
+
+    def test_satisfiable_request_is_unchanged(self, table1_ensemble):
+        result = ADPaRExact(table1_ensemble).solve(TriParams(0.7, 0.83, 0.28), 3)
+        assert result.unchanged
+        assert result.distance == 0.0
+        assert result.alternative.as_tuple() == pytest.approx((0.7, 0.83, 0.28))
+
+
+class TestContract:
+    def test_accepts_deployment_request(self, table1_ensemble):
+        req = DeploymentRequest("d", TriParams(0.4, 0.17, 0.28), k=3)
+        result = ADPaRExact(table1_ensemble).solve(req)
+        assert result.distance == pytest.approx(0.33)
+
+    def test_bare_params_need_k(self, table1_ensemble):
+        with pytest.raises(ValueError):
+            ADPaRExact(table1_ensemble).solve(TriParams(0.4, 0.17, 0.28))
+
+    def test_k_zero_rejected(self, table1_ensemble):
+        with pytest.raises(ValueError):
+            ADPaRExact(table1_ensemble).solve(TriParams(0.4, 0.17, 0.28), 0)
+
+    def test_k_above_catalog_infeasible(self, table1_ensemble):
+        with pytest.raises(InfeasibleRequestError):
+            ADPaRExact(table1_ensemble).solve(TriParams(0.4, 0.17, 0.28), 5)
+
+    def test_alternative_always_covers_k(self, table1_ensemble):
+        for k in (1, 2, 3, 4):
+            result = ADPaRExact(table1_ensemble).solve(TriParams(0.9, 0.1, 0.1), k)
+            assert len(result.strategy_indices) == k
+            params = table1_ensemble.estimate_params(1.0)
+            covered = sum(
+                1 for p in params if result.alternative.satisfied_by(p)
+            )
+            assert covered >= k
+
+    def test_relaxation_only_loosens(self, table1_ensemble):
+        original = TriParams(0.9, 0.1, 0.1)
+        result = ADPaRExact(table1_ensemble).solve(original, 2)
+        alt = result.alternative
+        assert alt.quality <= original.quality + 1e-12
+        assert alt.cost >= original.cost - 1e-12
+        assert alt.latency >= original.latency - 1e-12
+
+    def test_distance_consistent_with_params(self, table1_ensemble):
+        original = TriParams(0.9, 0.1, 0.1)
+        result = ADPaRExact(table1_ensemble).solve(original, 2)
+        assert result.distance == pytest.approx(original.distance_to(result.alternative))
+
+    def test_monotone_in_k(self, table1_ensemble):
+        original = TriParams(0.9, 0.1, 0.1)
+        solver = ADPaRExact(table1_ensemble)
+        distances = [solver.solve(original, k).distance for k in (1, 2, 3, 4)]
+        assert distances == sorted(distances)
+
+
+class TestAvailabilityCoupling:
+    def test_modeled_strategies_estimated_at_availability(self, linear_param_models):
+        from repro.core.strategy import StrategyProfile, paper_catalog
+
+        ensemble = StrategyEnsemble(
+            [StrategyProfile(paper_catalog()[1], linear_param_models, label="m")]
+        )
+        # At W=1: (0.94, 1.0, 0.42); request exactly that -> no relaxation.
+        request = TriParams(0.94, 1.0, 0.42)
+        result = ADPaRExact(ensemble, availability=1.0).solve(request, 1)
+        assert result.distance == pytest.approx(0.0)
+        # At W=0.5 quality drops to 0.895 -> quality must relax.
+        result_low = ADPaRExact(ensemble, availability=0.5).solve(request, 1)
+        assert result_low.distance > 0
+
+
+class TestTrace:
+    def test_trace_tables_shapes(self, table1_ensemble):
+        trace = ADPaRExact(table1_ensemble).trace(TriParams(0.8, 0.2, 0.28), 3)
+        assert trace.relaxations.shape == (4, 3)
+        assert len(trace.events) == 12  # 3·|S|
+        assert len(trace.sweep_orders) == 3
+        assert trace.coverage_matrix.shape == (4, 3)
+
+    def test_trace_events_sorted(self, table1_ensemble):
+        trace = ADPaRExact(table1_ensemble).trace(TriParams(0.8, 0.2, 0.28), 3)
+        values = [e.value for e in trace.events]
+        assert values == sorted(values)
+
+    def test_trace_relaxations_match_paper_table3(self, table1_ensemble):
+        trace = ADPaRExact(table1_ensemble).trace(TriParams(0.8, 0.2, 0.28), 3)
+        # Table 3 (cost column): 0.05, 0.13, 0.30, 0.38
+        assert trace.relaxations[:, 0].tolist() == pytest.approx(
+            [0.05, 0.13, 0.30, 0.38]
+        )
+        # Quality column: 0.30, 0.05, 0.0, 0.0
+        assert trace.relaxations[:, 1].tolist() == pytest.approx(
+            [0.30, 0.05, 0.0, 0.0]
+        )
+        # Latency column: all zero.
+        assert trace.relaxations[:, 2].tolist() == pytest.approx([0, 0, 0, 0])
+
+    def test_trace_result_matches_solve(self, table1_ensemble):
+        solver = ADPaRExact(table1_ensemble)
+        assert solver.trace(TriParams(0.8, 0.2, 0.28), 3).result.distance == (
+            pytest.approx(solver.solve(TriParams(0.8, 0.2, 0.28), 3).distance)
+        )
+
+    def test_coverage_matrix_counts_covered_strategies(self, table1_ensemble):
+        trace = ADPaRExact(table1_ensemble).trace(TriParams(0.8, 0.2, 0.28), 3)
+        fully_covered = trace.coverage_matrix.all(axis=1).sum()
+        assert fully_covered >= 3
+
+
+class TestDuplicatesAndTies:
+    def test_duplicate_strategies_counted_separately(self):
+        point = TriParams(0.8, 0.5, 0.5)
+        ensemble = StrategyEnsemble.from_params([point, point, point])
+        result = ADPaRExact(ensemble).solve(TriParams(0.9, 0.1, 0.1), 3)
+        assert len(result.strategy_indices) == 3
+        assert result.alternative.cost == pytest.approx(0.5)
+
+    def test_single_strategy_k1(self):
+        ensemble = StrategyEnsemble.from_params([TriParams(0.6, 0.4, 0.3)])
+        result = ADPaRExact(ensemble).solve(TriParams(0.9, 0.2, 0.2), 1)
+        assert result.alternative.as_tuple() == pytest.approx((0.6, 0.4, 0.3))

@@ -1,0 +1,113 @@
+"""Unit tests for the ADPaR baselines (ADPaRB, Baseline2, Baseline3)."""
+
+import pytest
+
+from repro.baselines.adpar_bruteforce import adpar_brute_force
+from repro.baselines.adpar_onedim import OneDimBaseline
+from repro.baselines.adpar_rtree import RTreeBaseline
+from repro.core.adpar import ADPaRExact
+from repro.core.params import TriParams
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError
+
+
+HARD_REQUEST = TriParams(0.8, 0.2, 0.28)
+
+
+class TestADPaRB:
+    def test_matches_exact_on_table1(self, table1_ensemble):
+        exact = ADPaRExact(table1_ensemble).solve(HARD_REQUEST, 3)
+        brute = adpar_brute_force(table1_ensemble, HARD_REQUEST, 3)
+        assert brute.distance == pytest.approx(exact.distance)
+        assert brute.alternative.as_tuple() == pytest.approx(
+            exact.alternative.as_tuple()
+        )
+
+    def test_k_above_catalog_infeasible(self, table1_ensemble):
+        with pytest.raises(InfeasibleRequestError):
+            adpar_brute_force(table1_ensemble, HARD_REQUEST, 9)
+
+    def test_subset_budget_guard(self):
+        points = [TriParams(0.5, 0.5, 0.5)] * 60
+        ensemble = StrategyEnsemble.from_params(points)
+        with pytest.raises(ValueError):
+            adpar_brute_force(ensemble, HARD_REQUEST, 20)
+
+    def test_bare_params_need_k(self, table1_ensemble):
+        with pytest.raises(ValueError):
+            adpar_brute_force(table1_ensemble, HARD_REQUEST)
+
+
+class TestBaseline2:
+    def test_single_dimension_case(self, table1_ensemble):
+        """For d1 only cost must relax, so Baseline2 finds the optimum."""
+        d1 = TriParams(0.4, 0.17, 0.28)
+        result = OneDimBaseline(table1_ensemble).solve(d1, 3)
+        assert result.alternative.as_tuple() == pytest.approx((0.4, 0.5, 0.28))
+
+    def test_never_better_than_exact(self, table1_ensemble):
+        exact = ADPaRExact(table1_ensemble).solve(HARD_REQUEST, 3)
+        baseline = OneDimBaseline(table1_ensemble).solve(HARD_REQUEST, 3)
+        assert baseline.distance >= exact.distance - 1e-12
+
+    def test_result_covers_k(self, table1_ensemble):
+        result = OneDimBaseline(table1_ensemble).solve(HARD_REQUEST, 3)
+        params = table1_ensemble.estimate_params(1.0)
+        covered = sum(1 for p in params if result.alternative.satisfied_by(p))
+        assert covered >= 3
+        assert len(result.strategy_indices) == 3
+
+    def test_multi_dim_fallback_still_covers(self, table1_ensemble):
+        """A request needing relaxation in several dimensions at once."""
+        request = TriParams(0.95, 0.05, 0.05)
+        result = OneDimBaseline(table1_ensemble).solve(request, 3)
+        params = table1_ensemble.estimate_params(1.0)
+        covered = sum(1 for p in params if result.alternative.satisfied_by(p))
+        assert covered >= 3
+
+    def test_k_above_catalog_infeasible(self, table1_ensemble):
+        with pytest.raises(InfeasibleRequestError):
+            OneDimBaseline(table1_ensemble).solve(HARD_REQUEST, 5)
+
+
+class TestBaseline3:
+    def test_result_covers_at_least_k(self, table1_ensemble):
+        result = RTreeBaseline(table1_ensemble).solve(HARD_REQUEST, 3)
+        params = table1_ensemble.estimate_params(1.0)
+        covered = sum(1 for p in params if result.alternative.satisfied_by(p))
+        assert covered >= 3
+        assert len(result.strategy_indices) == 3
+
+    def test_never_better_than_exact(self, table1_ensemble):
+        exact = ADPaRExact(table1_ensemble).solve(HARD_REQUEST, 3)
+        baseline = RTreeBaseline(table1_ensemble).solve(HARD_REQUEST, 3)
+        assert baseline.distance >= exact.distance - 1e-12
+
+    def test_larger_cloud(self):
+        from repro.workloads.generators import generate_adpar_points, hard_request_for
+
+        points = generate_adpar_points(60, seed=1)
+        request = hard_request_for(points, seed=2)
+        ensemble = StrategyEnsemble.from_params(points)
+        result = RTreeBaseline(ensemble).solve(request, 5)
+        covered = sum(1 for p in points if result.alternative.satisfied_by(p))
+        assert covered >= 5
+
+    def test_k_above_catalog_infeasible(self, table1_ensemble):
+        with pytest.raises(InfeasibleRequestError):
+            RTreeBaseline(table1_ensemble).solve(HARD_REQUEST, 5)
+
+
+def test_baseline_ordering_on_random_clouds():
+    """Expected Figure 17 ordering: exact <= baseline2, baseline3."""
+    from repro.workloads.generators import generate_adpar_points, hard_request_for
+
+    for seed in range(8):
+        points = generate_adpar_points(40, seed=seed)
+        request = hard_request_for(points, seed=seed + 100)
+        ensemble = StrategyEnsemble.from_params(points)
+        exact = ADPaRExact(ensemble).solve(request, 5).distance
+        b2 = OneDimBaseline(ensemble).solve(request, 5).distance
+        b3 = RTreeBaseline(ensemble).solve(request, 5).distance
+        assert exact <= b2 + 1e-9
+        assert exact <= b3 + 1e-9

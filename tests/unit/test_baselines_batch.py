@@ -1,0 +1,111 @@
+"""Unit tests for the batch deployment baselines."""
+
+import pytest
+
+from repro.baselines.batch_bruteforce import MAX_BRUTE_FORCE_M, batch_brute_force
+from repro.baselines.batch_greedy import BaselineG
+from repro.core.batchstrat import BatchStrat
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest, make_requests
+from repro.core.strategy import StrategyEnsemble
+
+import numpy as np
+
+
+@pytest.fixture
+def modeled():
+    """One strategy whose workforce requirement equals the cost threshold."""
+    alpha = np.array([[0.0, 1.0, 0.0]])
+    beta = np.array([[0.9, 0.0, 0.2]])
+    return StrategyEnsemble.from_arrays(alpha, beta)
+
+
+def request(rid, cost, payoff=None):
+    return DeploymentRequest(rid, TriParams(0.5, cost, 0.9), k=1, payoff=payoff)
+
+
+class TestBruteForce:
+    def test_finds_optimal_packing(self, modeled):
+        requests = [request("a", 0.3), request("b", 0.3), request("c", 0.5)]
+        outcome = batch_brute_force(modeled, requests, 0.6, "throughput")
+        assert outcome.objective_value == 2.0
+        assert outcome.satisfied_ids == {"a", "b"}
+
+    def test_payoff_beats_greedy_order(self, modeled):
+        # Greedy-by-density would take the two smalls (payoff 0.02 + room
+        # for nothing else); optimal takes the single big one.
+        requests = [
+            request("s1", 0.011, payoff=0.011),
+            request("big", 0.999, payoff=0.995),
+        ]
+        outcome = batch_brute_force(modeled, requests, 1.0, "payoff")
+        assert outcome.satisfied_ids == {"big"}
+
+    def test_respects_capacity_exactly(self, modeled):
+        requests = [request("a", 0.5), request("b", 0.5)]
+        outcome = batch_brute_force(modeled, requests, 1.0, "throughput")
+        assert outcome.objective_value == 2.0
+        assert outcome.workforce_used == pytest.approx(1.0)
+
+    def test_m_guard(self, modeled):
+        requests = [request(f"r{i}", 0.1) for i in range(MAX_BRUTE_FORCE_M + 1)]
+        with pytest.raises(ValueError):
+            batch_brute_force(modeled, requests, 0.5, "throughput")
+
+    def test_bad_objective_rejected(self, modeled):
+        with pytest.raises(ValueError):
+            batch_brute_force(modeled, [], 0.5, "revenue")
+
+    def test_infeasible_requests_reported(self, modeled):
+        requests = [request("impossible", 0.05)]  # quality needs 0.9 const: fine...
+        # make it truly infeasible: quality above the constant model's 0.9
+        requests = [
+            DeploymentRequest("impossible", TriParams(0.95, 0.5, 0.9), k=1)
+        ]
+        outcome = batch_brute_force(modeled, requests, 0.9, "throughput")
+        assert len(outcome.infeasible) == 1
+
+    def test_matches_batchstrat_on_throughput(self, modeled):
+        rng = np.random.default_rng(3)
+        requests = [
+            request(f"r{i}", float(rng.uniform(0.05, 0.9))) for i in range(8)
+        ]
+        brute = batch_brute_force(modeled, requests, 0.7, "throughput")
+        greedy = BatchStrat(modeled, 0.7).run(requests, "throughput")
+        assert greedy.objective_value == brute.objective_value
+
+
+class TestBaselineG:
+    def test_stops_at_first_break(self, modeled):
+        # Density order (payoff=cost => ratio 1 for all): tie-broken by
+        # requirement: 0.2, 0.5, 0.6.  0.2+0.5 fits in 0.8; 0.6 breaks and
+        # BaselineG stops without trying anything else.
+        requests = [request("a", 0.5), request("b", 0.2), request("c", 0.6)]
+        outcome = BaselineG(modeled, 0.8).run(requests, "payoff")
+        assert outcome.satisfied_ids == {"a", "b"}
+
+    def test_never_beats_batchstrat_payoff(self, modeled):
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            requests = [
+                request(f"r{i}", float(rng.uniform(0.05, 0.95)))
+                for i in range(6)
+            ]
+            availability = float(rng.uniform(0.2, 1.0))
+            g = BaselineG(modeled, availability).run(requests, "payoff")
+            b = BatchStrat(modeled, availability).run(requests, "payoff")
+            assert g.objective_value <= b.objective_value + 1e-9
+
+    def test_bad_objective_rejected(self, modeled):
+        with pytest.raises(ValueError):
+            BaselineG(modeled, 0.5).run([], "revenue")
+
+    def test_backstop_gap_demonstrated(self, modeled):
+        """The canonical case where BaselineG loses half the value."""
+        requests = [
+            request("tiny", 0.011, payoff=0.0111),
+            request("big", 0.999, payoff=0.995),
+        ]
+        g = BaselineG(modeled, 1.0).run(requests, "payoff")
+        b = BatchStrat(modeled, 1.0).run(requests, "payoff")
+        assert g.objective_value < b.objective_value

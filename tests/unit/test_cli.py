@@ -1,0 +1,62 @@
+"""Unit tests for the experiment CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_quick(self):
+        args = build_parser().parse_args(["run", "fig14", "--quick"])
+        assert args.command == "run"
+        assert args.experiment == "fig14"
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_run_example(self):
+        out = io.StringIO()
+        assert main(["run", "example"], out=out) == 0
+        assert "Running example" in out.getvalue()
+
+    def test_run_quick_fig15(self):
+        out = io.StringIO()
+        assert main(["run", "fig15", "--quick"], out=out) == 0
+        assert "Throughput" in out.getvalue()
+
+    def test_registry_covers_all_paper_artifacts(self):
+        # One entry per §5 artifact: tables 1-5 (example), fig 11-18, table 6.
+        assert set(EXPERIMENTS) == {
+            "example",
+            "fig11",
+            "table6",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18a",
+            "fig18bc",
+        }

@@ -1,0 +1,268 @@
+"""Unit tests for the strategy execution engine and its parts."""
+
+import numpy as np
+import pytest
+
+from repro.execution.document import Edit, SharedDocument
+from repro.execution.editwar import CollaborationDynamics
+from repro.execution.engine import GROUND_TRUTH, ExecutionEngine, ground_truth_for
+from repro.execution.machine import MachineContributor
+from repro.execution.quality import (
+    best_of_independent,
+    collaborative_merge,
+    sequential_refinement,
+)
+from repro.execution.tasks import (
+    CREATION_TOPICS,
+    NURSERY_RHYMES,
+    make_creation_tasks,
+    make_translation_tasks,
+)
+from repro.platform.worker import generate_workers
+
+
+class TestTasks:
+    def test_translation_tasks_cycle_rhymes(self):
+        tasks = make_translation_tasks(6, seed=0)
+        assert {t.title for t in tasks} == set(NURSERY_RHYMES)
+        assert all(t.task_type == "translation" for t in tasks)
+
+    def test_creation_tasks_cycle_topics(self):
+        tasks = make_creation_tasks(3, seed=0)
+        assert [t.title for t in tasks] == list(CREATION_TOPICS)
+
+    def test_bad_task_type_rejected(self):
+        from repro.execution.tasks import CollaborativeTask
+
+        with pytest.raises(ValueError):
+            CollaborativeTask("x", "origami", "title")
+
+
+class TestDocument:
+    def test_quality_grows_with_edits(self):
+        doc = SharedDocument(segments=2, base_quality=0.2)
+        before = doc.quality()
+        doc.apply_edit(Edit("w1", 0.0, 0, 0.3))
+        assert doc.quality() > before
+
+    def test_overridden_edits_do_not_count(self):
+        doc = SharedDocument(segments=1, base_quality=0.2)
+        edit = Edit("w1", 0.0, 0, 0.3)
+        doc.apply_edit(edit)
+        with_edit = doc.quality()
+        doc.override(edit)
+        assert doc.quality() < with_edit
+        assert doc.overridden_count == 1
+
+    def test_segment_quality_capped_at_one(self):
+        doc = SharedDocument(segments=1, base_quality=0.9)
+        doc.apply_edit(Edit("w1", 0.0, 0, 0.9))
+        assert doc.segment_quality(0) == 1.0
+
+    def test_out_of_range_segment_rejected(self):
+        doc = SharedDocument(segments=2)
+        with pytest.raises(ValueError):
+            doc.apply_edit(Edit("w1", 0.0, 5, 0.1))
+
+    def test_edits_by_segment_groups(self):
+        doc = SharedDocument(segments=2)
+        doc.apply_edit(Edit("w1", 0.0, 0, 0.1))
+        doc.apply_edit(Edit("w2", 0.5, 0, 0.1))
+        doc.apply_edit(Edit("w3", 0.2, 1, 0.1))
+        grouped = doc.edits_by_segment()
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 1
+
+
+class TestEditWar:
+    def test_unguided_generates_more_edits(self, rng):
+        dynamics = CollaborationDynamics()
+        contributions = [(f"w{i}", i % 3, 0.1) for i in range(6)]
+        guided_doc = SharedDocument(segments=3)
+        dynamics.run_session(guided_doc, contributions, guided=True, rng=rng)
+        unguided_doc = SharedDocument(segments=3)
+        dynamics.run_session(unguided_doc, contributions, guided=False, rng=rng)
+        assert unguided_doc.edit_count > guided_doc.edit_count
+
+    def test_unguided_incurs_larger_penalty_on_average(self):
+        dynamics = CollaborationDynamics()
+        contributions = [(f"w{i}", i % 2, 0.1) for i in range(8)]
+        guided_pen, unguided_pen = [], []
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            guided_pen.append(
+                dynamics.run_session(SharedDocument(3), contributions, True, rng)
+            )
+            rng = np.random.default_rng(seed)
+            unguided_pen.append(
+                dynamics.run_session(SharedDocument(3), contributions, False, rng)
+            )
+        assert np.mean(unguided_pen) > np.mean(guided_pen)
+
+    def test_conflict_rate_saturates(self):
+        dynamics = CollaborationDynamics()
+        assert dynamics.conflict_rate(False, 100) <= 0.9
+
+
+class TestQualityAggregation:
+    def test_sequential_monotone_in_workers(self):
+        few = sequential_refinement([0.6, 0.7])
+        many = sequential_refinement([0.6, 0.7, 0.8, 0.8])
+        assert many >= few
+
+    def test_sequential_order_matters(self):
+        ascending = sequential_refinement([0.5, 0.9])
+        descending = sequential_refinement([0.9, 0.5])
+        assert ascending != descending
+
+    def test_best_of_independent_is_max(self):
+        assert best_of_independent([0.3, 0.8, 0.5]) == 0.8
+
+    def test_collaborative_merge_between_mean_and_max(self):
+        contributions = [0.4, 0.6, 0.8]
+        merged = collaborative_merge(contributions)
+        assert np.mean(contributions) <= merged <= max(contributions)
+
+    def test_collaborative_merge_penalty(self):
+        clean = collaborative_merge([0.5, 0.7])
+        fought = collaborative_merge([0.5, 0.7], conflict_penalty=0.2)
+        assert fought == pytest.approx(clean - 0.2)
+
+    @pytest.mark.parametrize(
+        "fn", [sequential_refinement, best_of_independent, collaborative_merge]
+    )
+    def test_empty_contributions_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+
+    def test_out_of_range_contribution_rejected(self):
+        with pytest.raises(ValueError):
+            best_of_independent([1.2])
+
+
+class TestMachine:
+    def test_translation_floor_above_creation(self, rng):
+        machine = MachineContributor()
+        from repro.execution.tasks import CollaborativeTask
+
+        translation = CollaborativeTask("t", "translation", "x", difficulty=0.5)
+        creation = CollaborativeTask("c", "creation", "x", difficulty=0.5)
+        t_quality = np.mean([machine.contribute(translation, rng) for _ in range(30)])
+        c_quality = np.mean([machine.contribute(creation, rng) for _ in range(30)])
+        assert t_quality > c_quality
+
+    def test_machine_is_free_and_instant(self):
+        machine = MachineContributor()
+        assert machine.cost_usd == 0.0
+        assert machine.latency_hours == 0.0
+
+
+class TestGroundTruth:
+    def test_table6_pairs_verbatim(self):
+        truth = ground_truth_for("translation", "SEQ-IND-CRO")
+        assert truth["quality"] == (0.09, 0.85)
+        assert truth["latency"] == (-0.98, 1.40)
+
+    def test_derived_pairs_have_all_parameters(self):
+        truth = ground_truth_for("translation", "SIM-IND-HYB")
+        assert set(truth) == {"quality", "cost", "latency"}
+        assert truth["latency"][0] < 0  # latency still falls with availability
+
+    def test_hybrid_raises_quality_floor(self):
+        base = ground_truth_for("translation", "SIM-IND-CRO")
+        hyb = ground_truth_for("translation", "SIM-IND-HYB")
+        assert hyb["quality"][1] >= base["quality"][1]
+
+    def test_all_catalog_pairs_resolvable(self):
+        from repro.core.strategy import full_catalog
+
+        for task_type in ("translation", "creation"):
+            for strategy in full_catalog():
+                truth = ground_truth_for(task_type, strategy.name)
+                assert truth["quality"][0] >= 0
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self):
+        return ExecutionEngine()
+
+    @pytest.fixture
+    def task(self):
+        return make_translation_tasks(1, seed=0)[0]
+
+    def test_outcome_fields_consistent(self, engine, task):
+        outcome = engine.run("SEQ-IND-CRO", task, 0.8, seed=0)
+        assert 0 <= outcome.quality <= 1
+        assert outcome.cost_usd == pytest.approx(outcome.cost * 20.0)
+        assert outcome.latency_hours == pytest.approx(outcome.latency * 72.0)
+        assert outcome.workers_engaged == 8
+
+    def test_availability_bounds_enforced(self, engine, task):
+        with pytest.raises(ValueError):
+            engine.run("SEQ-IND-CRO", task, 0.0, seed=0)
+        with pytest.raises(ValueError):
+            engine.run("SEQ-IND-CRO", task, 1.2, seed=0)
+
+    def test_quality_tracks_linear_target(self, engine, task):
+        samples = [
+            engine.run("SEQ-IND-CRO", task, 0.8, seed=seed).quality
+            for seed in range(30)
+        ]
+        assert float(np.mean(samples)) == pytest.approx(0.09 * 0.8 + 0.85, abs=0.02)
+
+    def test_cost_linear_in_availability(self, engine, task):
+        low = np.mean([engine.run("SEQ-IND-CRO", task, 0.5, seed=s).cost for s in range(20)])
+        high = np.mean([engine.run("SEQ-IND-CRO", task, 1.0, seed=s).cost for s in range(20)])
+        assert high - low == pytest.approx(0.5, abs=0.05)
+
+    def test_latency_decreases_with_availability(self, engine, task):
+        low = np.mean([engine.run("SEQ-IND-CRO", task, 0.5, seed=s).latency for s in range(20)])
+        high = np.mean([engine.run("SEQ-IND-CRO", task, 1.0, seed=s).latency for s in range(20)])
+        assert high < low
+
+    def test_unguided_collaboration_hurts(self, engine, task):
+        guided = [
+            engine.run("SIM-COL-CRO", task, 0.8, guided=True, seed=s)
+            for s in range(25)
+        ]
+        unguided = [
+            engine.run("SIM-COL-CRO", task, 0.8, guided=False, seed=s)
+            for s in range(25)
+        ]
+        assert np.mean([o.quality for o in unguided]) < np.mean(
+            [o.quality for o in guided]
+        )
+        assert np.mean([o.edit_count for o in unguided]) > np.mean(
+            [o.edit_count for o in guided]
+        )
+        assert np.mean([o.latency for o in unguided]) > np.mean(
+            [o.latency for o in guided]
+        )
+
+    def test_hybrid_floors_quality(self, engine, task):
+        # At rock-bottom availability the crowd target is weak; the machine
+        # draft keeps hybrid quality above the crowd-only floor on average.
+        cro = np.mean(
+            [engine.run("SIM-IND-CRO", task, 0.1, seed=s).quality for s in range(25)]
+        )
+        hyb = np.mean(
+            [engine.run("SIM-IND-HYB", task, 0.1, seed=s).quality for s in range(25)]
+        )
+        assert hyb >= cro
+
+    def test_provided_workers_are_sampled(self, engine, task):
+        workers = generate_workers(30, seed=1)
+        outcome = engine.run("SEQ-IND-CRO", task, 0.5, workers=workers, seed=2)
+        assert outcome.workers_engaged == 5
+
+    def test_observation_projection(self, engine, task):
+        outcome = engine.run("SEQ-IND-CRO", task, 0.7, seed=3)
+        obs = outcome.observation()
+        assert obs.availability == outcome.availability
+        assert obs.quality == outcome.quality
+
+    def test_meets_thresholds(self, engine, task):
+        outcome = engine.run("SEQ-IND-CRO", task, 0.7, seed=4)
+        assert outcome.meets(quality=0.0, cost=1.5, latency=1.5)
+        assert not outcome.meets(quality=1.0, cost=0.0, latency=0.0)

@@ -1,0 +1,137 @@
+"""Unit tests for multi-goal objectives and weighted/multi-norm ADPaR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.core.adpar import ADPaRExact
+from repro.core.adpar_variants import (
+    RelaxationPenalty,
+    WeightedADPaR,
+    weighted_adpar_brute_force,
+)
+from repro.core.batchstrat import BatchStrat
+from repro.core.objectives import MultiGoalObjective, objective_name, request_value
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.workloads.generators import generate_adpar_points, hard_request_for
+
+
+class TestMultiGoalObjective:
+    def test_value_blends_goals(self):
+        objective = MultiGoalObjective(throughput_weight=2.0, payoff_weight=3.0)
+        request = DeploymentRequest("d", TriParams(0.5, 0.4, 0.5), payoff=1.5)
+        assert request_value(request, objective) == pytest.approx(2.0 + 4.5)
+
+    def test_degenerate_weights_reduce_to_single_goals(self):
+        request = DeploymentRequest("d", TriParams(0.5, 0.4, 0.5))
+        throughput_only = MultiGoalObjective(1.0, 0.0)
+        payoff_only = MultiGoalObjective(0.0, 1.0)
+        assert request_value(request, throughput_only) == request_value(
+            request, "throughput"
+        )
+        assert request_value(request, payoff_only) == request_value(request, "payoff")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGoalObjective(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            MultiGoalObjective(0.0, 0.0)
+
+    def test_name(self):
+        assert "multi" in objective_name(MultiGoalObjective())
+        assert objective_name("payoff") == "payoff"
+
+    def test_batchstrat_half_approx_under_multi_goal(self):
+        alpha = np.array([[0.0, 1.0, 0.0]])
+        beta = np.array([[0.9, 0.0, 0.2]])
+        ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+        rng = np.random.default_rng(29)
+        objective = MultiGoalObjective(throughput_weight=1.0, payoff_weight=2.0)
+        for trial in range(10):
+            requests = [
+                DeploymentRequest(
+                    f"r{i}", TriParams(0.5, float(rng.uniform(0.05, 0.9)), 0.9), k=1
+                )
+                for i in range(7)
+            ]
+            availability = float(rng.uniform(0.3, 1.0))
+            greedy = BatchStrat(ensemble, availability).run(requests, objective)
+            brute = batch_brute_force(ensemble, requests, availability, objective)
+            assert greedy.objective_value >= brute.objective_value / 2 - 1e-9
+            assert greedy.objective == objective.name
+
+
+class TestRelaxationPenalty:
+    def test_l2_unit_weights_is_euclidean(self):
+        penalty = RelaxationPenalty()
+        assert penalty.value(0.3, 0.4, 0.0) == pytest.approx(0.5)
+
+    def test_l1_and_linf(self):
+        assert RelaxationPenalty(norm="l1").value(0.1, 0.2, 0.3) == pytest.approx(0.6)
+        assert RelaxationPenalty(norm="linf").value(0.1, 0.2, 0.3) == pytest.approx(0.3)
+
+    def test_weights_scale_dimensions(self):
+        penalty = RelaxationPenalty(weights=(4.0, 1.0, 1.0))
+        assert penalty.value(0.5, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelaxationPenalty(norm="l3")
+        with pytest.raises(ValueError):
+            RelaxationPenalty(weights=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            RelaxationPenalty(weights=(-1.0, 1.0, 1.0))
+
+
+class TestWeightedADPaR:
+    def test_unit_l2_matches_paper_solver(self, table1_ensemble):
+        request = TriParams(0.8, 0.2, 0.28)
+        weighted = WeightedADPaR(table1_ensemble).solve(request, 3)
+        plain = ADPaRExact(table1_ensemble).solve(request, 3)
+        assert weighted.distance == pytest.approx(plain.distance)
+        assert weighted.alternative.as_tuple() == pytest.approx(
+            plain.alternative.as_tuple()
+        )
+
+    @pytest.mark.parametrize("norm", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("weights", [(1, 1, 1), (5, 1, 1), (1, 0.2, 3)])
+    def test_matches_brute_force_across_norms(self, norm, weights):
+        penalty = RelaxationPenalty(weights=tuple(map(float, weights)), norm=norm)
+        for seed in range(5):
+            points = generate_adpar_points(12, seed=seed)
+            request = hard_request_for(points, seed=seed + 50)
+            ensemble = StrategyEnsemble.from_params(points)
+            fast = WeightedADPaR(ensemble, penalty).solve(request, 4)
+            brute = weighted_adpar_brute_force(
+                ensemble, request, 4, penalty=penalty
+            )
+            assert math.isclose(fast.distance, brute.distance, abs_tol=1e-9)
+
+    def test_expensive_cost_dimension_shifts_relaxation(self, table1_ensemble):
+        """Penalizing cost relaxation heavily pushes the solver toward
+        relaxing quality instead (d2 admits both trade-offs)."""
+        request = TriParams(0.8, 0.2, 0.28)
+        cheap_cost = WeightedADPaR(table1_ensemble).solve(request, 2)
+        pricey_cost = WeightedADPaR(
+            table1_ensemble, RelaxationPenalty(weights=(50.0, 1.0, 1.0))
+        ).solve(request, 2)
+        assert pricey_cost.relaxation[0] <= cheap_cost.relaxation[0] + 1e-12
+
+    def test_coverage_invariants(self, table1_ensemble):
+        request = TriParams(0.9, 0.1, 0.1)
+        result = WeightedADPaR(
+            table1_ensemble, RelaxationPenalty(norm="l1")
+        ).solve(request, 3)
+        params = table1_ensemble.estimate_params(1.0)
+        covered = sum(1 for p in params if result.alternative.satisfied_by(p))
+        assert covered >= 3
+
+    def test_k_above_catalog_infeasible(self, table1_ensemble):
+        from repro.exceptions import InfeasibleRequestError
+
+        with pytest.raises(InfeasibleRequestError):
+            WeightedADPaR(table1_ensemble).solve(TriParams(0.5, 0.5, 0.5), 9)

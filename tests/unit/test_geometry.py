@@ -1,0 +1,111 @@
+"""Unit tests for geometry primitives: points, boxes, dominance."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box3
+from repro.geometry.dominance import (
+    coverage_count,
+    covered_indices,
+    covers,
+    pareto_minima,
+)
+from repro.geometry.point import Point3, points_to_array
+
+
+class TestPoint3:
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Point3(float("nan"), 0, 0)
+        with pytest.raises(ValueError):
+            Point3(0, float("inf"), 0)
+
+    def test_dominates_componentwise(self):
+        assert Point3(0.1, 0.2, 0.3).dominates(Point3(0.1, 0.5, 0.3))
+        assert not Point3(0.2, 0.2, 0.3).dominates(Point3(0.1, 0.5, 0.5))
+
+    def test_distance(self):
+        assert Point3(0, 0, 0).distance_to(Point3(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_clipped_relaxation(self):
+        origin = Point3(0.2, 0.5, 0.3)
+        target = Point3(0.5, 0.3, 0.3)
+        relax = target.clipped_relaxation_from(origin)
+        assert (relax.x, relax.y, relax.z) == pytest.approx((0.3, 0.0, 0.0))
+
+    def test_iter_and_array(self):
+        p = Point3(0.1, 0.2, 0.3)
+        assert list(p) == [0.1, 0.2, 0.3]
+        np.testing.assert_allclose(p.as_array(), [0.1, 0.2, 0.3])
+
+    def test_points_to_array_empty(self):
+        assert points_to_array([]).shape == (0, 3)
+
+
+class TestBox3:
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box3(Point3(1, 0, 0), Point3(0, 1, 1))
+
+    def test_from_origin(self):
+        box = Box3.from_origin(Point3(0.5, 0.6, 0.7))
+        assert box.contains(Point3(0.5, 0.0, 0.7))
+        assert not box.contains(Point3(0.6, 0.0, 0.0))
+
+    def test_bounding(self):
+        box = Box3.bounding([Point3(0, 1, 2), Point3(1, 0, 1)])
+        assert (box.lo.x, box.lo.y, box.lo.z) == (0, 0, 1)
+        assert (box.hi.x, box.hi.y, box.hi.z) == (1, 1, 2)
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box3.bounding([])
+
+    def test_intersects(self):
+        a = Box3(Point3(0, 0, 0), Point3(1, 1, 1))
+        b = Box3(Point3(1, 1, 1), Point3(2, 2, 2))  # touch at a corner
+        c = Box3(Point3(1.1, 0, 0), Point3(2, 1, 1))
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_union_and_volume(self):
+        a = Box3(Point3(0, 0, 0), Point3(1, 1, 1))
+        b = Box3(Point3(2, 0, 0), Point3(3, 1, 1))
+        u = a.union(b)
+        assert u.volume() == pytest.approx(3.0)
+        assert a.enlargement(b) == pytest.approx(2.0)
+
+    def test_margin(self):
+        assert Box3(Point3(0, 0, 0), Point3(1, 2, 3)).margin() == 6.0
+
+    def test_top_right(self):
+        box = Box3(Point3(0, 0, 0), Point3(0.3, 0.4, 0.5))
+        assert box.top_right() == Point3(0.3, 0.4, 0.5)
+
+
+class TestDominance:
+    def test_covers(self):
+        candidate = Point3(0.5, 0.5, 0.5)
+        assert covers(candidate, Point3(0.5, 0.4, 0.1))
+        assert not covers(candidate, Point3(0.6, 0.1, 0.1))
+
+    def test_coverage_count_and_indices(self):
+        strategies = [Point3(0.1, 0.1, 0.1), Point3(0.9, 0.9, 0.9), Point3(0.5, 0.5, 0.5)]
+        candidate = Point3(0.5, 0.5, 0.5)
+        assert coverage_count(candidate, strategies) == 2
+        assert covered_indices(candidate, strategies) == [0, 2]
+
+    def test_coverage_empty(self):
+        assert coverage_count(Point3(1, 1, 1), []) == 0
+        assert covered_indices(Point3(1, 1, 1), []) == []
+
+    def test_pareto_minima_simple(self):
+        pts = [Point3(0, 1, 1), Point3(1, 0, 1), Point3(1, 1, 1), Point3(2, 2, 2)]
+        keep = pareto_minima(pts)
+        assert 0 in keep and 1 in keep
+        assert 3 not in keep
+
+    def test_pareto_minima_keeps_duplicates(self):
+        pts = [Point3(0.5, 0.5, 0.5), Point3(0.5, 0.5, 0.5)]
+        assert pareto_minima(pts) == [0, 1]

@@ -1,0 +1,196 @@
+"""Unit tests for the modeling layer: linear models, availability, bank."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import TriParams
+from repro.exceptions import UnknownStrategyError
+from repro.modeling.availability import AvailabilityDistribution
+from repro.modeling.calibration import Observation, calibrate_from_observations
+from repro.modeling.linear import LinearModel, fit_linear
+from repro.modeling.modelbank import ModelBank, ParamModels
+
+
+class TestLinearModel:
+    def test_predict(self):
+        model = LinearModel(0.09, 0.85)
+        assert model.predict(0.8) == pytest.approx(0.922)
+
+    def test_predict_vectorized(self):
+        model = LinearModel(2.0, 1.0)
+        np.testing.assert_allclose(model.predict(np.array([0.0, 0.5])), [1.0, 2.0])
+
+    def test_solve_for_input(self):
+        model = LinearModel(0.5, 0.25)
+        assert model.solve_for_input(0.5) == pytest.approx(0.5)
+
+    def test_constant_solve_raises(self):
+        with pytest.raises(ValueError):
+            LinearModel(0.0, 0.5).solve_for_input(0.7)
+
+    def test_direction_flags(self):
+        assert LinearModel(0.1, 0).increasing
+        assert LinearModel(-0.1, 0).decreasing
+        assert not LinearModel(0.0, 0).increasing
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            LinearModel(float("nan"), 0.0)
+
+
+class TestFitLinear:
+    def test_recovers_exact_line(self):
+        x = [0.1, 0.5, 0.9]
+        y = [0.2 + 0.5 * xi for xi in x]
+        fit = fit_linear(x, y)
+        assert fit.alpha == pytest.approx(0.5)
+        assert fit.beta == pytest.approx(0.2)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_ci_contains_truth(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0.4, 1.0, 40)
+        y = 0.3 * x + 0.5 + rng.normal(0, 0.01, x.size)
+        fit = fit_linear(x, y, confidence=0.95)
+        assert fit.significance.slope_in_ci(0.3)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([0.1, 0.2], [0.1, 0.2])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([0.5, 0.5, 0.5], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([0.1, 0.2, 0.3], [0.1, 0.2])
+
+
+class TestAvailabilityDistribution:
+    def test_expectation_matches_paper_example(self):
+        # 50% of 0.7 and 50% of 0.9 -> E[W] = 0.8 (§2.2)
+        dist = AvailabilityDistribution.from_pairs([(0.7, 0.5), (0.9, 0.5)])
+        assert dist.expectation() == pytest.approx(0.8)
+
+    def test_point_distribution(self):
+        dist = AvailabilityDistribution.point(0.6)
+        assert dist.expectation() == 0.6
+        assert dist.variance() == 0.0
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            AvailabilityDistribution((0.5, 0.6), (0.5, 0.6))
+
+    def test_fractions_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            AvailabilityDistribution((1.5,), (1.0,))
+
+    def test_from_samples_expectation_close_to_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(0.4, 0.9, 500)
+        dist = AvailabilityDistribution.from_samples(samples, bins=10)
+        assert dist.expectation() == pytest.approx(float(samples.mean()), abs=0.01)
+
+    def test_from_samples_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityDistribution.from_samples([])
+
+    def test_expected_workers(self):
+        dist = AvailabilityDistribution.from_pairs([(0.02, 0.3), (0.07, 0.7)])
+        assert dist.expected_workers(4000) == pytest.approx(4000 * 0.055)
+
+    def test_sample_values_come_from_support(self, rng):
+        dist = AvailabilityDistribution.from_pairs([(0.2, 0.5), (0.8, 0.5)])
+        draws = dist.sample(rng, size=50)
+        assert set(np.unique(draws)) <= {0.2, 0.8}
+
+
+class TestParamModels:
+    def test_constant_pins_parameters(self):
+        params = TriParams(0.6, 0.4, 0.3)
+        models = ParamModels.constant(params)
+        assert models.estimate(0.1) == params
+        assert models.estimate(0.9) == params
+
+    def test_workforce_components(self, linear_param_models):
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        w_q, w_c, w_l = linear_param_models.workforce_components(request)
+        assert w_q == pytest.approx((0.9 - 0.85) / 0.09)
+        assert w_c == pytest.approx(0.8)
+        assert w_l == pytest.approx((1.0 - 1.40) / -0.98)
+
+    def test_paper_mode_is_max(self, linear_param_models):
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        assert linear_param_models.workforce_required(request, "paper") == pytest.approx(0.8)
+
+    def test_strict_mode_ignores_generous_budget(self, linear_param_models):
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        strict = linear_param_models.workforce_required(request, "strict")
+        assert strict == pytest.approx((0.9 - 0.85) / 0.09)
+
+    def test_strict_mode_infeasible_budget(self, linear_param_models):
+        request = TriParams(quality=0.9, cost=0.3, latency=1.0)
+        assert math.isinf(linear_param_models.workforce_required(request, "strict"))
+
+    def test_bad_mode_rejected(self, linear_param_models):
+        with pytest.raises(ValueError):
+            linear_param_models.workforce_required(TriParams(0.5, 0.5, 0.5), "loose")
+
+
+class TestModelBank:
+    def test_register_and_get(self, linear_param_models):
+        bank = ModelBank()
+        bank.register("translation", "SEQ-IND-CRO", linear_param_models)
+        assert bank.get("translation", "SEQ-IND-CRO") is linear_param_models
+        assert ("translation", "SEQ-IND-CRO") in bank
+        assert len(bank) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(UnknownStrategyError):
+            ModelBank().get("translation", "SEQ-IND-CRO")
+
+    def test_strategies_for(self, linear_param_models):
+        bank = ModelBank()
+        bank.register("t", "B", linear_param_models)
+        bank.register("t", "A", linear_param_models)
+        bank.register("u", "C", linear_param_models)
+        assert bank.strategies_for("t") == ["A", "B"]
+
+
+class TestCalibration:
+    def test_calibration_recovers_models(self):
+        rng = np.random.default_rng(5)
+        observations = []
+        for w in np.linspace(0.5, 1.0, 12):
+            observations.append(
+                Observation(
+                    availability=float(w),
+                    quality=float(0.09 * w + 0.85 + rng.normal(0, 0.005)),
+                    cost=float(1.0 * w + rng.normal(0, 0.005)),
+                    latency=float(-0.98 * w + 1.40 + rng.normal(0, 0.005)),
+                )
+            )
+        result = calibrate_from_observations("translation", "SEQ-IND-CRO", observations)
+        assert result.quality_fit.alpha == pytest.approx(0.09, abs=0.03)
+        assert result.cost_fit.alpha == pytest.approx(1.0, abs=0.03)
+        assert result.latency_fit.alpha == pytest.approx(-0.98, abs=0.05)
+        models = result.models
+        assert models.quality.predict(0.8) == pytest.approx(0.922, abs=0.02)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_from_observations("t", "s", [Observation(0.5, 0.5, 0.5, 0.5)])
+
+    def test_rows_shape(self):
+        observations = [
+            Observation(0.5, 0.5, 0.5, 0.5),
+            Observation(0.7, 0.6, 0.7, 0.4),
+            Observation(0.9, 0.7, 0.9, 0.3),
+        ]
+        result = calibrate_from_observations("t", "s", observations)
+        rows = result.rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "Quality"

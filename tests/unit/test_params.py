@@ -1,0 +1,126 @@
+"""Unit tests for the 3-parameter space (TriParams)."""
+
+import math
+
+import pytest
+
+from repro.core.params import TriParams
+from repro.geometry.point import Point3
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        p = TriParams(0.5, 0.3, 0.7)
+        assert p.quality == 0.5
+        assert p.cost == 0.3
+        assert p.latency == 0.7
+
+    @pytest.mark.parametrize("field", ["quality", "cost", "latency"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_out_of_range_rejected(self, field, bad):
+        kwargs = {"quality": 0.5, "cost": 0.5, "latency": 0.5}
+        kwargs[field] = bad
+        with pytest.raises(ValueError):
+            TriParams(**kwargs)
+
+    def test_boundaries_allowed(self):
+        TriParams(0.0, 0.0, 0.0)
+        TriParams(1.0, 1.0, 1.0)
+
+
+class TestSatisfaction:
+    def test_strategy_meeting_all_thresholds_satisfies(self):
+        request = TriParams(quality=0.6, cost=0.5, latency=0.5)
+        strategy = TriParams(quality=0.7, cost=0.4, latency=0.3)
+        assert request.satisfied_by(strategy)
+
+    def test_quality_below_threshold_fails(self):
+        request = TriParams(quality=0.6, cost=0.5, latency=0.5)
+        assert not request.satisfied_by(TriParams(0.5, 0.4, 0.3))
+
+    def test_cost_above_threshold_fails(self):
+        request = TriParams(quality=0.6, cost=0.5, latency=0.5)
+        assert not request.satisfied_by(TriParams(0.7, 0.6, 0.3))
+
+    def test_latency_above_threshold_fails(self):
+        request = TriParams(quality=0.6, cost=0.5, latency=0.5)
+        assert not request.satisfied_by(TriParams(0.7, 0.4, 0.6))
+
+    def test_equality_satisfies(self):
+        p = TriParams(0.6, 0.5, 0.5)
+        assert p.satisfied_by(p)
+
+    def test_table1_d3_satisfied_by_s2_s3_s4(self, table1_strategies):
+        d3 = TriParams(0.7, 0.83, 0.28)
+        satisfied = [d3.satisfied_by(s) for s in table1_strategies]
+        assert satisfied == [False, True, True, True]
+
+    def test_table1_d1_satisfied_by_none(self, table1_strategies):
+        d1 = TriParams(0.4, 0.17, 0.28)
+        assert not any(d1.satisfied_by(s) for s in table1_strategies)
+
+
+class TestDominance:
+    def test_looser_request_dominates(self):
+        loose = TriParams(quality=0.3, cost=0.9, latency=0.9)
+        tight = TriParams(quality=0.8, cost=0.2, latency=0.2)
+        assert loose.dominates_request(tight)
+        assert not tight.dominates_request(loose)
+
+    def test_self_domination(self):
+        p = TriParams(0.5, 0.5, 0.5)
+        assert p.dominates_request(p)
+
+
+class TestGeometryBridge:
+    def test_min_point_inverts_quality(self):
+        p = TriParams(quality=0.8, cost=0.3, latency=0.6)
+        point = p.to_min_point()
+        assert (point.x, point.y, point.z) == pytest.approx((0.3, 0.2, 0.6))
+
+    def test_roundtrip(self):
+        p = TriParams(0.8, 0.3, 0.6)
+        assert TriParams.from_min_point(p.to_min_point()) == p
+
+    def test_from_min_point_clips(self):
+        p = TriParams.from_min_point(Point3(1.5, -0.2, 0.5))
+        assert p.cost == 1.0
+        assert p.quality == 1.0
+        assert p.latency == 0.5
+
+
+class TestDistance:
+    def test_distance_zero_to_self(self):
+        p = TriParams(0.4, 0.5, 0.6)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_symmetric(self):
+        a = TriParams(0.1, 0.2, 0.3)
+        b = TriParams(0.4, 0.6, 0.9)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_known_distance(self):
+        a = TriParams(0.0, 0.0, 0.0)
+        b = TriParams(1.0, 1.0, 1.0)
+        assert a.distance_to(b) == pytest.approx(math.sqrt(3))
+
+    def test_squared_distance_consistent(self):
+        a = TriParams(0.1, 0.2, 0.3)
+        b = TriParams(0.3, 0.5, 0.7)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_distance_invariant_under_space_transform(self):
+        a = TriParams(0.2, 0.4, 0.6)
+        b = TriParams(0.7, 0.1, 0.9)
+        assert a.to_min_point().distance_to(b.to_min_point()) == pytest.approx(
+            a.distance_to(b)
+        )
+
+
+def test_as_tuple_order():
+    assert TriParams(0.1, 0.2, 0.3).as_tuple() == (0.1, 0.2, 0.3)
+
+
+def test_str_mentions_bounds():
+    text = str(TriParams(0.5, 0.6, 0.7))
+    assert "q≥" in text and "c≤" in text and "l≤" in text

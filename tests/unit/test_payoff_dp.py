@@ -1,0 +1,93 @@
+"""Unit tests for the pseudo-polynomial pay-off dynamic program."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.batch_bruteforce import batch_brute_force
+from repro.core.batchstrat import BatchStrat
+from repro.core.params import TriParams
+from repro.core.payoff_dp import payoff_dynamic_program
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+
+
+@pytest.fixture
+def modeled():
+    alpha = np.array([[0.0, 1.0, 0.0]])
+    beta = np.array([[0.9, 0.0, 0.2]])
+    return StrategyEnsemble.from_arrays(alpha, beta)
+
+
+def request(rid, cost, payoff=None):
+    return DeploymentRequest(rid, TriParams(0.5, cost, 0.9), k=1, payoff=payoff)
+
+
+class TestDP:
+    def test_matches_brute_force_on_random_instances(self, modeled):
+        rng = np.random.default_rng(17)
+        for trial in range(15):
+            requests = [
+                request(f"r{i}", round(float(rng.uniform(0.05, 0.9)), 3))
+                for i in range(7)
+            ]
+            availability = round(float(rng.uniform(0.3, 1.0)), 3)
+            dp = payoff_dynamic_program(
+                modeled, requests, availability, resolution=20_000
+            )
+            brute = batch_brute_force(modeled, requests, availability, "payoff")
+            assert dp.objective_value == pytest.approx(
+                brute.objective_value, abs=1e-6
+            )
+
+    def test_never_below_greedy(self, modeled):
+        rng = np.random.default_rng(19)
+        for trial in range(10):
+            requests = [
+                request(f"r{i}", float(rng.uniform(0.05, 0.9))) for i in range(8)
+            ]
+            availability = float(rng.uniform(0.3, 1.0))
+            dp = payoff_dynamic_program(
+                modeled, requests, availability, resolution=20_000
+            )
+            greedy = BatchStrat(modeled, availability).run(requests, "payoff")
+            assert dp.objective_value >= greedy.objective_value - 1e-6
+
+    def test_capacity_respected(self, modeled):
+        requests = [request("a", 0.5), request("b", 0.5), request("c", 0.5)]
+        dp = payoff_dynamic_program(modeled, requests, 1.0, resolution=10_000)
+        assert dp.workforce_used <= 1.0 + 1e-9
+        assert len(dp.satisfied) == 2
+
+    def test_free_requests_always_taken(self, modeled):
+        requests = [request("free", 0.0), request("paid", 0.6)]
+        dp = payoff_dynamic_program(modeled, requests, 0.6, resolution=1000)
+        assert "free" in dp.satisfied_ids
+        assert "paid" in dp.satisfied_ids
+
+    def test_throughput_objective_supported(self, modeled):
+        requests = [request("a", 0.3), request("b", 0.3), request("c", 0.9)]
+        dp = payoff_dynamic_program(
+            modeled, requests, 0.6, objective="throughput", resolution=10_000
+        )
+        assert dp.objective_value == 2.0
+
+    def test_infeasible_requests_reported(self, modeled):
+        requests = [DeploymentRequest("x", TriParams(0.95, 0.5, 0.9), k=1)]
+        dp = payoff_dynamic_program(modeled, requests, 0.9)
+        assert len(dp.infeasible) == 1
+        assert dp.objective_value == 0.0
+
+    def test_bad_inputs_rejected(self, modeled):
+        with pytest.raises(ValueError):
+            payoff_dynamic_program(modeled, [], 0.5, objective="revenue")
+        with pytest.raises(ValueError):
+            payoff_dynamic_program(modeled, [], 0.5, resolution=0)
+
+    def test_coarse_resolution_stays_feasible(self, modeled):
+        """Rounding weights up keeps every DP answer truly feasible."""
+        rng = np.random.default_rng(23)
+        requests = [
+            request(f"r{i}", float(rng.uniform(0.05, 0.5))) for i in range(6)
+        ]
+        dp = payoff_dynamic_program(modeled, requests, 0.7, resolution=16)
+        assert dp.workforce_used <= 0.7 + 1e-9

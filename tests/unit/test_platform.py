@@ -1,0 +1,225 @@
+"""Unit tests for the crowd-platform simulator."""
+
+import numpy as np
+import pytest
+
+from repro.platform.events import DiscreteEventSimulator, Event
+from repro.platform.history import AvailabilityRecord, HistoryLog
+from repro.platform.hit import HIT, QualificationTest
+from repro.platform.pool import RecruitmentPolicy, WorkerPool
+from repro.platform.simulator import PAPER_WINDOWS, DeploymentWindow, PlatformSimulator
+from repro.platform.worker import Worker, generate_workers
+
+
+def make_worker(**overrides):
+    defaults = dict(
+        worker_id="w1",
+        skills=frozenset({"translation"}),
+        skill_level=0.8,
+        speed=1.0,
+        approval_rate=0.95,
+        country="US",
+        education="bachelor",
+    )
+    defaults.update(overrides)
+    return Worker(**defaults)
+
+
+class TestWorker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_worker(skill_level=1.5)
+        with pytest.raises(ValueError):
+            make_worker(speed=0.0)
+
+    def test_suits(self):
+        worker = make_worker()
+        assert worker.suits("translation")
+        assert not worker.suits("creation")
+
+    def test_qualification_score_reflects_skill(self, rng):
+        skilled = make_worker(skill_level=0.9)
+        unskilled = make_worker(worker_id="w2", skill_level=0.2)
+        s1 = np.mean([skilled.qualification_score("translation", rng) for _ in range(30)])
+        s2 = np.mean([unskilled.qualification_score("translation", rng) for _ in range(30)])
+        assert s1 > s2
+
+    def test_off_skill_scores_lower(self, rng):
+        worker = make_worker(skill_level=0.9)
+        on = np.mean([worker.qualification_score("translation", rng) for _ in range(30)])
+        off = np.mean([worker.qualification_score("creation", rng) for _ in range(30)])
+        assert on > off
+
+    def test_generate_workers_deterministic(self):
+        a = generate_workers(10, seed=1)
+        b = generate_workers(10, seed=1)
+        assert [w.worker_id for w in a] == [w.worker_id for w in b]
+        assert [w.skill_level for w in a] == [w.skill_level for w in b]
+
+    def test_generate_workers_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workers(-1)
+
+
+class TestPool:
+    def test_unique_ids_enforced(self):
+        w = make_worker()
+        with pytest.raises(ValueError):
+            WorkerPool([w, w])
+
+    def test_suitable_for_filters_by_skill(self):
+        pool = WorkerPool(generate_workers(100, seed=2))
+        for worker in pool.suitable_for("translation"):
+            assert worker.suits("translation")
+
+    def test_recruit_applies_policy(self):
+        workers = [
+            make_worker(worker_id="lowapproval", approval_rate=0.5),
+            make_worker(worker_id="wrongcountry", country="DE"),
+            make_worker(worker_id="good", skill_level=0.95),
+        ]
+        pool = WorkerPool(workers)
+        recruited = pool.recruit("translation", seed=3)
+        ids = [w.worker_id for w in recruited]
+        assert "lowapproval" not in ids
+        assert "wrongcountry" not in ids
+
+    def test_recruit_limit(self):
+        pool = WorkerPool(generate_workers(200, seed=4))
+        recruited = pool.recruit("translation", seed=5, limit=7)
+        assert len(recruited) <= 7
+
+    def test_policy_for_creation_requires_us_degree(self):
+        policy = RecruitmentPolicy.for_task_type("creation")
+        assert not policy.admits(make_worker(country="IN"))
+        assert not policy.admits(make_worker(education="high-school"))
+        assert policy.admits(make_worker())
+
+
+class TestHIT:
+    def test_payout_requires_min_minutes(self):
+        hit = HIT("h", "translation", reward_usd=2.0, min_minutes=10)
+        assert hit.payout(5) == 0.0
+        assert hit.payout(15) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HIT("h", "t", max_workers=0)
+        with pytest.raises(ValueError):
+            HIT("h", "t", window_hours=0)
+
+    def test_qualification_test_threshold(self, rng):
+        test = QualificationTest("translation", threshold=0.8)
+        expert = make_worker(skill_level=0.98)
+        novice = make_worker(worker_id="w2", skill_level=0.3)
+        assert sum(test.passes(expert, rng) for _ in range(20)) > sum(
+            test.passes(novice, rng) for _ in range(20)
+        )
+
+
+class TestEvents:
+    def test_events_processed_in_time_order(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.on("tick", lambda s, e: seen.append(e.time))
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule(Event(t, "tick"))
+        sim.run(10.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_handlers_can_chain(self):
+        sim = DiscreteEventSimulator()
+        count = []
+
+        def handler(s, e):
+            count.append(s.now)
+            if len(count) < 4:
+                s.schedule(Event(s.now + 1.0, "tick"))
+
+        sim.on("tick", handler)
+        sim.schedule(Event(0.0, "tick"))
+        sim.run(10.0)
+        assert count == [0.0, 1.0, 2.0, 3.0]
+
+    def test_horizon_cuts_off(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.on("tick", lambda s, e: seen.append(e.time))
+        sim.schedule(Event(1.0, "tick"))
+        sim.schedule(Event(5.0, "tick"))
+        sim.run(2.0)
+        assert seen == [1.0]
+        assert sim.pending() == 1
+
+    def test_past_event_rejected(self):
+        sim = DiscreteEventSimulator()
+        sim.on("tick", lambda s, e: None)
+        sim.schedule(Event(1.0, "tick"))
+        sim.run(2.0)
+        with pytest.raises(ValueError):
+            sim.schedule(Event(1.0, "tick"))
+
+    def test_unknown_kind_raises(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule(Event(0.0, "mystery"))
+        with pytest.raises(KeyError):
+            sim.run(1.0)
+
+
+class TestSimulator:
+    def test_availability_in_unit_interval(self):
+        pool = WorkerPool(generate_workers(300, seed=6))
+        simulator = PlatformSimulator(pool, seed=7)
+        for window in PAPER_WINDOWS:
+            obs = simulator.run_window(window, "translation")
+            assert 0.0 <= obs.availability <= 1.0
+            assert obs.engaged <= obs.recruited
+
+    def test_window2_richest_on_average(self):
+        pool = WorkerPool(generate_workers(300, seed=8))
+        simulator = PlatformSimulator(pool, seed=9)
+        results = simulator.observe_availability(repetitions=8)
+        means = {name: float(np.mean(v)) for name, v in results.items()}
+        w1, w2, w3 = (means[w.name] for w in PAPER_WINDOWS)
+        assert w2 >= w1 and w2 >= w3
+
+    def test_empty_pool_yields_zero(self):
+        pool = WorkerPool([])
+        simulator = PlatformSimulator(pool, seed=10)
+        obs = simulator.run_window(PAPER_WINDOWS[0], "translation")
+        assert obs.availability == 0.0
+        assert obs.engaged_workers == ()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentWindow("w", 0.0, 0.5)
+        with pytest.raises(ValueError):
+            DeploymentWindow("w", 10.0, 1.5)
+
+
+class TestHistory:
+    def test_filters(self):
+        log = HistoryLog()
+        log.extend(
+            [
+                AvailabilityRecord("w1", "translation", "SEQ-IND-CRO", 0.5),
+                AvailabilityRecord("w2", "translation", "SIM-COL-CRO", 0.7),
+                AvailabilityRecord("w1", "creation", "SEQ-IND-CRO", 0.9),
+            ]
+        )
+        assert len(log) == 3
+        assert len(log.records(task_type="translation")) == 2
+        assert log.samples(task_type="creation") == [0.9]
+        assert len(log.records(window_name="w1")) == 2
+        assert len(log.records(strategy_name="SIM-COL-CRO")) == 1
+
+    def test_estimate_distribution(self):
+        log = HistoryLog()
+        for value in (0.5, 0.6, 0.7, 0.8):
+            log.add(AvailabilityRecord("w", "t", "s", value))
+        dist = log.estimate_distribution(task_type="t", bins=4)
+        assert dist.expectation() == pytest.approx(0.65, abs=0.05)
+
+    def test_estimate_empty_raises(self):
+        with pytest.raises(ValueError):
+            HistoryLog().estimate_distribution(task_type="t")

@@ -1,0 +1,88 @@
+"""Unit tests for the from-scratch R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box3
+from repro.geometry.point import Point3
+from repro.index.rtree import RTree
+
+
+def random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Point3(*row) for row in rng.uniform(0, 1, size=(n, 3))]
+
+
+class TestConstruction:
+    def test_min_fanout_guard(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        tree.check_invariants()
+        assert tree.query_box(Box3(Point3(0, 0, 0), Point3(1, 1, 1))) == []
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 257])
+    def test_bulk_load_sizes(self, n):
+        tree = RTree.bulk_load(random_points(n), max_entries=8)
+        assert len(tree) == n
+        tree.check_invariants()
+
+    def test_payload_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(random_points(4), payloads=[1, 2])
+
+    def test_payloads_default_to_indices(self):
+        points = random_points(20, seed=3)
+        tree = RTree.bulk_load(points)
+        found = tree.query_box(Box3(Point3(0, 0, 0), Point3(1, 1, 1)))
+        assert sorted(payload for _, payload in found) == list(range(20))
+
+
+class TestInsert:
+    def test_incremental_inserts_keep_invariants(self):
+        tree = RTree(max_entries=4)
+        for i, point in enumerate(random_points(100, seed=1)):
+            tree.insert(point, i)
+        assert len(tree) == 100
+        tree.check_invariants()
+
+    def test_insert_then_query(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Point3(0.5, 0.5, 0.5), 42)
+        results = tree.query_box(Box3(Point3(0, 0, 0), Point3(1, 1, 1)))
+        assert results == [(Point3(0.5, 0.5, 0.5), 42)]
+
+
+class TestQuery:
+    def test_query_matches_naive_filter(self):
+        points = random_points(200, seed=2)
+        tree = RTree.bulk_load(points)
+        box = Box3(Point3(0.2, 0.2, 0.2), Point3(0.7, 0.7, 0.7))
+        got = sorted(payload for _, payload in tree.query_box(box))
+        expected = sorted(i for i, p in enumerate(points) if box.contains(p))
+        assert got == expected
+
+    def test_query_degenerate_box(self):
+        points = [Point3(0.5, 0.5, 0.5), Point3(0.6, 0.6, 0.6)]
+        tree = RTree.bulk_load(points)
+        box = Box3(Point3(0.5, 0.5, 0.5), Point3(0.5, 0.5, 0.5))
+        assert [p for p, _ in tree.query_box(box)] == [Point3(0.5, 0.5, 0.5)]
+
+
+class TestIteration:
+    def test_iter_nodes_visits_every_leaf_point(self):
+        points = random_points(120, seed=4)
+        tree = RTree.bulk_load(points, max_entries=6)
+        total = sum(
+            len(node.entries) for node in tree.iter_nodes() if node.is_leaf
+        )
+        assert total == 120
+
+    def test_node_counts_match(self):
+        tree = RTree.bulk_load(random_points(50, seed=5))
+        assert tree.root.count_points() == 50

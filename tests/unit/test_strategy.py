@@ -1,0 +1,146 @@
+"""Unit tests for strategies, profiles and ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import TriParams
+from repro.core.strategy import (
+    Organization,
+    Strategy,
+    StrategyEnsemble,
+    StrategyProfile,
+    Structure,
+    Style,
+    full_catalog,
+    paper_catalog,
+)
+from repro.exceptions import UnknownStrategyError
+from repro.modeling.linear import LinearModel
+from repro.modeling.modelbank import ParamModels
+
+
+class TestStrategyIdentity:
+    def test_name_format(self):
+        s = Strategy(Structure.SEQUENTIAL, Organization.INDEPENDENT, Style.CROWD)
+        assert s.name == "SEQ-IND-CRO"
+
+    def test_from_name_roundtrip(self):
+        for s in full_catalog():
+            assert Strategy.from_name(s.name) == s
+
+    def test_from_name_case_insensitive(self):
+        assert Strategy.from_name("sim-col-cro").name == "SIM-COL-CRO"
+
+    @pytest.mark.parametrize("bad", ["SEQ-IND", "FOO-IND-CRO", "", "SEQINDCRO"])
+    def test_from_name_rejects_garbage(self, bad):
+        with pytest.raises(UnknownStrategyError):
+            Strategy.from_name(bad)
+
+    def test_full_catalog_has_8_unique(self):
+        catalog = full_catalog()
+        assert len(catalog) == 8
+        assert len({s.name for s in catalog}) == 8
+
+    def test_paper_catalog_order(self):
+        names = [s.name for s in paper_catalog()]
+        assert names == ["SIM-COL-CRO", "SEQ-IND-CRO", "SIM-IND-CRO", "SIM-IND-HYB"]
+
+
+class TestStrategyProfile:
+    def test_estimate_uses_models(self, linear_param_models):
+        profile = StrategyProfile(paper_catalog()[1], linear_param_models)
+        params = profile.estimate(0.8)
+        assert params.quality == pytest.approx(0.09 * 0.8 + 0.85)
+        assert params.cost == pytest.approx(0.8)
+        assert params.latency == pytest.approx(1.40 - 0.98 * 0.8)
+
+    def test_estimate_clips_to_unit_interval(self, linear_param_models):
+        profile = StrategyProfile(paper_catalog()[1], linear_param_models)
+        assert profile.estimate(0.1).latency == 1.0  # 1.302 clipped
+
+    def test_label_overrides_name(self, linear_param_models):
+        profile = StrategyProfile(paper_catalog()[0], linear_param_models, label="x9")
+        assert profile.name == "x9"
+
+
+class TestEnsemble:
+    def test_from_params_names(self, table1_ensemble):
+        assert table1_ensemble.names == ["s1", "s2", "s3", "s4"]
+        assert len(table1_ensemble) == 4
+
+    def test_constant_models_estimate_identity(self, table1_strategies, table1_ensemble):
+        estimated = table1_ensemble.estimate_params(0.37)
+        for expected, got in zip(table1_strategies, estimated):
+            assert got.as_tuple() == pytest.approx(expected.as_tuple())
+
+    def test_estimate_matrix_columns_are_qcl(self, table1_ensemble):
+        matrix = table1_ensemble.estimate_matrix(1.0)
+        assert matrix.shape == (4, 3)
+        assert matrix[0].tolist() == pytest.approx([0.5, 0.25, 0.28])
+
+    def test_index_of(self, table1_ensemble):
+        assert table1_ensemble.index_of("s3") == 2
+        with pytest.raises(UnknownStrategyError):
+            table1_ensemble.index_of("nope")
+
+    def test_duplicate_names_rejected(self, table1_strategies):
+        with pytest.raises(ValueError):
+            StrategyEnsemble.from_params(table1_strategies, names=["a", "a", "b", "c"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyEnsemble([])
+
+
+class TestEnsembleFromArrays:
+    def test_lazy_profiles_match_arrays(self):
+        alpha = np.array([[0.1, 0.2, -0.3], [0.0, 0.5, -0.1]])
+        beta = np.array([[0.7, 0.0, 0.9], [0.8, 0.1, 0.6]])
+        ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+        assert len(ensemble) == 2
+        profile = ensemble[1]
+        assert profile.models.cost.alpha == 0.5
+        assert profile.models.latency.beta == 0.6
+        assert profile.name == "s2"
+
+    def test_iteration_materializes_all(self):
+        alpha = np.zeros((3, 3))
+        beta = np.full((3, 3), 0.5)
+        ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+        assert len(list(ensemble)) == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyEnsemble.from_arrays(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_bad_names_length_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyEnsemble.from_arrays(
+                np.zeros((2, 3)), np.zeros((2, 3)), names=["only-one"]
+            )
+
+    def test_index_of_builds_lazily(self):
+        ensemble = StrategyEnsemble.from_arrays(np.zeros((5, 3)), np.zeros((5, 3)))
+        assert ensemble.index_of("s4") == 3
+
+
+def test_ensemble_from_profiles_and_arrays_agree(linear_param_models):
+    profiles = [
+        StrategyProfile(paper_catalog()[0], linear_param_models, label="a"),
+        StrategyProfile(
+            paper_catalog()[1],
+            ParamModels(
+                quality=LinearModel(0.2, 0.6),
+                cost=LinearModel(0.9, 0.05),
+                latency=LinearModel(-0.5, 1.0),
+            ),
+            label="b",
+        ),
+    ]
+    via_profiles = StrategyEnsemble(profiles)
+    via_arrays = StrategyEnsemble.from_arrays(
+        via_profiles.alpha, via_profiles.beta, names=["a", "b"]
+    )
+    np.testing.assert_allclose(
+        via_profiles.estimate_matrix(0.63), via_arrays.estimate_matrix(0.63)
+    )

@@ -1,0 +1,90 @@
+"""Unit tests for sweep-line machinery (events + ParetoSweep)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sweepline import ParetoSweep, SweepEvent, build_relaxation_events
+
+
+class TestEvents:
+    def test_event_count_and_order(self):
+        relax = np.array([[0.3, 0.05, 0.0], [0.05, 0.13, 0.0]])
+        events = build_relaxation_events(relax)
+        assert len(events) == 6
+        values = [e.value for e in events]
+        assert values == sorted(values)
+
+    def test_event_labels(self):
+        relax = np.array([[0.1, 0.2, 0.3]])
+        events = build_relaxation_events(relax)
+        assert [e.dimension_label for e in events] == ["C", "Q", "L"]
+
+    def test_deterministic_tie_break(self):
+        relax = np.zeros((2, 3))
+        events = build_relaxation_events(relax)
+        keys = [(e.strategy, e.dimension) for e in events]
+        assert keys == sorted(keys)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            build_relaxation_events(np.zeros((3, 2)))
+
+
+def naive_best_bound(ys, zs, k):
+    """Reference: enumerate all (Y, Z) candidate pairs."""
+    best = None
+    n = len(ys)
+    for yi in range(n):
+        for zi in range(n):
+            y, z = ys[yi], zs[zi]
+            covered = sum(1 for i in range(n) if ys[i] <= y and zs[i] <= z)
+            if covered >= k:
+                obj = y * y + z * z
+                if best is None or obj < best[0]:
+                    best = (obj, y, z)
+    return best
+
+
+class TestParetoSweep:
+    def test_frontier_covers_k(self):
+        ys = [0.1, 0.2, 0.3, 0.4]
+        zs = [0.4, 0.3, 0.2, 0.1]
+        sweep = ParetoSweep(ys, zs)
+        for y, z in sweep.frontier(2):
+            covered = sum(1 for a, b in zip(ys, zs) if a <= y and b <= z)
+            assert covered >= 2
+
+    def test_frontier_empty_when_insufficient_points(self):
+        sweep = ParetoSweep([0.1], [0.1])
+        assert list(sweep.frontier(2)) == []
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            list(ParetoSweep([0.1], [0.1]).frontier(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoSweep([0.1, 0.2], [0.1])
+
+    def test_best_bound_matches_naive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = int(rng.integers(2, 12))
+            k = int(rng.integers(1, n + 1))
+            ys = rng.uniform(0, 1, n).tolist()
+            zs = rng.uniform(0, 1, n).tolist()
+            got = ParetoSweep(ys, zs).best_bound(k)
+            expected = naive_best_bound(ys, zs, k)
+            assert got is not None and expected is not None
+            assert got[0] ** 2 + got[1] ** 2 == pytest.approx(expected[0])
+
+    def test_best_bound_none_when_insufficient(self):
+        assert ParetoSweep([0.1], [0.2]).best_bound(3) is None
+
+    def test_frontier_z_strictly_improves(self):
+        rng = np.random.default_rng(1)
+        ys = rng.uniform(0, 1, 30)
+        zs = rng.uniform(0, 1, 30)
+        frontier = list(ParetoSweep(ys, zs).frontier(5))
+        z_values = [z for _, z in frontier]
+        assert all(b < a for a, b in zip(z_values, z_values[1:]))

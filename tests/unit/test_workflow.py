@@ -1,0 +1,140 @@
+"""Unit tests for multi-stage workflow strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.adpar import ADPaRExact
+from repro.core.batchstrat import BatchStrat
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import Strategy, StrategyProfile
+from repro.core.workflow import (
+    WorkflowStrategy,
+    enumerate_workflows,
+    workflow_ensemble,
+)
+from repro.experiments.fig13_effectiveness import build_model_bank
+from repro.modeling.linear import LinearModel
+from repro.modeling.modelbank import ParamModels
+
+
+def stage(name, q=(0.1, 0.8), c=(1.0, 0.0), l=(-0.5, 1.0)):
+    return StrategyProfile(
+        strategy=Strategy.from_name(name),
+        models=ParamModels(
+            quality=LinearModel(*q), cost=LinearModel(*c), latency=LinearModel(*l)
+        ),
+    )
+
+
+class TestWorkflowStrategy:
+    def test_name_joins_stages(self):
+        wf = WorkflowStrategy(stages=(stage("SEQ-IND-CRO"), stage("SIM-COL-CRO")))
+        assert wf.name == "SEQ-IND-CRO > SIM-COL-CRO"
+        assert len(wf) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowStrategy(stages=())
+
+    def test_bad_refinement_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowStrategy(stages=(stage("SEQ-IND-CRO"),), refinement=0.0)
+
+    def test_single_stage_composes_to_itself(self):
+        single = stage("SEQ-IND-CRO")
+        wf = WorkflowStrategy(stages=(single,))
+        models = wf.compose_models()
+        assert models.quality.as_tuple() == single.models.quality.as_tuple()
+        assert models.cost.as_tuple() == single.models.cost.as_tuple()
+        assert models.latency.as_tuple() == single.models.latency.as_tuple()
+
+    def test_quality_blend_weights_later_stages_more(self):
+        weak_then_strong = WorkflowStrategy(
+            stages=(stage("SEQ-IND-CRO", q=(0.0, 0.5)), stage("SIM-COL-CRO", q=(0.0, 0.9)))
+        )
+        strong_then_weak = WorkflowStrategy(
+            stages=(stage("SEQ-IND-CRO", q=(0.0, 0.9)), stage("SIM-COL-CRO", q=(0.0, 0.5)))
+        )
+        assert (
+            weak_then_strong.compose_models().quality.beta
+            > strong_then_weak.compose_models().quality.beta
+        )
+
+    def test_cost_and_latency_average_over_stages(self):
+        wf = WorkflowStrategy(
+            stages=(stage("SEQ-IND-CRO", c=(1.0, 0.0)), stage("SIM-COL-CRO", c=(0.5, 0.2)))
+        )
+        models = wf.compose_models()
+        assert models.cost.alpha == pytest.approx(0.75)
+        assert models.cost.beta == pytest.approx(0.1)
+
+    def test_composition_preserves_linearity(self):
+        wf = WorkflowStrategy(stages=(stage("SEQ-IND-CRO"), stage("SIM-COL-CRO")))
+        models = wf.compose_models()
+        for availability in (0.2, 0.5, 0.9):
+            direct = models.quality.predict(availability)
+            weights = np.array([0.6, 1.0]) / 1.6
+            blended = sum(
+                w * s.models.quality.predict(availability)
+                for w, s in zip(weights, wf.stages)
+            )
+            assert direct == pytest.approx(blended)
+
+
+class TestEnumeration:
+    @pytest.fixture
+    def bank(self):
+        return build_model_bank(("translation",))
+
+    def test_full_enumeration_size(self, bank):
+        workflows = enumerate_workflows(2, bank, "translation")
+        assert len(workflows) == 64  # 8 strategies ^ 2 stages
+
+    def test_limit_caps_enumeration(self, bank):
+        workflows = enumerate_workflows(3, bank, "translation", limit=100)
+        assert len(workflows) == 100
+
+    def test_empty_bank_rejected(self):
+        from repro.modeling.modelbank import ModelBank
+
+        with pytest.raises(ValueError):
+            enumerate_workflows(2, ModelBank(), "translation")
+
+    def test_bad_limit_rejected(self, bank):
+        with pytest.raises(ValueError):
+            enumerate_workflows(2, bank, "translation", limit=0)
+
+
+class TestEnsembleIntegration:
+    @pytest.fixture
+    def ensemble(self):
+        bank = build_model_bank(("translation",))
+        workflows = enumerate_workflows(2, bank, "translation")
+        return workflow_ensemble(workflows)
+
+    def test_ensemble_size_and_names(self, ensemble):
+        assert len(ensemble) == 64
+        assert ensemble.names[0].startswith("w1:")
+
+    def test_batchstrat_over_workflows(self, ensemble):
+        request = DeploymentRequest(
+            "wf-req", TriParams(quality=0.8, cost=0.9, latency=1.0), k=3
+        )
+        outcome = BatchStrat(ensemble, 0.8, workforce_mode="strict").run(
+            [request], "throughput"
+        )
+        assert outcome.objective_value == 1.0
+        assert len(outcome.satisfied[0].strategy_names) == 3
+
+    def test_adpar_over_workflows(self, ensemble):
+        impossible = TriParams(quality=0.99, cost=0.05, latency=0.05)
+        result = ADPaRExact(ensemble, availability=0.8).solve(impossible, 5)
+        assert len(result.strategy_indices) == 5
+        params = ensemble.estimate_params(0.8)
+        covered = sum(1 for p in params if result.alternative.satisfied_by(p))
+        assert covered >= 5
+
+    def test_empty_workflow_list_rejected(self):
+        with pytest.raises(ValueError):
+            workflow_ensemble([])

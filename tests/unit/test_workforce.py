@@ -1,0 +1,200 @@
+"""Unit tests for workforce requirement computation (§3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble, StrategyProfile, paper_catalog
+from repro.core.workforce import WorkforceComputer, threshold_workforce
+from repro.modeling.linear import LinearModel
+from repro.modeling.modelbank import ParamModels
+
+
+def modeled_ensemble() -> StrategyEnsemble:
+    """Two modeled strategies: Table 6 translation pair."""
+    seq = ParamModels(
+        quality=LinearModel(0.09, 0.85),
+        cost=LinearModel(1.00, 0.00),
+        latency=LinearModel(-0.98, 1.40),
+    )
+    sim = ParamModels(
+        quality=LinearModel(0.09, 0.82),
+        cost=LinearModel(0.82, 0.17),
+        latency=LinearModel(-0.63, 1.01),
+    )
+    return StrategyEnsemble(
+        [
+            StrategyProfile(paper_catalog()[1], seq, label="SEQ"),
+            StrategyProfile(paper_catalog()[0], sim, label="SIM"),
+        ]
+    )
+
+
+class TestThresholdWorkforce:
+    def test_lower_bound_increasing_model(self):
+        # quality = 0.5·w + 0.5, need >= 0.75 -> w >= 0.5
+        out = threshold_workforce(np.array([0.5]), np.array([0.5]), 0.75, True)
+        assert out[0] == pytest.approx(0.5)
+
+    def test_lower_bound_already_met(self):
+        out = threshold_workforce(np.array([0.5]), np.array([0.9]), 0.75, True)
+        assert out[0] == 0.0
+
+    def test_lower_bound_constant_infeasible(self):
+        out = threshold_workforce(np.array([0.0]), np.array([0.5]), 0.75, True)
+        assert math.isinf(out[0])
+
+    def test_upper_bound_decreasing_model(self):
+        # latency = 1.4 - 0.98·w, need <= 1.0 -> w >= (1.0-1.4)/-0.98
+        out = threshold_workforce(np.array([-0.98]), np.array([1.4]), 1.0, False)
+        assert out[0] == pytest.approx(0.40816, rel=1e-4)
+
+    def test_upper_bound_increasing_model_returns_cap(self):
+        # cost = w, need <= 0.7: the equality solve is 0.7 (the budget cap)
+        out = threshold_workforce(np.array([1.0]), np.array([0.0]), 0.7, False)
+        assert out[0] == pytest.approx(0.7)
+
+    def test_upper_bound_increasing_model_infeasible_base(self):
+        # cost = w + 0.9, budget 0.7 unreachable even at w=0
+        out = threshold_workforce(np.array([1.0]), np.array([0.9]), 0.7, False)
+        assert math.isinf(out[0])
+
+    def test_constant_upper_bound_ok(self):
+        out = threshold_workforce(np.array([0.0]), np.array([0.3]), 0.7, False)
+        assert out[0] == 0.0
+
+    def test_vectorized_mixed(self):
+        alpha = np.array([0.5, 0.0, -0.5])
+        beta = np.array([0.5, 0.9, 1.0])
+        out = threshold_workforce(alpha, beta, 0.75, True)
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == 0.0  # constant 0.9 >= 0.75
+        assert out[2] == pytest.approx(0.5)  # decreasing: holds for w <= 0.5
+
+
+class TestPaperMode:
+    def test_row_matches_scalar_path(self):
+        ensemble = modeled_ensemble()
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        computer = WorkforceComputer(ensemble, mode="paper")
+        row = computer.row(request)
+        for j, profile in enumerate(ensemble):
+            assert row[j] == pytest.approx(
+                profile.models.workforce_required(request, mode="paper")
+            )
+
+    def test_max_rule(self):
+        ensemble = modeled_ensemble()
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        row = WorkforceComputer(ensemble, mode="paper").row(request)
+        # SEQ: w_q=(0.9-0.85)/0.09=0.556, w_c=0.8, w_l=0.408 -> max 0.8
+        assert row[0] == pytest.approx(0.8)
+
+    def test_impossible_quality_is_inf(self):
+        ensemble = modeled_ensemble()
+        request = TriParams(quality=1.0, cost=1.0, latency=1.0)
+        row = WorkforceComputer(ensemble, mode="paper").row(request)
+        # 0.09·w+0.85 = 1.0 -> w = 1.67 > 1: finite but beyond the pool
+        assert row[0] == pytest.approx((1.0 - 0.85) / 0.09)
+
+
+class TestStrictMode:
+    def test_cost_is_cap_not_floor(self):
+        ensemble = modeled_ensemble()
+        request = TriParams(quality=0.9, cost=0.8, latency=1.0)
+        row = WorkforceComputer(ensemble, mode="strict").row(request)
+        # SEQ requirement = max(w_q=0.556, w_l=0.408), cap 0.8 not binding
+        assert row[0] == pytest.approx(0.5556, rel=1e-3)
+
+    def test_budget_below_need_is_infeasible(self):
+        ensemble = modeled_ensemble()
+        # SEQ needs w >= 0.556 for quality but cost = w <= 0.3 caps below it
+        request = TriParams(quality=0.9, cost=0.3, latency=1.0)
+        row = WorkforceComputer(ensemble, mode="strict").row(request)
+        assert math.isinf(row[0])
+
+    def test_strict_never_exceeds_paper(self):
+        ensemble = modeled_ensemble()
+        request = TriParams(quality=0.88, cost=0.9, latency=0.9)
+        paper = WorkforceComputer(ensemble, mode="paper").row(request)
+        strict = WorkforceComputer(ensemble, mode="strict").row(request)
+        for p, s in zip(paper, strict):
+            assert s <= p or math.isinf(s)
+
+
+class TestAggregation:
+    def test_sum_case(self, table1_ensemble):
+        request = DeploymentRequest("d", TriParams(0.5, 0.9, 0.9), k=2)
+        computer = WorkforceComputer(table1_ensemble, aggregation="sum")
+        agg = computer.aggregate(request)
+        row = computer.row(request.params)
+        expected = float(np.sort(row)[:2].sum())
+        assert agg.requirement == pytest.approx(expected)
+        assert len(agg.strategy_indices) == 2
+
+    def test_max_case_is_kth_smallest(self, table1_ensemble):
+        request = DeploymentRequest("d", TriParams(0.5, 0.9, 0.9), k=3)
+        computer = WorkforceComputer(table1_ensemble, aggregation="max")
+        agg = computer.aggregate(request)
+        row = computer.row(request.params)
+        assert agg.requirement == pytest.approx(float(np.sort(row)[2]))
+
+    def test_max_case_never_exceeds_sum_case(self, table1_ensemble):
+        request = DeploymentRequest("d", TriParams(0.5, 0.9, 0.9), k=3)
+        sum_req = WorkforceComputer(table1_ensemble, aggregation="sum").aggregate(request)
+        max_req = WorkforceComputer(table1_ensemble, aggregation="max").aggregate(request)
+        assert max_req.requirement <= sum_req.requirement + 1e-12
+
+    def test_infeasible_when_fewer_than_k_eligible(self, table1_ensemble):
+        request = DeploymentRequest("d", TriParams(0.95, 0.1, 0.1), k=3)
+        agg = WorkforceComputer(table1_ensemble).aggregate(request)
+        assert not agg.feasible
+        assert agg.strategy_indices == ()
+
+    def test_chosen_strategies_sorted_by_requirement(self, table1_ensemble):
+        request = DeploymentRequest("d", TriParams(0.5, 0.9, 0.9), k=4)
+        computer = WorkforceComputer(table1_ensemble)
+        agg = computer.aggregate(request)
+        row = computer.row(request.params)
+        values = [row[i] for i in agg.strategy_indices]
+        assert values == sorted(values)
+
+
+class TestEligibility:
+    def test_availability_mode_requires_value(self, table1_ensemble):
+        with pytest.raises(ValueError):
+            WorkforceComputer(table1_ensemble, eligibility="availability")
+
+    def test_availability_mode_tightens(self):
+        ensemble = modeled_ensemble()
+        request = DeploymentRequest("d", TriParams(0.9, 0.8, 1.0), k=1)
+        pool = WorkforceComputer(ensemble, mode="strict", eligibility="pool")
+        tight = WorkforceComputer(
+            ensemble, mode="strict", eligibility="availability", availability=0.3
+        )
+        assert pool.aggregate(request).feasible
+        assert not tight.aggregate(request).feasible
+
+
+class TestMatrix:
+    def test_matrix_shape_and_rows(self, table1_ensemble, table1_requests):
+        computer = WorkforceComputer(table1_ensemble)
+        matrix = computer.matrix(table1_requests)
+        assert matrix.shape == (3, 4)
+        np.testing.assert_allclose(matrix[0], computer.row(table1_requests[0].params))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "bogus"},
+        {"aggregation": "bogus"},
+        {"eligibility": "bogus"},
+    ],
+)
+def test_invalid_options_rejected(table1_ensemble, kwargs):
+    with pytest.raises(ValueError):
+        WorkforceComputer(table1_ensemble, **kwargs)
