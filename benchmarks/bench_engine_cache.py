@@ -1,0 +1,50 @@
+"""Bench: the engine's shared workforce/ADPaR cache, cold vs warm.
+
+A 1k-request workload resolved twice through one
+:class:`~repro.engine.RecommendationEngine`: the first (cold) pass fits
+per-request models and solves ADPaR fallbacks from scratch; the second
+(warm) pass answers from the cache.  The headline numbers land in
+``extra_info``; the assertion pins the qualitative claim — warm calls are
+measurably faster — so a cache regression fails the bench.
+"""
+
+import time
+
+from repro.engine import RecommendationEngine
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+N_STRATEGIES = 500
+M_REQUESTS = 1000
+
+
+def _cold_and_warm() -> tuple[float, float, int, int]:
+    ensemble = generate_strategy_ensemble(N_STRATEGIES, "uniform", seed=29)
+    requests = generate_requests(M_REQUESTS, k=10, seed=31)
+    engine = RecommendationEngine(
+        ensemble, 0.7, aggregation="max", workforce_mode="strict"
+    )
+    start = time.perf_counter()
+    first = engine.resolve(requests)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    second = engine.resolve(requests)
+    warm = time.perf_counter() - start
+    assert [r.status for r in first.resolutions] == [
+        r.status for r in second.resolutions
+    ]
+    return cold, warm, first.satisfied_count, engine.stats.hits
+
+
+def test_bench_engine_cache_cold_vs_warm(benchmark):
+    cold, warm, satisfied, hits = benchmark.pedantic(
+        _cold_and_warm, rounds=1, iterations=1
+    )
+    benchmark.extra_info["cold_s"] = round(cold, 4)
+    benchmark.extra_info["warm_s"] = round(warm, 4)
+    benchmark.extra_info["speedup"] = round(cold / warm, 1)
+    benchmark.extra_info["satisfied"] = satisfied
+    benchmark.extra_info["cache_hits"] = hits
+    assert hits >= M_REQUESTS  # warm pass served from the cache
+    assert warm < cold / 2, (
+        f"warm resolve ({warm:.3f}s) should beat cold ({cold:.3f}s) clearly"
+    )

@@ -2,13 +2,13 @@
 
 Walks the paper's running example (Table 1 / Example 2.1) end to end:
 three requesters submit deployment requests with quality/cost/latency
-thresholds, the Aggregator satisfies what the workforce allows, and ADPaR
-recommends alternative parameters for the rest.
+thresholds, the RecommendationEngine satisfies what the workforce
+allows, and ADPaR recommends alternative parameters for the rest.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Aggregator, ResolutionStatus, StrategyEnsemble, TriParams, make_requests
+from repro import RecommendationEngine, ResolutionStatus, StrategyEnsemble, TriParams, make_requests
 
 # --- 1. The candidate strategies (Table 1's s1..s4, estimated at W=0.8) ----
 strategies = StrategyEnsemble.from_params(
@@ -31,8 +31,11 @@ requests = make_requests(
 )
 
 # --- 3. Run the middle layer ----------------------------------------------
-aggregator = Aggregator(strategies, availability=0.8, objective="throughput")
-report = aggregator.process(requests)
+# The engine is the one seam all traffic flows through: swap planners with
+# planner="payoff-dp", share caches across engines, or open a streaming
+# session with engine.open_session().
+engine = RecommendationEngine(strategies, availability=0.8, objective="throughput")
+report = engine.resolve(requests)
 
 print(f"Worker availability (expected): {report.availability}")
 print(f"Satisfied {report.satisfied_count} of {len(requests)} requests\n")

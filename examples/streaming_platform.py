@@ -1,26 +1,28 @@
 """Streaming deployment admission — the paper's §7 open problem.
 
-Requests arrive one at a time; the platform admits what fits its worker
-availability, answers oversized requests with ADPaR alternatives instead
-of bare rejections, and recycles workforce when campaigns complete or are
-revoked.
+Requests arrive one at a time through an engine *session*; the platform
+admits what fits its worker availability, answers oversized requests with
+ADPaR alternatives instead of bare rejections, recycles workforce when
+campaigns complete or are revoked, and retries deferred requests once
+capacity frees.
 
 Run:  python examples/streaming_platform.py
 """
 
 import numpy as np
 
-from repro import DeploymentRequest, TriParams
-from repro.core.streaming import StreamingAggregator, StreamStatus
+from repro import DeploymentRequest, RecommendationEngine, TriParams
+from repro.core.streaming import StreamStatus
 from repro.workloads import generate_strategy_ensemble
 
 SEED = 13
 AVAILABILITY = 0.6
 
 ensemble = generate_strategy_ensemble(2000, distribution="uniform", seed=SEED)
-stream = StreamingAggregator(
+engine = RecommendationEngine(
     ensemble, AVAILABILITY, aggregation="max", workforce_mode="strict"
 )
+stream = engine.open_session()
 rng = np.random.default_rng(SEED + 1)
 
 print(f"Platform opens with availability W = {AVAILABILITY}\n")
@@ -58,6 +60,13 @@ for t in range(12):
         else:
             stream.complete(finished)
             print(f"      {finished} completed; remaining={stream.remaining:.3f}")
+
+# Capacity freed along the way: give deferred requests another chance.
+for decision in stream.retry_deferred():
+    print(
+        f"retry {decision.request.request_id}: {decision.status.value}"
+        f" remaining={stream.remaining:.3f}"
+    )
 
 print(
     f"\nadmitted={stream.admitted_count} completed={stream.completed_count} "

@@ -7,11 +7,16 @@ Public API highlights:
   3-parameter deployment space.
 * :class:`repro.StrategyEnsemble` — candidate strategies with linear
   parameter models (Equation 4).
+* :class:`repro.RecommendationEngine` — the unified service layer all
+  traffic flows through: pluggable planner backends, a shared
+  workforce/ADPaR cache, batch resolution, and streaming sessions
+  (:meth:`~repro.RecommendationEngine.open_session`).
 * :class:`repro.BatchStrat` — batch deployment recommendation
-  (throughput exact, pay-off 1/2-approximate).
+  (throughput exact, pay-off 1/2-approximate); the ``batch-greedy``
+  backend.
 * :class:`repro.ADPaRExact` — exact alternative-parameter recommendation.
 * :class:`repro.Aggregator` / :class:`repro.StratRec` — the end-to-end
-  middle layer.
+  middle layer (now thin shims over the engine).
 * :mod:`repro.platform` / :mod:`repro.execution` — the simulated crowd
   platform and strategy execution engine standing in for AMT.
 * :mod:`repro.experiments` — regenerates every table and figure of §5.
@@ -36,15 +41,23 @@ from repro.core import (
     make_requests,
     paper_catalog,
 )
+from repro.engine import (
+    EngineCache,
+    EngineSession,
+    PlannerRegistry,
+    RecommendationEngine,
+    default_registry,
+)
 from repro.exceptions import (
     InfeasibleRequestError,
     ModelNotFittedError,
     ReproError,
+    UnknownPlannerError,
     UnknownStrategyError,
 )
 from repro.modeling import AvailabilityDistribution, LinearModel, ModelBank, ParamModels
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TriParams",
@@ -64,6 +77,12 @@ __all__ = [
     "RequestResolution",
     "ResolutionStatus",
     "StratRec",
+    "RecommendationEngine",
+    "EngineSession",
+    "EngineCache",
+    "PlannerRegistry",
+    "default_registry",
+    "UnknownPlannerError",
     "LinearModel",
     "ParamModels",
     "ModelBank",

@@ -33,6 +33,7 @@ def batch_brute_force(
     aggregation: str = "sum",
     workforce_mode: str = "paper",
     eligibility: str = "pool",
+    computer: "WorkforceComputer | None" = None,
 ) -> BatchOutcome:
     """Optimal batch selection by subset enumeration.
 
@@ -45,13 +46,14 @@ def batch_brute_force(
         raise ValueError(
             f"brute force limited to m <= {MAX_BRUTE_FORCE_M}, got {len(requests)}"
         )
-    computer = WorkforceComputer(
-        ensemble,
-        mode=workforce_mode,
-        aggregation=aggregation,
-        eligibility=eligibility,
-        availability=availability,
-    )
+    if computer is None:
+        computer = WorkforceComputer(
+            ensemble,
+            mode=workforce_mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=availability,
+        )
     needs = computer.aggregate_all(requests)
     candidates = [
         (request, need)

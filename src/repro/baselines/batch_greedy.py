@@ -35,10 +35,11 @@ class BaselineG:
         aggregation: str = "sum",
         workforce_mode: str = "paper",
         eligibility: str = "pool",
+        computer: "WorkforceComputer | None" = None,
     ):
         self.ensemble = ensemble
         self.availability = float(availability)
-        self.computer = WorkforceComputer(
+        self.computer = computer if computer is not None else WorkforceComputer(
             ensemble,
             mode=workforce_mode,
             aggregation=aggregation,

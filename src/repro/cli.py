@@ -5,6 +5,11 @@ Usage::
     python -m repro list                  # enumerate experiments
     python -m repro run fig14 --quick     # regenerate one table/figure
     python -m repro run all               # the full report
+    python -m repro engine --planner payoff-dp   # resolve a synthetic batch
+
+``engine`` routes a synthetic workload through the
+:class:`~repro.engine.RecommendationEngine` with a selectable planner
+backend — the same path the experiment runners use.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable
+
+from repro.engine import RecommendationEngine, default_registry
 
 from repro.experiments.fig11_availability import run_fig11
 from repro.experiments.fig12_linearity import run_fig12
@@ -79,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the StratRec paper's tables and figures.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
@@ -88,18 +95,110 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced repetitions/sizes for a fast pass",
     )
+    engine = sub.add_parser(
+        "engine",
+        help="resolve a synthetic workload through the recommendation engine",
+    )
+    engine.add_argument(
+        "--planner",
+        choices=default_registry().names(),
+        default="batch-greedy",
+        help="planner backend deciding which requests to satisfy",
+    )
+    engine.add_argument("--strategies", type=int, default=200, help="|S|")
+    engine.add_argument("--requests", type=int, default=50, help="batch size m")
+    engine.add_argument("--k", type=int, default=5, help="strategies per request")
+    engine.add_argument(
+        "--availability", type=float, default=0.6, help="expected workforce W"
+    )
+    engine.add_argument(
+        "--objective", choices=("throughput", "payoff"), default="throughput"
+    )
+    engine.add_argument(
+        "--distribution", choices=("uniform", "normal"), default="uniform"
+    )
+    # max-case default (deploy one of the k): the sum-case needs k times
+    # the workforce and rarely fits small demo pools (cf. Figures 15/16).
+    engine.add_argument("--aggregation", choices=("sum", "max"), default="max")
+    engine.add_argument(
+        "--workforce-mode", choices=("paper", "strict"), default="paper"
+    )
+    engine.add_argument("--seed", type=int, default=7)
     return parser
 
 
+def run_engine(args, out) -> int:
+    """The ``engine`` subcommand: synthetic workload through one backend."""
+    from repro.utils.rng import spawn_rngs
+    from repro.workloads.generators import (
+        generate_requests,
+        generate_strategy_ensemble,
+    )
+
+    try:
+        rng_s, rng_r = spawn_rngs(args.seed, 2)
+        ensemble = generate_strategy_ensemble(
+            args.strategies, args.distribution, rng_s
+        )
+        requests = generate_requests(
+            args.requests, k=min(args.k, args.strategies), seed=rng_r
+        )
+        engine = RecommendationEngine(
+            ensemble,
+            args.availability,
+            objective=args.objective,
+            aggregation=args.aggregation,
+            workforce_mode=args.workforce_mode,
+            planner=args.planner,
+        )
+    except ValueError as exc:
+        print(f"repro engine: error: {exc}", file=sys.stderr)
+        return 2
+    report = engine.resolve(requests)
+    stats = engine.stats
+    print(
+        f"planner={args.planner} |S|={args.strategies} m={args.requests} "
+        f"k={args.k} W={args.availability} objective={args.objective}",
+        file=out,
+    )
+    print(
+        f"satisfied={report.satisfied_count} "
+        f"alternative={report.alternative_count} "
+        f"infeasible={len(report.resolutions) - report.satisfied_count - report.alternative_count}",
+        file=out,
+    )
+    print(
+        f"objective_value={report.batch.objective_value:.3f} "
+        f"workforce_used={report.batch.workforce_used:.3f}/{report.availability:.3f}",
+        file=out,
+    )
+    print(
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate():.0%})",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: "list[str] | None" = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    No subcommand prints usage and exits non-zero; unknown subcommands
+    exit non-zero via argparse (which also prints usage).
+    """
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(out)
+        return 2
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}", file=out)
         return 0
+    if args.command == "engine":
+        return run_engine(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, factory = EXPERIMENTS[name]

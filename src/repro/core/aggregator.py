@@ -5,6 +5,12 @@ availability from the pool, runs BatchStrat under a platform objective,
 and routes every request BatchStrat could not serve to ADPaR one by one,
 attaching the alternative parameters (and their k strategies) to the
 response.
+
+This module owns the *data model* of a resolved batch
+(:class:`ResolutionStatus`, :class:`RequestResolution`,
+:class:`AggregatorReport`); since the engine refactor the orchestration
+itself lives in :class:`repro.engine.RecommendationEngine` and
+:class:`Aggregator` is a thin compatibility shim over it.
 """
 
 from __future__ import annotations
@@ -12,12 +18,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.core.adpar import ADPaRExact, ADPaRResult
-from repro.core.batchstrat import BatchOutcome, BatchStrat
+from repro.core.adpar import ADPaRResult
+from repro.core.batchstrat import BatchOutcome
 from repro.core.params import TriParams
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.exceptions import InfeasibleRequestError
 from repro.modeling.availability import AvailabilityDistribution
 
 
@@ -76,6 +81,11 @@ class AggregatorReport:
 class Aggregator:
     """Batch front end: BatchStrat + ADPaR routing.
 
+    Compatibility shim: constructs a
+    :class:`~repro.engine.RecommendationEngine` and forwards to it.  New
+    code should use the engine directly (planner backends, shared caches,
+    and sessions are only reachable there).
+
     Parameters
     ----------
     ensemble:
@@ -86,6 +96,9 @@ class Aggregator:
         matching §2.1's "StratRec works with expected values").
     objective, aggregation, workforce_mode, eligibility:
         Forwarded to :class:`BatchStrat` / the workforce computer.
+    engine:
+        Adopt an existing engine instead of building one (its
+        configuration wins over the other arguments).
     """
 
     def __init__(
@@ -96,64 +109,25 @@ class Aggregator:
         aggregation: str = "sum",
         workforce_mode: str = "paper",
         eligibility: str = "pool",
+        engine: "object | None" = None,
     ):
-        if isinstance(availability, AvailabilityDistribution):
-            availability = availability.expectation()
-        self.availability = float(availability)
-        self.objective = objective
-        self.ensemble = ensemble
-        self._batchstrat = BatchStrat(
-            ensemble,
-            self.availability,
-            aggregation=aggregation,
-            workforce_mode=workforce_mode,
-            eligibility=eligibility,
-        )
-        self._adpar = ADPaRExact(ensemble, availability=self.availability)
+        # Imported lazily: repro.engine imports this module's data model.
+        from repro.engine import RecommendationEngine
+
+        if engine is None:
+            engine = RecommendationEngine(
+                ensemble,
+                availability,
+                objective=objective,
+                aggregation=aggregation,
+                workforce_mode=workforce_mode,
+                eligibility=eligibility,
+            )
+        self.engine: RecommendationEngine = engine
+        self.ensemble = self.engine.ensemble
+        self.availability = self.engine.availability
+        self.objective = self.engine.objective
 
     def process(self, requests: "list[DeploymentRequest]") -> AggregatorReport:
         """Serve a batch: optimize, then recommend alternatives for the rest."""
-        ids = [r.request_id for r in requests]
-        if len(set(ids)) != len(ids):
-            raise ValueError("request ids within a batch must be unique")
-        batch = self._batchstrat.run(requests, objective=self.objective)
-        resolutions: list[RequestResolution] = []
-        satisfied_by_id = {rec.request_id: rec for rec in batch.satisfied}
-        for request in requests:
-            if request.request_id in satisfied_by_id:
-                rec = satisfied_by_id[request.request_id]
-                resolutions.append(
-                    RequestResolution(
-                        request=request,
-                        status=ResolutionStatus.SATISFIED,
-                        strategy_names=rec.strategy_names,
-                        params=request.params,
-                    )
-                )
-                continue
-            resolutions.append(self._resolve_via_adpar(request))
-        return AggregatorReport(
-            availability=self.availability,
-            objective=self.objective,
-            batch=batch,
-            resolutions=tuple(resolutions),
-        )
-
-    def _resolve_via_adpar(self, request: DeploymentRequest) -> RequestResolution:
-        try:
-            result = self._adpar.solve(request)
-        except InfeasibleRequestError:
-            return RequestResolution(
-                request=request,
-                status=ResolutionStatus.INFEASIBLE,
-                strategy_names=(),
-                params=request.params,
-            )
-        return RequestResolution(
-            request=request,
-            status=ResolutionStatus.ALTERNATIVE,
-            strategy_names=result.strategy_names,
-            params=result.alternative,
-            distance=result.distance,
-            adpar=result,
-        )
+        return self.engine.resolve(requests)

@@ -84,10 +84,11 @@ class BatchStrat:
         aggregation: str = "sum",
         workforce_mode: str = "paper",
         eligibility: str = "pool",
+        computer: "WorkforceComputer | None" = None,
     ):
         self.ensemble = ensemble
         self.availability = check_fraction("availability", availability)
-        self.computer = WorkforceComputer(
+        self.computer = computer if computer is not None else WorkforceComputer(
             ensemble,
             mode=workforce_mode,
             aggregation=aggregation,

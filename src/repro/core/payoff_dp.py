@@ -41,6 +41,7 @@ def payoff_dynamic_program(
     aggregation: str = "sum",
     workforce_mode: str = "paper",
     eligibility: str = "pool",
+    computer: "WorkforceComputer | None" = None,
 ) -> BatchOutcome:
     """Solve batch deployment as a discretized 0/1-knapsack.
 
@@ -51,13 +52,14 @@ def payoff_dynamic_program(
     validate_objective(objective)
     if resolution < 1:
         raise ValueError("resolution must be >= 1")
-    computer = WorkforceComputer(
-        ensemble,
-        mode=workforce_mode,
-        aggregation=aggregation,
-        eligibility=eligibility,
-        availability=availability,
-    )
+    if computer is None:
+        computer = WorkforceComputer(
+            ensemble,
+            mode=workforce_mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=availability,
+        )
     needs = computer.aggregate_all(requests)
     candidates = []
     infeasible = []

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.aggregator import Aggregator, AggregatorReport
+from repro.core.aggregator import AggregatorReport
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import Strategy, StrategyEnsemble, StrategyProfile
 from repro.exceptions import UnknownStrategyError
@@ -47,6 +47,13 @@ class StratRec:
         ``task_type -> AvailabilityDistribution``.
     objective:
         Platform goal used when triaging batches.
+    planner:
+        Planner backend name used by the per-task-type engines.
+    cache:
+        Shared :class:`repro.engine.EngineCache`; one private cache is
+        created (and shared across all task types) when omitted, so
+        repeated consultations with the same thresholds are served from
+        memory.
     """
 
     def __init__(
@@ -57,13 +64,20 @@ class StratRec:
         aggregation: str = "sum",
         workforce_mode: str = "paper",
         eligibility: str = "pool",
+        planner: str = "batch-greedy",
+        cache: "object | None" = None,
     ):
+        from repro.engine import EngineCache
+
         self.model_bank = model_bank
         self._availability = availability
         self.objective = objective
         self.aggregation = aggregation
         self.workforce_mode = workforce_mode
         self.eligibility = eligibility
+        self.planner = planner
+        self.cache = cache if cache is not None else EngineCache()
+        self._engines: dict = {}
 
     # ----------------------------------------------------------------- lookup
     def availability_for(self, task_type: str) -> AvailabilityDistribution:
@@ -91,9 +105,36 @@ class StratRec:
         ]
         return StrategyEnsemble(profiles)
 
+    def engine_for(self, task_type: str):
+        """The recommendation engine serving one task type.
+
+        The ensemble is rebuilt from the (possibly re-calibrated) model
+        bank on every call — matching the seed's per-call Aggregator — and
+        the engine is memoized by its content fingerprint, so a bank
+        update transparently yields a fresh engine while unchanged banks
+        reuse the old one.  Engines share :attr:`cache`, so workforce
+        aggregates and ADPaR results persist across consultations.
+        """
+        from repro.engine import RecommendationEngine, ensemble_fingerprint
+
+        ensemble = self.ensemble_for(task_type)
+        key = (task_type, ensemble_fingerprint(ensemble))
+        if key not in self._engines:
+            self._engines[key] = RecommendationEngine(
+                ensemble,
+                self.availability_for(task_type),
+                objective=self.objective,
+                aggregation=self.aggregation,
+                workforce_mode=self.workforce_mode,
+                eligibility=self.eligibility,
+                planner=self.planner,
+                cache=self.cache,
+            )
+        return self._engines[key]
+
     # ------------------------------------------------------------------ batch
     def deploy_batch(self, requests: "list[DeploymentRequest]") -> AggregatorReport:
-        """Serve a batch of same-task-type requests through the Aggregator."""
+        """Serve a batch of same-task-type requests through the engine."""
         if not requests:
             raise ValueError("batch must contain at least one request")
         task_types = {r.task_type for r in requests}
@@ -101,16 +142,7 @@ class StratRec:
             raise ValueError(
                 f"a batch must share one task type, got {sorted(task_types)}"
             )
-        task_type = requests[0].task_type
-        aggregator = Aggregator(
-            self.ensemble_for(task_type),
-            self.availability_for(task_type),
-            objective=self.objective,
-            aggregation=self.aggregation,
-            workforce_mode=self.workforce_mode,
-            eligibility=self.eligibility,
-        )
-        return aggregator.process(requests)
+        return self.engine_for(requests[0].task_type).resolve(requests)
 
     # ----------------------------------------------------------------- single
     def recommend_strategy(self, request: DeploymentRequest) -> StrategyAdvice:

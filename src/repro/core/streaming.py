@@ -2,11 +2,17 @@
 
 "How to design StratRec for a fully dynamic stream-like setting of
 incoming deployment requests, where the deployment requests could be
-revoked, remains an important open problem."  This module implements the
-natural online counterpart of BatchStrat: requests arrive one at a time,
-a workforce ledger tracks the remaining availability, admitted requests
-hold a reservation until completed or revoked, and requests that do not
-fit are answered with ADPaR alternatives instead of a bare rejection.
+revoked, remains an important open problem."  This module defines the
+stream decision data model and the legacy :class:`StreamingAggregator`
+interface: requests arrive one at a time, a workforce ledger tracks the
+remaining availability, admitted requests hold a reservation until
+completed or revoked, and requests that do not fit are answered with
+ADPaR alternatives instead of a bare rejection.
+
+Since the engine refactor the ledger itself lives in
+:class:`repro.engine.EngineSession` (which adds deferred-retry);
+:class:`StreamingAggregator` is a thin compatibility shim over one
+session.
 
 Online greedy admission has no competitive guarantee for pay-off (the
 adversary can always burn the budget) — this is an engineering extension,
@@ -18,15 +24,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.core.adpar import ADPaRExact, ADPaRResult
+from repro.core.adpar import ADPaRResult
 from repro.core.params import TriParams
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.core.workforce import WorkforceComputer
-from repro.exceptions import InfeasibleRequestError
-from repro.utils.validation import check_fraction
-
-_EPS = 1e-9
 
 
 class StreamStatus(enum.Enum):
@@ -52,7 +53,8 @@ class StreamDecision:
 class StreamingAggregator:
     """Online admission with a workforce ledger and revocation.
 
-    Parameters mirror :class:`~repro.core.batchstrat.BatchStrat`.  The
+    Compatibility shim over :meth:`RecommendationEngine.open_session`;
+    parameters mirror :class:`~repro.core.batchstrat.BatchStrat`.  The
     ledger starts at ``availability`` and is debited on admission and
     credited on :meth:`revoke` / :meth:`complete`.
     """
@@ -64,96 +66,67 @@ class StreamingAggregator:
         aggregation: str = "sum",
         workforce_mode: str = "paper",
         eligibility: str = "pool",
+        engine: "object | None" = None,
     ):
-        self.ensemble = ensemble
-        self.availability = check_fraction("availability", availability)
-        self._computer = WorkforceComputer(
-            ensemble,
-            mode=workforce_mode,
-            aggregation=aggregation,
-            eligibility=eligibility,
-            availability=self.availability,
-        )
-        self._adpar = ADPaRExact(ensemble, availability=self.availability)
-        self._reserved: dict[str, StreamDecision] = {}
-        self._used = 0.0
-        self.admitted_count = 0
-        self.revoked_count = 0
-        self.completed_count = 0
+        # Imported lazily: repro.engine imports this module's data model.
+        from repro.engine import RecommendationEngine
+
+        if engine is None:
+            engine = RecommendationEngine(
+                ensemble,
+                availability,
+                aggregation=aggregation,
+                workforce_mode=workforce_mode,
+                eligibility=eligibility,
+            )
+        self.engine: RecommendationEngine = engine
+        self.ensemble = self.engine.ensemble
+        self.availability = self.engine.availability
+        self._session = self.engine.open_session()
 
     # ----------------------------------------------------------------- state
     @property
+    def session(self):
+        """The underlying :class:`repro.engine.EngineSession`."""
+        return self._session
+
+    @property
     def remaining(self) -> float:
         """Workforce still unreserved."""
-        return max(self.availability - self._used, 0.0)
+        return self._session.remaining
 
     @property
     def active(self) -> "dict[str, StreamDecision]":
         """Currently admitted (not yet completed/revoked) requests."""
-        return dict(self._reserved)
+        return self._session.active
+
+    @property
+    def admitted_count(self) -> int:
+        return self._session.admitted_count
+
+    @property
+    def revoked_count(self) -> int:
+        return self._session.revoked_count
+
+    @property
+    def completed_count(self) -> int:
+        return self._session.completed_count
 
     # ---------------------------------------------------------------- submit
     def submit(self, request: DeploymentRequest) -> StreamDecision:
         """Process one arriving request against the current ledger."""
-        if request.request_id in self._reserved:
-            raise ValueError(f"request {request.request_id!r} is already active")
-        need = self._computer.aggregate(request)
-        if not need.feasible:
-            return self._answer_infeasible(request)
-        if need.requirement <= self.remaining + _EPS:
-            decision = StreamDecision(
-                request=request,
-                status=StreamStatus.ADMITTED,
-                strategy_names=tuple(
-                    self.ensemble.names[i] for i in need.strategy_indices
-                ),
-                workforce_reserved=need.requirement,
-            )
-            self._reserved[request.request_id] = decision
-            self._used += need.requirement
-            self.admitted_count += 1
-            return decision
-        if need.requirement <= self.availability + _EPS:
-            # Would fit an empty platform: defer rather than mutate params.
-            return StreamDecision(request=request, status=StreamStatus.DEFERRED)
-        return self._answer_infeasible(request)
-
-    def _answer_infeasible(self, request: DeploymentRequest) -> StreamDecision:
-        try:
-            alternative = self._adpar.solve(request)
-        except InfeasibleRequestError:
-            return StreamDecision(request=request, status=StreamStatus.INFEASIBLE)
-        return StreamDecision(
-            request=request,
-            status=StreamStatus.ALTERNATIVE,
-            strategy_names=alternative.strategy_names,
-            alternative=alternative,
-        )
+        return self._session.submit(request)
 
     # ------------------------------------------------------------ lifecycle
     def revoke(self, request_id: str) -> float:
         """Cancel an admitted request; returns the workforce released."""
-        decision = self._release(request_id)
-        self.revoked_count += 1
-        return decision.workforce_reserved
+        return self._session.revoke(request_id)
 
     def complete(self, request_id: str) -> float:
         """Mark an admitted request finished; its workforce is released."""
-        decision = self._release(request_id)
-        self.completed_count += 1
-        return decision.workforce_reserved
-
-    def _release(self, request_id: str) -> StreamDecision:
-        try:
-            decision = self._reserved.pop(request_id)
-        except KeyError:
-            raise KeyError(f"no active reservation for {request_id!r}") from None
-        self._used = max(self._used - decision.workforce_reserved, 0.0)
-        return decision
+        return self._session.complete(request_id)
 
     # ---------------------------------------------------------------- stats
     def utilization(self) -> float:
         """Reserved fraction of the availability budget."""
-        if self.availability == 0:
-            return 0.0
-        return self._used / self.availability
+        return self._session.utilization()

@@ -8,8 +8,11 @@ the ``k`` smallest cells, Figure 3b); the *max-case* deploys only one of
 them (the ``k``-th smallest cell, Figure 3c).
 
 Everything here is vectorized over strategies so a single request row is
-one numpy pass even with millions of strategies; the full ``m × |S|``
-matrix is only materialized on demand (tests, the running example).
+one numpy pass even with millions of strategies.  The batch path
+(:meth:`WorkforceComputer.aggregate_all`) additionally vectorizes over
+*requests*: a block of requests is inverted against every strategy in one
+broadcasted ``(m, |S|)`` pass instead of a per-request Python loop, with
+block sizes capped so memory stays bounded on huge ensembles.
 """
 
 from __future__ import annotations
@@ -37,29 +40,37 @@ def threshold_workforce(
 
     Mirrors :func:`repro.modeling.modelbank._threshold_workforce`:
     the minimal workforce making the parameter constraint hold (0 when
-    free, ``inf`` when impossible).
+    free, ``inf`` when impossible).  One-target view of
+    :func:`threshold_workforce_grid`, so both paths share one rule.
     """
-    alpha = np.asarray(alpha, dtype=float)
-    beta = np.asarray(beta, dtype=float)
-    out = np.empty_like(alpha)
+    return threshold_workforce_grid(
+        alpha, beta, np.array([target], dtype=float), lower_bound
+    )[0]
 
-    constant = alpha == 0
-    if lower_bound:
-        out[constant] = np.where(beta[constant] >= target - _EPS, 0.0, math.inf)
-    else:
-        out[constant] = np.where(beta[constant] <= target + _EPS, 0.0, math.inf)
 
-    varying = ~constant
+def threshold_workforce_grid(
+    alpha: np.ndarray, beta: np.ndarray, targets: np.ndarray, lower_bound: bool
+) -> np.ndarray:
+    """Broadcasted Eq. 4 inversion: ``(m,)`` targets × ``(n,)`` strategies.
+
+    Returns the ``(m, n)`` grid of minimal workforces; element-for-element
+    it computes exactly what :func:`threshold_workforce` computes for each
+    target, so the two paths agree bitwise.
+    """
+    a = np.asarray(alpha, dtype=float)[None, :]
+    b = np.asarray(beta, dtype=float)[None, :]
+    t = np.asarray(targets, dtype=float)[:, None]
+    constant = a == 0
     with np.errstate(divide="ignore", invalid="ignore"):
-        solved = np.where(varying, (target - beta) / np.where(varying, alpha, 1.0), 0.0)
-    grows_toward = (alpha > 0) if lower_bound else (alpha < 0)
-    needs_at_least = varying & grows_toward
-    out[needs_at_least] = np.maximum(solved[needs_at_least], 0.0)
-    bounded_above = varying & ~grows_toward
-    out[bounded_above] = np.where(
-        solved[bounded_above] >= 0.0, solved[bounded_above], math.inf
+        solved = (t - b) / np.where(constant, 1.0, a)
+    grows_toward = (a > 0) if lower_bound else (a < 0)
+    out = np.where(
+        grows_toward,
+        np.maximum(solved, 0.0),
+        np.where(solved >= 0.0, solved, math.inf),
     )
-    return out
+    const_ok = (b >= t - _EPS) if lower_bound else (b <= t + _EPS)
+    return np.where(constant, np.where(const_ok, 0.0, math.inf), out)
 
 
 @dataclass(frozen=True)
@@ -126,25 +137,43 @@ class WorkforceComputer:
 
     # ------------------------------------------------------------------- rows
     def row(self, params: TriParams) -> np.ndarray:
-        """Workforce requirement ``w_ij`` of one request against every strategy."""
+        """Workforce requirement ``w_ij`` of one request against every strategy.
+
+        One-request view of :meth:`rows` so the (mode-dependent)
+        aggregation rule exists exactly once.
+        """
+        return self.rows([params])[0]
+
+    def rows(self, params_list: "list[TriParams]") -> np.ndarray:
+        """Workforce grid ``w_ij`` for many requests in one broadcasted pass.
+
+        Shape ``(m, n)``; equals stacking :meth:`row` per request but runs
+        as whole-matrix numpy operations — this is the vectorized hot path
+        behind :meth:`aggregate_all`.
+        """
         alpha = self.ensemble.alpha
         beta = self.ensemble.beta
-        w_q = threshold_workforce(alpha[:, 0], beta[:, 0], params.quality, True)
-        w_c = threshold_workforce(alpha[:, 1], beta[:, 1], params.cost, False)
-        w_l = threshold_workforce(alpha[:, 2], beta[:, 2], params.latency, False)
+        quality = np.array([p.quality for p in params_list], dtype=float)
+        cost = np.array([p.cost for p in params_list], dtype=float)
+        latency = np.array([p.latency for p in params_list], dtype=float)
+        w_q = threshold_workforce_grid(alpha[:, 0], beta[:, 0], quality, True)
+        w_c = threshold_workforce_grid(alpha[:, 1], beta[:, 1], cost, False)
+        w_l = threshold_workforce_grid(alpha[:, 2], beta[:, 2], latency, False)
         if self.mode == "paper":
             return np.maximum(np.maximum(w_q, w_c), w_l)
-        # strict: cost is a cap for increasing cost models, a floor otherwise.
         requirement = np.maximum(w_q, w_l)
-        ac = alpha[:, 1]
-        bc = beta[:, 1]
+        ac = alpha[:, 1][None, :]
+        bc = beta[:, 1][None, :]
+        cost_col = cost[:, None]
         increasing = ac > 0
         with np.errstate(divide="ignore", invalid="ignore"):
-            cap = np.where(increasing, (params.cost - bc) / np.where(increasing, ac, 1.0), math.inf)
+            cap = np.where(
+                increasing, (cost_col - bc) / np.where(increasing, ac, 1.0), math.inf
+            )
         requirement = np.where(
             increasing & (requirement > cap + _EPS), math.inf, requirement
         )
-        constant_over = (ac == 0) & (bc > params.cost + _EPS)
+        constant_over = (ac == 0) & (bc > cost_col + _EPS)
         requirement = np.where(constant_over, math.inf, requirement)
         decreasing = ac < 0
         requirement = np.where(decreasing, np.maximum(requirement, w_c), requirement)
@@ -153,7 +182,7 @@ class WorkforceComputer:
     def matrix(self, requests: "list[DeploymentRequest]") -> np.ndarray:
         """The full ``m × |S|`` matrix (Figure 3a). Prefer :meth:`aggregate`
         for large inputs — rows are recomputed on demand there instead."""
-        return np.vstack([self.row(req.params) for req in requests])
+        return self.rows([req.params for req in requests])
 
     # -------------------------------------------------------------- aggregate
     def _eligibility_bound(self) -> float:
@@ -175,9 +204,15 @@ class WorkforceComputer:
                 eligible_count=int(eligible.size),
             )
         values = row[eligible]
-        top = np.argpartition(values, k - 1)[:k]
-        chosen = eligible[top]
-        chosen = chosen[np.lexsort((chosen, row[chosen]))]
+        # The k cheapest by ascending (workforce, strategy index) — the
+        # stable rule `aggregate_all` applies.  argpartition alone may pick
+        # an arbitrary subset of strategies tied at the k-th value, so ties
+        # at that boundary are resolved toward the lowest indices.
+        kth = float(values[np.argpartition(values, k - 1)[:k]].max())
+        below = np.flatnonzero(values < kth)
+        at_boundary = np.flatnonzero(values == kth)[: k - below.size]
+        selected = np.concatenate([below, at_boundary])
+        chosen = eligible[selected[np.argsort(values[selected], kind="stable")]]
         chosen_values = row[chosen]
         if self.aggregation == "sum":
             requirement = float(chosen_values.sum())
@@ -190,8 +225,65 @@ class WorkforceComputer:
             eligible_count=int(eligible.size),
         )
 
+    #: Cell budget per vectorized block: keeps the ``(rows, |S|)``
+    #: intermediates of :meth:`rows` around L2-cache size (~1 MB), which
+    #: benchmarks faster than memory-bandwidth-bound multi-MB blocks.
+    BLOCK_CELLS = 131_072
+    #: Below this many rows per block the per-row ``argsort`` tax outweighs
+    #: the batching win; fall back to the per-request path.
+    MIN_BLOCK_ROWS = 8
+
     def aggregate_all(
         self, requests: "list[DeploymentRequest]"
     ) -> list[RequestWorkforce]:
-        """Vector ``~W`` of §3.2 step 2, one entry per request."""
-        return [self.aggregate(request) for request in requests]
+        """Vector ``~W`` of §3.2 step 2, one entry per request.
+
+        Requests are processed in blocks through the broadcasted
+        :meth:`rows` grid; per block, one stable argsort orders every row
+        by ``(workforce, strategy index)`` so the k cheapest eligible
+        strategies match :meth:`aggregate`'s choice exactly.
+        """
+        if not requests:
+            return []
+        n = len(self.ensemble)
+        bound = self._eligibility_bound()
+        block = max(1, self.BLOCK_CELLS // max(n, 1))
+        if block < self.MIN_BLOCK_ROWS or len(requests) == 1:
+            # Giant ensembles (or single requests): the per-strategy
+            # vectorization in `aggregate` already dominates; its
+            # argpartition beats sorting million-entry rows.
+            return [self.aggregate(request) for request in requests]
+        results: list[RequestWorkforce] = []
+        for start in range(0, len(requests), block):
+            chunk = requests[start : start + block]
+            grid = self.rows([r.params for r in chunk])
+            order = np.argsort(grid, axis=1, kind="stable")
+            ranked = np.take_along_axis(grid, order, axis=1)
+            eligible_counts = (ranked <= bound + _EPS).sum(axis=1)
+            for i, request in enumerate(chunk):
+                k = request.k
+                eligible = int(eligible_counts[i])
+                if eligible < k:
+                    results.append(
+                        RequestWorkforce(
+                            request_id=request.request_id,
+                            requirement=math.inf,
+                            strategy_indices=(),
+                            eligible_count=eligible,
+                        )
+                    )
+                    continue
+                chosen_values = ranked[i, :k]
+                if self.aggregation == "sum":
+                    requirement = float(chosen_values.sum())
+                else:
+                    requirement = float(chosen_values.max())
+                results.append(
+                    RequestWorkforce(
+                        request_id=request.request_id,
+                        requirement=requirement,
+                        strategy_indices=tuple(int(j) for j in order[i, :k]),
+                        eligible_count=eligible,
+                    )
+                )
+        return results

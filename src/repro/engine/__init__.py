@@ -1,0 +1,46 @@
+"""The unified recommendation engine layer.
+
+All deployment traffic — batch, streaming, CLI, simulator, experiment
+runners — flows through :class:`RecommendationEngine`:
+
+* planner backends are pluggable via :class:`PlannerRegistry`
+  (``batch-greedy``, ``payoff-dp``, ``baseline-greedy``,
+  ``batch-bruteforce``),
+* :class:`EngineCache` memoizes workforce aggregates and ADPaR results
+  across calls and engines,
+* :class:`EngineSession` carries the streaming ledger (admission,
+  revocation, deferred-retry).
+
+The legacy :class:`repro.Aggregator` and
+:class:`repro.StreamingAggregator` remain as thin shims over this layer.
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    CachingWorkforceComputer,
+    EngineCache,
+    ensemble_fingerprint,
+)
+from repro.engine.engine import RecommendationEngine
+from repro.engine.registry import (
+    Planner,
+    PlannerContext,
+    PlannerRegistry,
+    default_registry,
+)
+from repro.engine.session import EngineSession
+from repro.exceptions import UnknownPlannerError
+
+__all__ = [
+    "RecommendationEngine",
+    "EngineSession",
+    "EngineCache",
+    "CacheStats",
+    "CachingWorkforceComputer",
+    "ensemble_fingerprint",
+    "Planner",
+    "PlannerContext",
+    "PlannerRegistry",
+    "default_registry",
+    "UnknownPlannerError",
+]

@@ -1,0 +1,280 @@
+"""The shared workforce/estimation cache behind the recommendation engine.
+
+Per-request model inversion (§3.2 step 1-2) and ADPaR fallbacks are pure
+functions of *(ensemble, workforce configuration, request parameters, k)*
+— they do not depend on request identity.  Every entry point used to
+re-fit them from scratch per call; the engine instead routes all traffic
+through one :class:`EngineCache` keyed by the ensemble's content
+fingerprint, so repeated parameters (the common case on a platform
+serving templated deployment requests) are answered from memory.
+
+The cache is bounded LRU per section and safe to share across engines —
+entries are frozen dataclasses keyed by frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.adpar import ADPaRExact, ADPaRResult
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.workforce import RequestWorkforce, WorkforceComputer
+from repro.exceptions import InfeasibleRequestError
+
+#: Sentinel cached for (params, k) pairs whose ADPaR solve proved infeasible.
+_INFEASIBLE = "infeasible"
+
+
+def ensemble_fingerprint(ensemble: StrategyEnsemble) -> str:
+    """Content hash of an ensemble's models and names.
+
+    Two ensembles with identical coefficients and names share cache
+    entries regardless of object identity.  The digest is memoized on the
+    ensemble instance, so the arrays are hashed once.
+    """
+    cached = getattr(ensemble, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(ensemble.alpha, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(ensemble.beta, dtype=float).tobytes())
+    digest.update("\x00".join(ensemble.names).encode())
+    fingerprint = digest.hexdigest()
+    ensemble._fingerprint = fingerprint
+    return fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by cache section."""
+
+    workforce_hits: int = 0
+    workforce_misses: int = 0
+    adpar_hits: int = 0
+    adpar_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.workforce_hits + self.adpar_hits
+
+    @property
+    def misses(self) -> int:
+        return self.workforce_misses + self.adpar_misses
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _LRU:
+    """A size-bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        try:
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        except KeyError:
+            return None
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class _WorkforceKey:
+    """Cache identity of one per-request workforce aggregate."""
+
+    fingerprint: str
+    mode: str
+    aggregation: str
+    eligibility_bound: float
+    params: TriParams
+    k: int
+
+
+class EngineCache:
+    """Shared cache for workforce aggregates, ADPaR solvers and results.
+
+    One instance may back many :class:`~repro.engine.RecommendationEngine`
+    objects (e.g. one per task type, or three planner backends over the
+    same batch) — anything keyed on the same (ensemble fingerprint,
+    workforce configuration, request parameters) reuses prior work.
+    """
+
+    def __init__(
+        self,
+        max_workforce_entries: int = 262_144,
+        max_adpar_entries: int = 65_536,
+        max_solver_entries: int = 64,
+    ):
+        self._workforce = _LRU(max_workforce_entries)
+        self._adpar_results = _LRU(max_adpar_entries)
+        self._adpar_solvers = _LRU(max_solver_entries)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------- workforce
+    def lookup_workforce(self, key: _WorkforceKey) -> "RequestWorkforce | None":
+        hit = self._workforce.get(key)
+        if hit is None:
+            self.stats.workforce_misses += 1
+        else:
+            self.stats.workforce_hits += 1
+        return hit
+
+    def store_workforce(self, key: _WorkforceKey, need: RequestWorkforce) -> None:
+        self._workforce.put(key, need)
+
+    # ----------------------------------------------------------------- adpar
+    def adpar_solver(
+        self, ensemble: StrategyEnsemble, availability: float
+    ) -> ADPaRExact:
+        """A (cached) exact ADPaR solver for one estimation context."""
+        key = (ensemble_fingerprint(ensemble), float(availability))
+        solver = self._adpar_solvers.get(key)
+        if solver is None:
+            solver = ADPaRExact(ensemble, availability=float(availability))
+            self._adpar_solvers.put(key, solver)
+        return solver
+
+    def adpar_solve(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        request: DeploymentRequest,
+    ) -> ADPaRResult:
+        """Cached :meth:`ADPaRExact.solve`; infeasibility is cached too."""
+        key = (
+            ensemble_fingerprint(ensemble),
+            float(availability),
+            request.params,
+            request.k,
+        )
+        hit = self._adpar_results.get(key)
+        if hit is not None:
+            self.stats.adpar_hits += 1
+            if hit is _INFEASIBLE:
+                raise InfeasibleRequestError(
+                    f"cannot admit k={request.k} strategies (cached verdict)"
+                )
+            return hit
+        self.stats.adpar_misses += 1
+        solver = self.adpar_solver(ensemble, availability)
+        try:
+            result = solver.solve(request)
+        except InfeasibleRequestError:
+            self._adpar_results.put(key, _INFEASIBLE)
+            raise
+        self._adpar_results.put(key, result)
+        return result
+
+    # ----------------------------------------------------------------- sizes
+    def __len__(self) -> int:
+        return len(self._workforce) + len(self._adpar_results)
+
+
+class CachingWorkforceComputer(WorkforceComputer):
+    """A :class:`WorkforceComputer` that reads/writes an :class:`EngineCache`.
+
+    Decision-for-decision identical to the plain computer: cache entries
+    *are* the plain computer's outputs, re-labelled with the caller's
+    request id on the way out.
+    """
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        cache: EngineCache,
+        mode: str = "paper",
+        aggregation: str = "sum",
+        eligibility: str = "pool",
+        availability: "float | None" = None,
+    ):
+        super().__init__(
+            ensemble,
+            mode=mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=availability,
+        )
+        self.cache = cache
+        self._key_prefix = (
+            ensemble_fingerprint(ensemble),
+            self.mode,
+            self.aggregation,
+            self._eligibility_bound(),
+        )
+
+    def _key(self, request: DeploymentRequest) -> _WorkforceKey:
+        fingerprint, mode, aggregation, bound = self._key_prefix
+        return _WorkforceKey(
+            fingerprint=fingerprint,
+            mode=mode,
+            aggregation=aggregation,
+            eligibility_bound=bound,
+            params=request.params,
+            k=request.k,
+        )
+
+    @staticmethod
+    def _relabel(
+        need: RequestWorkforce, request: DeploymentRequest
+    ) -> RequestWorkforce:
+        if need.request_id == request.request_id:
+            return need
+        return replace(need, request_id=request.request_id)
+
+    def aggregate(self, request: DeploymentRequest) -> RequestWorkforce:
+        key = self._key(request)
+        hit = self.cache.lookup_workforce(key)
+        if hit is not None:
+            return self._relabel(hit, request)
+        need = super().aggregate(request)
+        self.cache.store_workforce(key, need)
+        return need
+
+    def aggregate_all(
+        self, requests: "list[DeploymentRequest]"
+    ) -> list[RequestWorkforce]:
+        results: "list[RequestWorkforce | None]" = [None] * len(requests)
+        missing: list[DeploymentRequest] = []
+        missing_at: list[int] = []
+        pending: dict = {}
+        for i, request in enumerate(requests):
+            key = self._key(request)
+            hit = self.cache.lookup_workforce(key)
+            if hit is not None:
+                results[i] = self._relabel(hit, request)
+            elif key in pending:
+                # Duplicate parameters within one batch: compute once.
+                pending[key].append(i)
+            else:
+                missing.append(request)
+                missing_at.append(i)
+                pending[key] = [i]
+        if missing:
+            computed = super().aggregate_all(missing)
+            for request, i, need in zip(missing, missing_at, computed):
+                key = self._key(request)
+                self.cache.store_workforce(key, need)
+                results[i] = need
+                for j in pending[key][1:]:
+                    results[j] = self._relabel(need, requests[j])
+        return results  # type: ignore[return-value]

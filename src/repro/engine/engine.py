@@ -1,0 +1,250 @@
+"""The unified recommendation engine — every entry point's one seam.
+
+The seed wired ``BatchStrat`` + ``ADPaRExact`` + ``WorkforceComputer``
+separately in the Aggregator, the streaming ledger, the CLI, the platform
+simulator and each experiment runner.  :class:`RecommendationEngine` is
+the single service layer they all route through instead:
+
+* a pluggable planner backend (:mod:`repro.engine.registry`) decides
+  which requests to satisfy,
+* a shared :class:`~repro.engine.cache.EngineCache` memoizes per-request
+  workforce aggregates and ADPaR fallbacks across calls and engines,
+* :meth:`resolve` reproduces the legacy Aggregator contract
+  decision-for-decision (differential-tested), and
+* :meth:`open_session` subsumes the streaming ledger: admission,
+  revocation and deferred-retry live in one place.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregator import (
+    AggregatorReport,
+    RequestResolution,
+    ResolutionStatus,
+)
+from repro.core.adpar import ADPaRResult
+from repro.core.batchstrat import BatchOutcome
+from repro.core.objectives import ObjectiveSpec, validate_objective
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.engine.cache import CacheStats, CachingWorkforceComputer, EngineCache
+from repro.engine.registry import (
+    Planner,
+    PlannerContext,
+    PlannerRegistry,
+    default_registry,
+)
+from repro.engine.session import EngineSession
+from repro.exceptions import InfeasibleRequestError
+from repro.modeling.availability import AvailabilityDistribution
+from repro.utils.validation import check_fraction
+
+
+class RecommendationEngine:
+    """Facade over planning, workforce estimation, and ADPaR fallback.
+
+    Parameters
+    ----------
+    ensemble:
+        Candidate strategy profiles.
+    availability:
+        Expected workforce fraction in ``[0, 1]``, or an
+        :class:`AvailabilityDistribution` (its expectation is used,
+        matching §2.1's "StratRec works with expected values").
+    objective:
+        Default platform objective for :meth:`plan`/:meth:`resolve`.
+    aggregation, workforce_mode, eligibility:
+        Forwarded to the workforce computer (§3.2).
+    planner:
+        Default planner backend name (see :func:`default_registry`).
+    planner_options:
+        Backend-specific options (e.g. ``{"resolution": 8192}`` for
+        ``payoff-dp``); passed to every backend this engine instantiates,
+        including per-call ``plan(planner=...)`` overrides — backends
+        ignore keys they do not understand.
+    cache:
+        A shared :class:`EngineCache`; a private one is created when
+        omitted.  Pass one cache to many engines to share work.
+    registry:
+        Planner registry; the process-wide default when omitted.
+    """
+
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: "float | AvailabilityDistribution",
+        objective: ObjectiveSpec = "throughput",
+        aggregation: str = "sum",
+        workforce_mode: str = "paper",
+        eligibility: str = "pool",
+        planner: str = "batch-greedy",
+        planner_options: "dict | None" = None,
+        cache: "EngineCache | None" = None,
+        registry: "PlannerRegistry | None" = None,
+    ):
+        if isinstance(availability, AvailabilityDistribution):
+            availability = availability.expectation()
+        validate_objective(objective)
+        self.ensemble = ensemble
+        self.availability = check_fraction("availability", float(availability))
+        self.objective = objective
+        self.aggregation = aggregation
+        self.workforce_mode = workforce_mode
+        self.eligibility = eligibility
+        self.cache = cache if cache is not None else EngineCache()
+        self.registry = registry if registry is not None else default_registry()
+        self.planner_name = planner
+        self._planner_options = dict(planner_options or {})
+        self._computer = CachingWorkforceComputer(
+            ensemble,
+            self.cache,
+            mode=workforce_mode,
+            aggregation=aggregation,
+            eligibility=eligibility,
+            availability=self.availability,
+        )
+        self._context = PlannerContext(
+            ensemble=ensemble,
+            availability=self.availability,
+            aggregation=aggregation,
+            workforce_mode=workforce_mode,
+            eligibility=eligibility,
+            computer=self._computer,
+        )
+        self._planners: "dict[str, Planner]" = {}
+        # Fail fast on an unknown default backend.
+        self._planner_for(planner)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def computer(self) -> CachingWorkforceComputer:
+        """The engine's (caching) workforce computer."""
+        return self._computer
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache hit/miss counters for this engine's shared cache."""
+        return self.cache.stats
+
+    def _planner_for(self, name: "str | None" = None) -> Planner:
+        name = name if name is not None else self.planner_name
+        if name not in self._planners:
+            # Options reach every backend (per-call overrides included);
+            # backends ignore keys they do not understand.
+            self._planners[name] = self.registry.create(
+                name, self._context, self._planner_options
+            )
+        return self._planners[name]
+
+    # ------------------------------------------------------------------ plan
+    def plan(
+        self,
+        requests: "list[DeploymentRequest]",
+        objective: "ObjectiveSpec | None" = None,
+        planner: "str | None" = None,
+    ) -> BatchOutcome:
+        """Run one planner backend over a batch (no ADPaR routing).
+
+        ``planner`` overrides the engine default per call; all backends
+        share this engine's workforce cache, so comparing several over the
+        same batch pays for model inversion once.
+        """
+        objective = self.objective if objective is None else objective
+        return self._planner_for(planner).plan(requests, objective=objective)
+
+    # --------------------------------------------------------------- resolve
+    def resolve(
+        self,
+        requests: "list[DeploymentRequest]",
+        objective: "ObjectiveSpec | None" = None,
+        planner: "str | None" = None,
+    ) -> AggregatorReport:
+        """Serve a batch end-to-end: plan, then ADPaR for the rest.
+
+        This is the legacy ``Aggregator.process`` contract: every request
+        resolves to SATISFIED (with its k strategies), ALTERNATIVE (with
+        ADPaR's closest parameters), or INFEASIBLE.
+        """
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request ids within a batch must be unique")
+        objective = self.objective if objective is None else objective
+        batch = self.plan(requests, objective=objective, planner=planner)
+        satisfied_by_id = {rec.request_id: rec for rec in batch.satisfied}
+        resolutions: list[RequestResolution] = []
+        for request in requests:
+            if request.request_id in satisfied_by_id:
+                rec = satisfied_by_id[request.request_id]
+                resolutions.append(
+                    RequestResolution(
+                        request=request,
+                        status=ResolutionStatus.SATISFIED,
+                        strategy_names=rec.strategy_names,
+                        params=request.params,
+                    )
+                )
+                continue
+            resolutions.append(self._resolve_via_adpar(request))
+        return AggregatorReport(
+            availability=self.availability,
+            objective=objective,
+            batch=batch,
+            resolutions=tuple(resolutions),
+        )
+
+    def resolve_one(self, request: DeploymentRequest) -> RequestResolution:
+        """Resolve a single request (a batch of one)."""
+        return self.resolve([request]).resolutions[0]
+
+    def _resolve_via_adpar(self, request: DeploymentRequest) -> RequestResolution:
+        try:
+            result = self.recommend_alternative(request)
+        except InfeasibleRequestError:
+            return RequestResolution(
+                request=request,
+                status=ResolutionStatus.INFEASIBLE,
+                strategy_names=(),
+                params=request.params,
+            )
+        return RequestResolution(
+            request=request,
+            status=ResolutionStatus.ALTERNATIVE,
+            strategy_names=result.strategy_names,
+            params=result.alternative,
+            distance=result.distance,
+            adpar=result,
+        )
+
+    # ----------------------------------------------------------------- adpar
+    def recommend_alternative(
+        self, request: "DeploymentRequest | tuple", k: "int | None" = None
+    ) -> ADPaRResult:
+        """Closest alternative parameters admitting ``k`` strategies (§4).
+
+        Results are cached by (ensemble, availability, params, k).
+        """
+        if not isinstance(request, DeploymentRequest):
+            # Bare TriParams: wrap so the cache key carries (params, k).
+            if k is None:
+                raise ValueError("k is required when passing bare TriParams")
+            request = DeploymentRequest("adhoc", request, k=int(k))
+        elif k is not None and k != request.k:
+            request = DeploymentRequest(
+                request.request_id,
+                request.params,
+                k=int(k),
+                task_type=request.task_type,
+                payoff=request.payoff,
+            )
+        return self.cache.adpar_solve(self.ensemble, self.availability, request)
+
+    # --------------------------------------------------------------- session
+    def open_session(self) -> EngineSession:
+        """Open a streaming session over this engine's workforce ledger.
+
+        The session admits requests one at a time against the remaining
+        availability, answers non-fitting requests with ADPaR
+        alternatives, and handles revocation and deferred-retry in one
+        place (the paper's §7 open problem).
+        """
+        return EngineSession(self)

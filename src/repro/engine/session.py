@@ -1,0 +1,159 @@
+"""Engine sessions: the streaming ledger behind one seam (§7 extension).
+
+An :class:`EngineSession` is the online counterpart of
+:meth:`RecommendationEngine.resolve`: requests arrive one at a time, a
+workforce ledger tracks remaining availability, admitted requests hold a
+reservation until completed or revoked, and requests that do not fit are
+answered with ADPaR alternatives.  Decisions are identical to the legacy
+``StreamingAggregator`` (differential-tested); on top of it the session
+remembers DEFERRED requests and can retry them once capacity frees —
+previously every caller re-implemented that loop.
+
+One-shot batches go through :meth:`resolve_batch`, so a session is the
+single API surface for both batch and streaming traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.aggregator import AggregatorReport
+from repro.core.request import DeploymentRequest
+from repro.core.streaming import StreamDecision, StreamStatus
+from repro.exceptions import InfeasibleRequestError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.engine import RecommendationEngine
+
+_EPS = 1e-9
+
+
+class EngineSession:
+    """Online admission with a workforce ledger, revocation, and retry."""
+
+    def __init__(self, engine: "RecommendationEngine"):
+        self.engine = engine
+        self.availability = engine.availability
+        self._computer = engine.computer
+        self._reserved: "dict[str, StreamDecision]" = {}
+        self._deferred: "dict[str, DeploymentRequest]" = {}
+        self._used = 0.0
+        self.admitted_count = 0
+        self.revoked_count = 0
+        self.completed_count = 0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def remaining(self) -> float:
+        """Workforce still unreserved."""
+        return max(self.availability - self._used, 0.0)
+
+    @property
+    def active(self) -> "dict[str, StreamDecision]":
+        """Currently admitted (not yet completed/revoked) requests."""
+        return dict(self._reserved)
+
+    @property
+    def deferred(self) -> "list[DeploymentRequest]":
+        """Requests answered DEFERRED, in arrival order, awaiting retry."""
+        return list(self._deferred.values())
+
+    def utilization(self) -> float:
+        """Reserved fraction of the availability budget."""
+        if self.availability == 0:
+            return 0.0
+        return self._used / self.availability
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, request: DeploymentRequest) -> StreamDecision:
+        """Process one arriving request against the current ledger."""
+        if request.request_id in self._reserved:
+            raise ValueError(f"request {request.request_id!r} is already active")
+        decision = self._decide(request)
+        if decision.status is StreamStatus.DEFERRED:
+            # Assignment (not setdefault): a resubmission with revised
+            # params must replace the stale entry; re-assigning an existing
+            # key keeps its place in the arrival order.
+            self._deferred[request.request_id] = request
+        else:
+            self._deferred.pop(request.request_id, None)
+        return decision
+
+    def _decide(self, request: DeploymentRequest) -> StreamDecision:
+        need = self._computer.aggregate(request)
+        if not need.feasible:
+            return self._answer_infeasible(request)
+        if need.requirement <= self.remaining + _EPS:
+            decision = StreamDecision(
+                request=request,
+                status=StreamStatus.ADMITTED,
+                strategy_names=tuple(
+                    self.engine.ensemble.names[i] for i in need.strategy_indices
+                ),
+                workforce_reserved=need.requirement,
+            )
+            self._reserved[request.request_id] = decision
+            self._used += need.requirement
+            self.admitted_count += 1
+            return decision
+        if need.requirement <= self.availability + _EPS:
+            # Would fit an empty platform: defer rather than mutate params.
+            return StreamDecision(request=request, status=StreamStatus.DEFERRED)
+        return self._answer_infeasible(request)
+
+    def _answer_infeasible(self, request: DeploymentRequest) -> StreamDecision:
+        try:
+            alternative = self.engine.recommend_alternative(request)
+        except InfeasibleRequestError:
+            return StreamDecision(request=request, status=StreamStatus.INFEASIBLE)
+        return StreamDecision(
+            request=request,
+            status=StreamStatus.ALTERNATIVE,
+            strategy_names=alternative.strategy_names,
+            alternative=alternative,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def revoke(self, request_id: str) -> float:
+        """Cancel an admitted request; returns the workforce released."""
+        decision = self._release(request_id)
+        self.revoked_count += 1
+        return decision.workforce_reserved
+
+    def complete(self, request_id: str) -> float:
+        """Mark an admitted request finished; its workforce is released."""
+        decision = self._release(request_id)
+        self.completed_count += 1
+        return decision.workforce_reserved
+
+    def _release(self, request_id: str) -> StreamDecision:
+        try:
+            decision = self._reserved.pop(request_id)
+        except KeyError:
+            raise KeyError(f"no active reservation for {request_id!r}") from None
+        self._used = max(self._used - decision.workforce_reserved, 0.0)
+        return decision
+
+    # ----------------------------------------------------------------- retry
+    def retry_deferred(self) -> list[StreamDecision]:
+        """Resubmit deferred requests (arrival order) against freed capacity.
+
+        Requests that still do not fit stay deferred; admitted (or
+        alternatively answered) ones leave the queue.  Returns the fresh
+        decision per retried request.
+        """
+        decisions: list[StreamDecision] = []
+        for request in list(self._deferred.values()):
+            del self._deferred[request.request_id]
+            decisions.append(self.submit(request))
+        return decisions
+
+    # ----------------------------------------------------------------- batch
+    def resolve_batch(self, requests: "list[DeploymentRequest]") -> AggregatorReport:
+        """One-shot batch resolution through the owning engine.
+
+        Batch planning works from the full availability budget (the
+        legacy Aggregator contract); it does not debit this session's
+        streaming ledger.
+        """
+        return self.engine.resolve(requests)

@@ -21,3 +21,7 @@ class ModelNotFittedError(ReproError):
 
 class UnknownStrategyError(ReproError, KeyError):
     """A strategy name was looked up that the catalog/model bank lacks."""
+
+
+class UnknownPlannerError(ReproError, KeyError):
+    """A planner backend name was requested that the registry lacks."""

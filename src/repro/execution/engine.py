@@ -197,6 +197,37 @@ class ExecutionEngine:
             guided=guided,
         )
 
+    def run_recommended(
+        self,
+        recommendation,
+        task: CollaborativeTask,
+        availability: float,
+        workers: "list[Worker] | None" = None,
+        guided: bool = True,
+        seed: "int | np.random.Generator | None" = None,
+        fallback_strategy: str = "SIM-COL-CRO",
+    ) -> DeploymentOutcome:
+        """Deploy the strategy a recommendation carries.
+
+        ``recommendation`` is anything with ``strategy_names`` — a
+        :class:`~repro.core.stratrec.StrategyAdvice`, a
+        :class:`~repro.core.aggregator.RequestResolution`, or a
+        :class:`~repro.core.streaming.StreamDecision` — so the execution
+        layer consumes recommendation-engine output directly.  The first
+        (cheapest-workforce) strategy is deployed; ``fallback_strategy``
+        covers empty recommendations (infeasible requests).
+        """
+        names = tuple(getattr(recommendation, "strategy_names", ()) or ())
+        strategy_name = names[0] if names else fallback_strategy
+        return self.run(
+            strategy_name,
+            task,
+            availability,
+            workers=workers,
+            guided=guided,
+            seed=seed,
+        )
+
     # -------------------------------------------------------------- internals
     def _crew(
         self, workers: "list[Worker] | None", engaged: int, rng: np.random.Generator

@@ -104,9 +104,10 @@ def run_fig13(
             task_availability = float(
                 np.clip(rng.normal(availability_mean, 0.05), 0.4, 1.0)
             )
-            guided = engine.run(
-                strategy_name, task, task_availability,
+            guided = engine.run_recommended(
+                advice, task, task_availability,
                 workers=workers, guided=True, seed=rng,
+                fallback_strategy=UNGUIDED_STRATEGY,
             )
             unguided = engine.run(
                 UNGUIDED_STRATEGY, task, task_availability,

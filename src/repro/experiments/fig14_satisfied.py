@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.batchstrat import BatchStrat
+from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -46,8 +46,8 @@ def satisfaction_rate(
     # strict workforce mode: the literal max-with-cost-equality rule turns
     # budgets into workforce floors and drives satisfaction to ~0 regardless
     # of the sweep (documented in EXPERIMENTS.md).
-    solver = BatchStrat(ensemble, availability, workforce_mode="strict")
-    outcome = solver.run(requests, objective="throughput")
+    engine = RecommendationEngine(ensemble, availability, workforce_mode="strict")
+    outcome = engine.plan(requests, objective="throughput")
     return outcome.satisfaction_rate
 
 

@@ -10,9 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.batch_bruteforce import batch_brute_force
-from repro.baselines.batch_greedy import BaselineG
-from repro.core.batchstrat import BatchStrat
+from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -41,16 +39,14 @@ def _objectives(
     # max-case aggregation (deploy one of the k recommended strategies,
     # Figure 3c) + strict workforce mode: the combination that reproduces
     # the paper's objective magnitudes at |S|=30 (see EXPERIMENTS.md).
-    brute = batch_brute_force(
-        ensemble, requests, availability, objective,
-        aggregation="max", workforce_mode="strict",
+    # One engine, three planner backends: the workforce aggregates are
+    # computed once and shared through the engine cache.
+    engine = RecommendationEngine(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
     )
-    batch = BatchStrat(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
-    ).run(requests, objective)
-    greedy = BaselineG(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
-    ).run(requests, objective)
+    brute = engine.plan(requests, objective, planner="batch-bruteforce")
+    batch = engine.plan(requests, objective)
+    greedy = engine.plan(requests, objective, planner="baseline-greedy")
     return brute.objective_value, batch.objective_value, greedy.objective_value
 
 

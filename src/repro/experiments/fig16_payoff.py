@@ -9,9 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.batch_bruteforce import batch_brute_force
-from repro.baselines.batch_greedy import BaselineG
-from repro.core.batchstrat import BatchStrat
+from repro.engine import RecommendationEngine
 from repro.experiments.fig15_throughput import DEFAULTS, M_SWEEP, SWEEP_VALUES
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
@@ -26,16 +24,13 @@ def _payoffs(
     rng_s, rng_r = spawn_rngs(rng, 2)
     ensemble = generate_strategy_ensemble(n_strategies, "uniform", rng_s)
     requests = generate_requests(m, k=min(k, n_strategies), seed=rng_r)
-    brute = batch_brute_force(
-        ensemble, requests, availability, "payoff",
-        aggregation="max", workforce_mode="strict",
+    # One engine, three backends over the same batch (cf. fig15).
+    engine = RecommendationEngine(
+        ensemble, availability, aggregation="max", workforce_mode="strict"
     )
-    batch = BatchStrat(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
-    ).run(requests, "payoff")
-    greedy = BaselineG(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
-    ).run(requests, "payoff")
+    brute = engine.plan(requests, "payoff", planner="batch-bruteforce")
+    batch = engine.plan(requests, "payoff")
+    greedy = engine.plan(requests, "payoff", planner="baseline-greedy")
     return brute.objective_value, batch.objective_value, greedy.objective_value
 
 

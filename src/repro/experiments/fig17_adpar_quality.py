@@ -19,8 +19,8 @@ import numpy as np
 from repro.baselines.adpar_bruteforce import adpar_brute_force
 from repro.baselines.adpar_onedim import OneDimBaseline
 from repro.baselines.adpar_rtree import RTreeBaseline
-from repro.core.adpar import ADPaRExact
 from repro.core.strategy import StrategyEnsemble
+from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -40,7 +40,8 @@ def _distances(
     points = generate_adpar_points(n, "uniform", rng_pts)
     request = hard_request_for(points, rng_req)
     ensemble = StrategyEnsemble.from_params(points)
-    exact = ADPaRExact(ensemble).solve(request, k).distance
+    engine = RecommendationEngine(ensemble, availability=1.0)
+    exact = engine.recommend_alternative(request, k).distance
     b2 = OneDimBaseline(ensemble).solve(request, k).distance
     b3 = RTreeBaseline(ensemble).solve(request, k).distance
     if with_brute_force:

@@ -19,10 +19,8 @@ import time
 
 import numpy as np
 
-from repro.baselines.batch_bruteforce import batch_brute_force
-from repro.core.adpar import ADPaRExact
-from repro.core.batchstrat import BatchStrat
 from repro.core.strategy import StrategyEnsemble
+from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -61,17 +59,17 @@ def run_fig18_batch(seed: int = 61) -> ExperimentResult:
     ensemble = generate_strategy_ensemble(
         _BATCH_DEFAULTS["n_strategies"], "uniform", rng_s
     )
+    engine = RecommendationEngine(
+        ensemble,
+        _BATCH_DEFAULTS["availability"],
+        aggregation="max",
+        workforce_mode="strict",
+    )
 
     batch_times = []
     for m in BATCH_M_SWEEP:
         requests = generate_requests(m, k=_BATCH_DEFAULTS["k"], seed=rng_r)
-        solver = BatchStrat(
-            ensemble,
-            _BATCH_DEFAULTS["availability"],
-            aggregation="max",
-            workforce_mode="strict",
-        )
-        batch_times.append(_time(lambda: solver.run(requests, "throughput")))
+        batch_times.append(_time(lambda: engine.plan(requests, "throughput")))
     result.data["batchstrat"] = {"m": list(BATCH_M_SWEEP), "seconds": batch_times}
     result.add_table(
         format_series(
@@ -84,16 +82,7 @@ def run_fig18_batch(seed: int = 61) -> ExperimentResult:
     for m in BRUTE_M_SWEEP:
         requests = generate_requests(m, k=_BATCH_DEFAULTS["k"], seed=rng_r)
         brute_times.append(
-            _time(
-                lambda: batch_brute_force(
-                    ensemble,
-                    requests,
-                    _BATCH_DEFAULTS["availability"],
-                    "throughput",
-                    aggregation="max",
-                    workforce_mode="strict",
-                )
-            )
+            _time(lambda: engine.plan(requests, "throughput", planner="batch-bruteforce"))
         )
     result.data["bruteforce"] = {"m": list(BRUTE_M_SWEEP), "seconds": brute_times}
     result.add_table(
@@ -128,8 +117,10 @@ def run_fig18_adpar(seed: int = 67, quick: bool = False) -> ExperimentResult:
     for n in s_sweep:
         points = generate_adpar_points(n, "uniform", rng_pts)
         request = hard_request_for(points, rng_req)
-        solver = ADPaRExact(StrategyEnsemble.from_params(points))
-        s_times.append(_time(lambda: solver.solve(request, 5)))
+        solver = RecommendationEngine(
+            StrategyEnsemble.from_params(points), availability=1.0
+        )
+        s_times.append(_time(lambda: solver.recommend_alternative(request, 5)))
     result.data["s_sweep"] = {"|S|": list(s_sweep), "seconds": s_times}
     result.add_table(
         format_series(
@@ -141,9 +132,12 @@ def run_fig18_adpar(seed: int = 67, quick: bool = False) -> ExperimentResult:
     n_for_k = 2000 if quick else 10_000
     points = generate_adpar_points(n_for_k, "uniform", rng_pts)
     request = hard_request_for(points, rng_req)
-    solver = ADPaRExact(StrategyEnsemble.from_params(points))
+    solver = RecommendationEngine(
+        StrategyEnsemble.from_params(points), availability=1.0
+    )
     k_times = [
-        _time(lambda k=k: solver.solve(request, k)) for k in ADPAR_K_SWEEP
+        _time(lambda k=k: solver.recommend_alternative(request, k))
+        for k in ADPAR_K_SWEEP
     ]
     result.data["k_sweep"] = {"k": list(ADPAR_K_SWEEP), "seconds": k_times}
     result.add_table(

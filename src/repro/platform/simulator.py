@@ -138,6 +138,34 @@ class PlatformSimulator:
             engaged_workers=tuple(engaged),
         )
 
+    def resolve_batch(
+        self,
+        ensemble,
+        requests,
+        window: DeploymentWindow,
+        task_type: str = "translation",
+        strategy_name: str = "SEQ-IND-CRO",
+        engine_factory=None,
+        **engine_kwargs,
+    ):
+        """Deploy a window, then resolve a batch at the *observed* availability.
+
+        This is the closed loop of Figure 1: the platform layer measures
+        ``x'/x`` from a live window and feeds it to the recommendation
+        engine, instead of every caller hand-wiring the two.  Returns
+        ``(observation, report)``; ``engine_kwargs`` (objective, planner,
+        cache, ...) go to the engine, and ``engine_factory`` swaps the
+        engine class entirely (tests, instrumented engines).
+        """
+        from repro.engine import RecommendationEngine
+
+        observation = self.run_window(
+            window, task_type, strategy_name=strategy_name
+        )
+        factory = engine_factory if engine_factory is not None else RecommendationEngine
+        engine = factory(ensemble, observation.availability, **engine_kwargs)
+        return observation, engine.resolve(requests)
+
     def observe_availability(
         self,
         windows: "tuple[DeploymentWindow, ...]" = PAPER_WINDOWS,

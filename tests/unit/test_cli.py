@@ -22,9 +22,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig99"])
 
-    def test_command_required(self):
+    def test_unknown_subcommand_exits_non_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["frobnicate"])
+        assert excinfo.value.code != 0
+
+    def test_no_command_prints_usage_and_fails(self):
+        out = io.StringIO()
+        assert main([], out=out) == 2
+        assert "usage:" in out.getvalue()
+
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.command == "engine"
+        assert args.planner == "batch-greedy"
+
+    def test_engine_unknown_planner_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            build_parser().parse_args(["engine", "--planner", "quantum"])
 
 
 class TestMain:
@@ -44,6 +59,33 @@ class TestMain:
         out = io.StringIO()
         assert main(["run", "fig15", "--quick"], out=out) == 0
         assert "Throughput" in out.getvalue()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["engine", "--availability", "1.5"],
+            ["engine", "--strategies", "0"],
+            ["engine", "--requests", "0"],
+            ["engine", "--seed", "-1"],
+        ],
+    )
+    def test_engine_invalid_workload_fails_cleanly(self, argv, capsys):
+        assert main(argv, out=io.StringIO()) == 2
+        assert "repro engine: error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("planner", ["batch-greedy", "payoff-dp"])
+    def test_engine_subcommand_reports_resolutions(self, planner):
+        out = io.StringIO()
+        code = main(
+            ["engine", "--planner", planner, "--strategies", "40",
+             "--requests", "12", "--k", "3"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert f"planner={planner}" in text
+        assert "satisfied=" in text
+        assert "cache:" in text
 
     def test_registry_covers_all_paper_artifacts(self):
         # One entry per §5 artifact: tables 1-5 (example), fig 11-18, table 6.

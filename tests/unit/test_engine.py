@@ -1,0 +1,253 @@
+"""Unit tests for the recommendation engine layer: registry, cache, session."""
+
+import pytest
+
+from repro.core.aggregator import ResolutionStatus
+from repro.core.batchstrat import BatchOutcome
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest, make_requests
+from repro.core.streaming import StreamStatus
+from repro.engine import (
+    EngineCache,
+    PlannerContext,
+    PlannerRegistry,
+    RecommendationEngine,
+    default_registry,
+    ensemble_fingerprint,
+)
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import UnknownPlannerError
+
+
+@pytest.fixture
+def engine(table1_ensemble):
+    return RecommendationEngine(table1_ensemble, availability=0.8)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = default_registry().names()
+        for expected in (
+            "batch-greedy",
+            "payoff-dp",
+            "baseline-greedy",
+            "batch-bruteforce",
+        ):
+            assert expected in names
+
+    def test_unknown_backend_raises_typed_error(self, table1_ensemble):
+        context = PlannerContext(ensemble=table1_ensemble, availability=0.8)
+        with pytest.raises(UnknownPlannerError, match="quantum-annealer"):
+            default_registry().create("quantum-annealer", context)
+
+    def test_unknown_backend_at_engine_construction(self, table1_ensemble):
+        with pytest.raises(UnknownPlannerError):
+            RecommendationEngine(table1_ensemble, 0.8, planner="nope")
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = PlannerRegistry()
+        registry.register("custom", lambda ctx, opts: None, "first")
+        with pytest.raises(ValueError):
+            registry.register("custom", lambda ctx, opts: None, "second")
+        registry.register("custom", lambda ctx, opts: None, "second", replace=True)
+        assert registry.describe("custom") == "second"
+
+    def test_describe_unknown_raises(self):
+        with pytest.raises(UnknownPlannerError):
+            PlannerRegistry().describe("ghost")
+
+    def test_custom_backend_usable_by_engine(self, table1_ensemble, table1_requests):
+        class RejectEverything:
+            name = "reject-all"
+
+            def __init__(self, context, options):
+                self._context = context
+
+            def plan(self, requests, objective="throughput"):
+                return BatchOutcome(
+                    objective="throughput",
+                    objective_value=0.0,
+                    workforce_available=self._context.availability,
+                    workforce_used=0.0,
+                    satisfied=(),
+                    unsatisfied=tuple(requests),
+                )
+
+        registry = PlannerRegistry()
+        registry.register("reject-all", RejectEverything)
+        engine = RecommendationEngine(
+            table1_ensemble, 0.8, planner="reject-all", registry=registry
+        )
+        report = engine.resolve(table1_requests)
+        assert report.satisfied_count == 0
+        # Everything routed to ADPaR instead.
+        assert all(
+            r.status in (ResolutionStatus.ALTERNATIVE, ResolutionStatus.INFEASIBLE)
+            for r in report.resolutions
+        )
+
+
+class TestCache:
+    def test_warm_resolve_hits_cache(self, engine, table1_requests):
+        engine.resolve(table1_requests)
+        cold = engine.stats
+        assert cold.workforce_misses == len(table1_requests)
+        assert cold.workforce_hits == 0
+        engine.resolve(table1_requests)
+        assert engine.stats.workforce_hits == len(table1_requests)
+        assert engine.stats.adpar_hits == engine.stats.adpar_misses
+        assert 0.0 < engine.stats.hit_rate() <= 1.0
+
+    def test_duplicate_params_within_batch_computed_once(self, table1_ensemble):
+        engine = RecommendationEngine(table1_ensemble, 0.8)
+        params = TriParams(0.7, 0.83, 0.28)
+        requests = [
+            DeploymentRequest(f"d{i}", params, k=3) for i in range(5)
+        ]
+        report = engine.resolve(requests)
+        statuses = {r.status for r in report.resolutions}
+        assert len(statuses) == 1  # identical params -> identical answers
+        resolved_ids = [r.request_id for r in report.resolutions]
+        assert resolved_ids == [f"d{i}" for i in range(5)]
+
+    def test_fingerprint_shared_across_equal_ensembles(self, table1_strategies):
+        first = StrategyEnsemble.from_params(table1_strategies)
+        second = StrategyEnsemble.from_params(table1_strategies)
+        assert first is not second
+        assert ensemble_fingerprint(first) == ensemble_fingerprint(second)
+
+    def test_fingerprint_distinguishes_different_models(self, table1_strategies):
+        first = StrategyEnsemble.from_params(table1_strategies)
+        second = StrategyEnsemble.from_params(list(reversed(table1_strategies)))
+        assert ensemble_fingerprint(first) != ensemble_fingerprint(second)
+
+    def test_lru_eviction_bounds_entries(self, table1_ensemble):
+        cache = EngineCache(max_workforce_entries=4)
+        engine = RecommendationEngine(table1_ensemble, 0.8, cache=cache)
+        requests = make_requests(
+            [(0.1 * i, 0.5, 0.5) for i in range(1, 9)], k=1
+        )
+        engine.plan(requests)
+        assert len(cache) <= 4
+
+
+class TestEngineAPI:
+    def test_resolve_one_matches_batch_of_one(self, engine, table1_requests):
+        single = engine.resolve_one(table1_requests[0])
+        batch = engine.resolve([table1_requests[0]]).resolutions[0]
+        assert single.status == batch.status
+        assert single.strategy_names == batch.strategy_names
+
+    def test_recommend_alternative_accepts_bare_params(self, engine):
+        result = engine.recommend_alternative(TriParams(0.9, 0.1, 0.1), k=2)
+        assert len(result.strategy_names) == 2
+
+    def test_recommend_alternative_requires_k_for_bare_params(self, engine):
+        with pytest.raises(ValueError):
+            engine.recommend_alternative(TriParams(0.9, 0.1, 0.1))
+
+    def test_duplicate_request_ids_rejected(self, engine):
+        request = DeploymentRequest("dup", TriParams(0.5, 0.5, 0.5), k=1)
+        with pytest.raises(ValueError):
+            engine.resolve([request, request])
+
+    def test_planner_options_reach_overridden_backends(self, table1_ensemble, table1_requests):
+        engine = RecommendationEngine(
+            table1_ensemble, 0.8, planner_options={"resolution": 7}
+        )
+        engine.plan(table1_requests, "payoff", planner="payoff-dp")
+        assert engine._planners["payoff-dp"]._resolution == 7
+
+    def test_stratrec_sees_model_bank_updates(self):
+        from repro.core.stratrec import StratRec
+        from repro.experiments.fig13_effectiveness import build_model_bank
+        from repro.modeling.availability import AvailabilityDistribution
+        from repro.modeling.linear import LinearModel
+        from repro.modeling.modelbank import ParamModels
+
+        bank = build_model_bank(("translation",))
+        stratrec = StratRec(bank, AvailabilityDistribution.point(0.7))
+        first = stratrec.engine_for("translation")
+        assert stratrec.engine_for("translation") is first  # unchanged bank
+        bank.register(
+            "translation",
+            "SEQ-IND-CRO",
+            ParamModels(
+                quality=LinearModel(0.0, 0.99),
+                cost=LinearModel(0.0, 0.01),
+                latency=LinearModel(0.0, 0.01),
+            ),
+        )
+        second = stratrec.engine_for("translation")
+        assert second is not first  # re-calibration yields a fresh engine
+
+    def test_plan_with_planner_override_shares_cache(self, engine, table1_requests):
+        engine.plan(table1_requests)
+        misses = engine.stats.workforce_misses
+        engine.plan(table1_requests, planner="baseline-greedy")
+        assert engine.stats.workforce_misses == misses  # second backend: all hits
+        assert engine.stats.workforce_hits >= len(table1_requests)
+
+
+class TestSession:
+    @pytest.fixture
+    def small_engine(self):
+        import numpy as np
+
+        alpha = np.array([[0.0, 1.0, 0.0]])
+        beta = np.array([[0.9, 0.0, 0.2]])
+        ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+        return RecommendationEngine(ensemble, availability=1.0)
+
+    @staticmethod
+    def request(rid, cost=0.4, quality=0.5):
+        return DeploymentRequest(rid, TriParams(quality, cost, 0.9), k=1)
+
+    def test_deferred_requests_retry_after_release(self, small_engine):
+        session = small_engine.open_session()
+        assert session.submit(self.request("a", 0.6)).status is StreamStatus.ADMITTED
+        deferred = session.submit(self.request("b", 0.6))
+        assert deferred.status is StreamStatus.DEFERRED
+        assert [r.request_id for r in session.deferred] == ["b"]
+        # Nothing freed yet: retry keeps it deferred.
+        decisions = session.retry_deferred()
+        assert [d.status for d in decisions] == [StreamStatus.DEFERRED]
+        session.complete("a")
+        decisions = session.retry_deferred()
+        assert [d.status for d in decisions] == [StreamStatus.ADMITTED]
+        assert session.deferred == []
+        assert session.admitted_count == 2
+
+    def test_resubmitting_deferred_request_replaces_queue_entry(self, small_engine):
+        session = small_engine.open_session()
+        session.submit(self.request("a", 0.6))
+        assert session.submit(self.request("b", 0.6)).status is StreamStatus.DEFERRED
+        revised = self.request("b", 0.5)
+        assert session.submit(revised).status is StreamStatus.DEFERRED
+        assert [r.params for r in session.deferred] == [revised.params]
+
+    def test_revoke_returns_workforce(self, small_engine):
+        session = small_engine.open_session()
+        session.submit(self.request("a", 0.4))
+        released = session.revoke("a")
+        assert released == pytest.approx(0.4)
+        assert session.revoked_count == 1
+        assert session.remaining == pytest.approx(1.0)
+
+    def test_release_unknown_id_raises(self, small_engine):
+        session = small_engine.open_session()
+        with pytest.raises(KeyError):
+            session.complete("ghost")
+
+    def test_sessions_share_engine_cache(self, small_engine):
+        first = small_engine.open_session()
+        first.submit(self.request("a"))
+        misses = small_engine.stats.workforce_misses
+        second = small_engine.open_session()
+        second.submit(self.request("a"))
+        assert small_engine.stats.workforce_misses == misses
+
+    def test_resolve_batch_through_session(self, small_engine):
+        session = small_engine.open_session()
+        report = session.resolve_batch([self.request("a"), self.request("b")])
+        assert report.satisfied_count == 2
