@@ -8,7 +8,9 @@ Public API highlights:
 * :class:`repro.StrategyEnsemble` — candidate strategies with linear
   parameter models (Equation 4).
 * :class:`repro.RecommendationEngine` — the unified service layer all
-  traffic flows through: pluggable planner backends, a shared
+  traffic flows through: pluggable planner backends, pluggable ADPaR
+  solver backends (scalar and batch —
+  :meth:`~repro.RecommendationEngine.recommend_alternatives`), a shared
   workforce/ADPaR cache, batch resolution, and streaming sessions
   (:meth:`~repro.RecommendationEngine.open_session`).
 * :class:`repro.BatchStrat` — batch deployment recommendation
@@ -25,6 +27,7 @@ Public API highlights:
 from repro.core import (
     ADPaRExact,
     ADPaRResult,
+    RelaxationSpace,
     Aggregator,
     AggregatorReport,
     BatchOutcome,
@@ -42,17 +45,22 @@ from repro.core import (
     paper_catalog,
 )
 from repro.engine import (
+    AdparSolver,
     EngineCache,
     EngineSession,
     PlannerRegistry,
     RecommendationEngine,
+    SolverContext,
+    SolverRegistry,
     default_registry,
+    default_solver_registry,
 )
 from repro.exceptions import (
     InfeasibleRequestError,
     ModelNotFittedError,
     ReproError,
     UnknownPlannerError,
+    UnknownSolverError,
     UnknownStrategyError,
 )
 from repro.modeling import AvailabilityDistribution, LinearModel, ModelBank, ParamModels
@@ -72,6 +80,7 @@ __all__ = [
     "BatchOutcome",
     "ADPaRExact",
     "ADPaRResult",
+    "RelaxationSpace",
     "Aggregator",
     "AggregatorReport",
     "RequestResolution",
@@ -83,6 +92,11 @@ __all__ = [
     "PlannerRegistry",
     "default_registry",
     "UnknownPlannerError",
+    "AdparSolver",
+    "SolverContext",
+    "SolverRegistry",
+    "default_solver_registry",
+    "UnknownSolverError",
     "LinearModel",
     "ParamModels",
     "ModelBank",

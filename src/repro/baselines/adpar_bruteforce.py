@@ -13,11 +13,11 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.core.adpar import ADPaRResult
+from repro.core.adpar import ADPaRResult, unpack_request
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.exceptions import InfeasibleRequestError
 
 MAX_SUBSETS = 5_000_000
 
@@ -31,30 +31,21 @@ def adpar_brute_force(
     request: "DeploymentRequest | TriParams",
     k: "int | None" = None,
     availability: float = 1.0,
+    space: "RelaxationSpace | None" = None,
 ) -> ADPaRResult:
     """Exact alternative parameters by enumerating all k-subsets."""
-    if isinstance(request, DeploymentRequest):
-        params = request.params
-        if k is None:
-            k = request.k
-    else:
-        params = request
-        if k is None:
-            raise ValueError("k is required when passing bare TriParams")
+    if space is None:
+        space = RelaxationSpace(ensemble, availability)
+    elif space.ensemble is not ensemble or space.availability != float(availability):
+        raise ValueError("space was built for a different (ensemble, availability)")
     n = len(ensemble)
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if k > n:
-        raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
+    params, k = unpack_request(request, k, n)
     if _num_subsets(n, k) > MAX_SUBSETS:
         raise ValueError(
             f"C({n}, {k}) subsets exceed the brute-force budget of {MAX_SUBSETS}"
         )
 
-    matrix = ensemble.estimate_matrix(availability)  # (n, 3) quality/cost/latency
-    points = np.column_stack([matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]])
-    origin = np.array([params.cost, 1.0 - params.quality, params.latency])
-    relax = np.maximum(points - origin[None, :], 0.0)
+    relax = space.relaxations(space.origin_of(params))
 
     best_obj = math.inf
     best_subset: "tuple[int, ...] | None" = None

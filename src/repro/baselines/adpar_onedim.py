@@ -15,43 +15,37 @@ import math
 
 import numpy as np
 
-from repro.core.adpar import ADPaRResult
+from repro.core.adpar import ADPaRResult, unpack_request
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.exceptions import InfeasibleRequestError
 
 
 class OneDimBaseline:
     """Single-dimension relaxation baseline for ADPaR."""
 
-    def __init__(self, ensemble: StrategyEnsemble, availability: float = 1.0):
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float = 1.0,
+        space: "RelaxationSpace | None" = None,
+    ):
         self.ensemble = ensemble
         self.availability = float(availability)
-        matrix = ensemble.estimate_matrix(self.availability)
-        self._points = np.column_stack(
-            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
-        )
+        if space is None:
+            space = RelaxationSpace(ensemble, self.availability)
+        elif space.ensemble is not ensemble or space.availability != self.availability:
+            raise ValueError("space was built for a different (ensemble, availability)")
+        self.space = space
+        self._points = space.points
 
     def solve(
         self, request: "DeploymentRequest | TriParams", k: "int | None" = None
     ) -> ADPaRResult:
         """Smallest one-dimension (or greedy multi-step) relaxation."""
-        if isinstance(request, DeploymentRequest):
-            params = request.params
-            if k is None:
-                k = request.k
-        else:
-            params = request
-            if k is None:
-                raise ValueError("k is required when passing bare TriParams")
-        n = self._points.shape[0]
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        if k > n:
-            raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
-        origin = np.array([params.cost, 1.0 - params.quality, params.latency])
-        relax = np.maximum(self._points - origin[None, :], 0.0)
+        params, k = unpack_request(request, k, self._points.shape[0])
+        relax = self.space.relaxations(self.space.origin_of(params))
 
         bound = self._single_dimension(relax, k)
         if bound is None:

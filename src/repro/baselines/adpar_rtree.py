@@ -16,11 +16,11 @@ import math
 
 import numpy as np
 
-from repro.core.adpar import ADPaRResult
+from repro.core.adpar import ADPaRResult, unpack_request
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.exceptions import InfeasibleRequestError
 from repro.geometry.box import Box3
 from repro.geometry.point import Point3
 from repro.index.rtree import RTree
@@ -34,13 +34,16 @@ class RTreeBaseline:
         ensemble: StrategyEnsemble,
         availability: float = 1.0,
         max_entries: int = 8,
+        space: "RelaxationSpace | None" = None,
     ):
         self.ensemble = ensemble
         self.availability = float(availability)
-        matrix = ensemble.estimate_matrix(self.availability)
-        self._points_arr = np.column_stack(
-            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
-        )
+        if space is None:
+            space = RelaxationSpace(ensemble, self.availability)
+        elif space.ensemble is not ensemble or space.availability != self.availability:
+            raise ValueError("space was built for a different (ensemble, availability)")
+        self.space = space
+        self._points_arr = space.points
         points = [Point3(*row) for row in self._points_arr]
         self.tree = RTree.bulk_load(points, max_entries=max_entries)
 
@@ -48,21 +51,8 @@ class RTreeBaseline:
         self, request: "DeploymentRequest | TriParams", k: "int | None" = None
     ) -> ADPaRResult:
         """Alternative parameters from the best-fitting MBB corner."""
-        if isinstance(request, DeploymentRequest):
-            params = request.params
-            if k is None:
-                k = request.k
-        else:
-            params = request
-            if k is None:
-                raise ValueError("k is required when passing bare TriParams")
-        n = len(self.ensemble)
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        if k > n:
-            raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
-
-        origin = np.array([params.cost, 1.0 - params.quality, params.latency])
+        params, k = unpack_request(request, k, len(self.ensemble))
+        origin = self.space.origin_of(params)
         exact_corner = None
         exact_count = None
         fallback_corner = None

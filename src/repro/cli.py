@@ -6,10 +6,11 @@ Usage::
     python -m repro run fig14 --quick     # regenerate one table/figure
     python -m repro run all               # the full report
     python -m repro engine --planner payoff-dp   # resolve a synthetic batch
+    python -m repro engine --solver adpar-weighted --norm l1 --weights 2 1 1
 
 ``engine`` routes a synthetic workload through the
-:class:`~repro.engine.RecommendationEngine` with a selectable planner
-backend — the same path the experiment runners use.
+:class:`~repro.engine.RecommendationEngine` with selectable planner and
+ADPaR solver backends — the same path the experiment runners use.
 """
 
 from __future__ import annotations
@@ -18,7 +19,12 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.engine import RecommendationEngine, default_registry
+from repro.core.adpar_variants import NORMS
+from repro.engine import (
+    RecommendationEngine,
+    default_registry,
+    default_solver_registry,
+)
 
 from repro.experiments.fig11_availability import run_fig11
 from repro.experiments.fig12_linearity import run_fig12
@@ -105,6 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="batch-greedy",
         help="planner backend deciding which requests to satisfy",
     )
+    engine.add_argument(
+        "--solver",
+        choices=default_solver_registry().names(),
+        default="adpar-exact",
+        help="ADPaR backend answering unsatisfiable requests",
+    )
+    engine.add_argument(
+        "--norm",
+        choices=NORMS,
+        default="l2",
+        help="distance norm for --solver adpar-weighted",
+    )
+    engine.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=None,
+        metavar=("WC", "WQ", "WL"),
+        help=(
+            "per-dimension weights for --solver adpar-weighted, in "
+            "unified-space order (cost, quality', latency)"
+        ),
+    )
     engine.add_argument("--strategies", type=int, default=200, help="|S|")
     engine.add_argument("--requests", type=int, default=50, help="batch size m")
     engine.add_argument("--k", type=int, default=5, help="strategies per request")
@@ -135,6 +164,9 @@ def run_engine(args, out) -> int:
         generate_strategy_ensemble,
     )
 
+    solver_options = {"norm": args.norm}
+    if args.weights is not None:
+        solver_options["weights"] = tuple(args.weights)
     try:
         rng_s, rng_r = spawn_rngs(args.seed, 2)
         ensemble = generate_strategy_ensemble(
@@ -150,6 +182,8 @@ def run_engine(args, out) -> int:
             aggregation=args.aggregation,
             workforce_mode=args.workforce_mode,
             planner=args.planner,
+            solver=args.solver,
+            solver_options=solver_options,
         )
     except ValueError as exc:
         print(f"repro engine: error: {exc}", file=sys.stderr)
@@ -157,8 +191,9 @@ def run_engine(args, out) -> int:
     report = engine.resolve(requests)
     stats = engine.stats
     print(
-        f"planner={args.planner} |S|={args.strategies} m={args.requests} "
-        f"k={args.k} W={args.availability} objective={args.objective}",
+        f"planner={args.planner} solver={args.solver} |S|={args.strategies} "
+        f"m={args.requests} k={args.k} W={args.availability} "
+        f"objective={args.objective}",
         file=out,
     )
     print(

@@ -17,6 +17,7 @@ from repro.core.strategy import (
     full_catalog,
     paper_catalog,
 )
+from repro.core.relaxation import RelaxationSpace
 from repro.core.workforce import RequestWorkforce, WorkforceComputer
 from repro.core.batchstrat import BatchOutcome, BatchStrat, StrategyRecommendation
 from repro.core.adpar import ADPaRExact, ADPaRResult, ADPaRTrace
@@ -61,6 +62,7 @@ __all__ = [
     "ADPaRExact",
     "ADPaRResult",
     "ADPaRTrace",
+    "RelaxationSpace",
     "Aggregator",
     "AggregatorReport",
     "RequestResolution",

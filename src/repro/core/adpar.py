@@ -20,6 +20,16 @@ cannot win) and solves each induced 2-D subproblem with
 Pareto frontier of (quality, latency) completions covering ``k``
 strategies.  The result is exact: property tests check it against the
 exponential subset-enumeration baseline (ADPaRB).
+
+This class is the reference implementation (and the only one exposing
+:meth:`~ADPaRExact.trace`).  The public entry point for serving traffic
+is the solver registry — :mod:`repro.engine.solvers` registers this
+algorithm as ``adpar-exact`` (default) next to the weighted variant and
+the §5.2.1 baselines, with a vectorized batch path pinned
+bitwise-identical to this class, and
+:meth:`repro.engine.RecommendationEngine.recommend_alternative` /
+:meth:`~repro.engine.RecommendationEngine.recommend_alternatives` route
+through it with caching.
 """
 
 from __future__ import annotations
@@ -30,12 +40,75 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.exceptions import InfeasibleRequestError
 from repro.geometry.sweepline import ParetoSweep, SweepEvent, build_relaxation_events
 
 _EPS = 1e-12
+
+
+def unpack_request(
+    request: "DeploymentRequest | TriParams", k: "int | None", size: int
+) -> tuple[TriParams, int]:
+    """Normalize a solver argument to ``(params, k)`` with shared checks.
+
+    Every ADPaR backend accepts either a :class:`DeploymentRequest`
+    (which carries its own ``k``) or bare :class:`TriParams` plus an
+    explicit ``k``; this is the one place the contract is enforced.
+    """
+    if isinstance(request, DeploymentRequest):
+        params = request.params
+        if k is None:
+            k = request.k
+    else:
+        params = request
+        if k is None:
+            raise ValueError("k is required when passing bare TriParams")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > size:
+        raise InfeasibleRequestError(
+            f"cannot admit k={k} strategies: only {size} exist"
+        )
+    return params, int(k)
+
+
+def finalize_result(
+    ensemble: StrategyEnsemble,
+    params: TriParams,
+    relax: np.ndarray,
+    best: tuple[float, float, float],
+    k: int,
+) -> ADPaRResult:
+    """Turn a winning relaxation bound into an :class:`ADPaRResult`.
+
+    Shared by the reference sweep and the vectorized registry backend so
+    the two construct — float for float — the same result object.
+    """
+    x, y, z = best
+    alternative = TriParams(
+        quality=min(max(params.quality - y, 0.0), 1.0),
+        cost=min(max(params.cost + x, 0.0), 1.0),
+        latency=min(max(params.latency + z, 0.0), 1.0),
+    )
+    bound = np.array([x, y, z], dtype=float)
+    covered = np.flatnonzero((relax <= bound[None, :] + 1e-9).all(axis=1))
+    # Deterministically keep the k covered strategies closest to d'.
+    norms = np.linalg.norm(relax[covered], axis=1)
+    order = np.lexsort((covered, norms))
+    chosen = tuple(int(i) for i in covered[order][:k])
+    sq = float(x * x + y * y + z * z)
+    return ADPaRResult(
+        original=params,
+        alternative=alternative,
+        distance=math.sqrt(sq),
+        squared_distance=sq,
+        relaxation=(float(x), float(y), float(z)),
+        strategy_indices=chosen,
+        strategy_names=tuple(ensemble.names[i] for i in chosen),
+    )
 
 
 @dataclass(frozen=True)
@@ -67,11 +140,6 @@ class ADPaRTrace:
     result: ADPaRResult
 
 
-def _relaxation_matrix(points: np.ndarray, origin: np.ndarray) -> np.ndarray:
-    """Step 1: clipped per-dimension relaxations (Table 3)."""
-    return np.maximum(points - origin[None, :], 0.0)
-
-
 class ADPaRExact:
     """Exact solver for the ADPaR problem over a fixed strategy set.
 
@@ -83,16 +151,27 @@ class ADPaRExact:
         :meth:`StrategyEnsemble.from_params` for fixed parameter tables.
     availability:
         Expected workforce ``W`` used for parameter estimation.
+    space:
+        A prebuilt :class:`RelaxationSpace` for (ensemble, availability).
+        Pass one to share the unified-space geometry with other backends
+        (the engine cache does); a private space is built when omitted.
     """
 
-    def __init__(self, ensemble: StrategyEnsemble, availability: float = 1.0):
+    def __init__(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float = 1.0,
+        space: "RelaxationSpace | None" = None,
+    ):
         self.ensemble = ensemble
         self.availability = float(availability)
-        matrix = ensemble.estimate_matrix(self.availability)  # (n, 3) q/c/l
+        if space is None:
+            space = RelaxationSpace(ensemble, self.availability)
+        elif space.ensemble is not ensemble or space.availability != self.availability:
+            raise ValueError("space was built for a different (ensemble, availability)")
+        self.space = space
         # Unified smaller-is-better space, column order (C, Q', L).
-        self._points = np.column_stack(
-            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
-        )
+        self._points = space.points
 
     @property
     def size(self) -> int:
@@ -102,31 +181,15 @@ class ADPaRExact:
     def solve(self, request: "DeploymentRequest | TriParams", k: "int | None" = None) -> ADPaRResult:
         """Minimal-distance alternative parameters admitting ``k`` strategies."""
         params, k = self._unpack(request, k)
-        origin = np.array(
-            [params.cost, 1.0 - params.quality, params.latency], dtype=float
-        )
-        relax = _relaxation_matrix(self._points, origin)
+        origin = self.space.origin_of(params)
+        relax = self.space.relaxations(origin)
         best = self._sweep(relax, k)
         return self._build_result(params, origin, relax, best, k)
 
     def _unpack(
         self, request: "DeploymentRequest | TriParams", k: "int | None"
     ) -> tuple[TriParams, int]:
-        if isinstance(request, DeploymentRequest):
-            params = request.params
-            if k is None:
-                k = request.k
-        else:
-            params = request
-            if k is None:
-                raise ValueError("k is required when passing bare TriParams")
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        if k > self.size:
-            raise InfeasibleRequestError(
-                f"cannot admit k={k} strategies: only {self.size} exist"
-            )
-        return params, int(k)
+        return unpack_request(request, k, self.size)
 
     def _sweep(self, relax: np.ndarray, k: int) -> tuple[float, float, float]:
         """Core sweep: minimize ``X² + Y² + Z²`` s.t. k rows are covered."""
@@ -161,28 +224,7 @@ class ADPaRExact:
         best: tuple[float, float, float],
         k: int,
     ) -> ADPaRResult:
-        x, y, z = best
-        alternative = TriParams(
-            quality=min(max(params.quality - y, 0.0), 1.0),
-            cost=min(max(params.cost + x, 0.0), 1.0),
-            latency=min(max(params.latency + z, 0.0), 1.0),
-        )
-        bound = np.array([x, y, z], dtype=float)
-        covered = np.flatnonzero((relax <= bound[None, :] + 1e-9).all(axis=1))
-        # Deterministically keep the k covered strategies closest to d'.
-        norms = np.linalg.norm(relax[covered], axis=1)
-        order = np.lexsort((covered, norms))
-        chosen = tuple(int(i) for i in covered[order][:k])
-        sq = float(x * x + y * y + z * z)
-        return ADPaRResult(
-            original=params,
-            alternative=alternative,
-            distance=math.sqrt(sq),
-            squared_distance=sq,
-            relaxation=(float(x), float(y), float(z)),
-            strategy_indices=chosen,
-            strategy_names=tuple(self.ensemble.names[i] for i in chosen),
-        )
+        return finalize_result(self.ensemble, params, relax, best, k)
 
     # ------------------------------------------------------------------ trace
     def trace(self, request: "DeploymentRequest | TriParams", k: "int | None" = None) -> ADPaRTrace:
@@ -195,10 +237,8 @@ class ADPaRExact:
         ``coverage_matrix`` is the final boolean matrix M of Table 2.
         """
         params, k = self._unpack(request, k)
-        origin = np.array(
-            [params.cost, 1.0 - params.quality, params.latency], dtype=float
-        )
-        relax = _relaxation_matrix(self._points, origin)
+        origin = self.space.origin_of(params)
+        relax = self.space.relaxations(origin)
         best = self._sweep(relax, k)
         result = self._build_result(params, origin, relax, best, k)
         events = tuple(build_relaxation_events(relax))

@@ -24,8 +24,9 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.core.adpar import ADPaRResult
+from repro.core.adpar import ADPaRResult, unpack_request
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.exceptions import InfeasibleRequestError
@@ -81,24 +82,25 @@ class WeightedADPaR:
         ensemble: StrategyEnsemble,
         penalty: "RelaxationPenalty | None" = None,
         availability: float = 1.0,
+        space: "RelaxationSpace | None" = None,
     ):
         self.ensemble = ensemble
         self.penalty = penalty or RelaxationPenalty()
         self.availability = float(availability)
-        matrix = ensemble.estimate_matrix(self.availability)
-        self._points = np.column_stack(
-            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
-        )
+        if space is None:
+            space = RelaxationSpace(ensemble, self.availability)
+        elif space.ensemble is not ensemble or space.availability != self.availability:
+            raise ValueError("space was built for a different (ensemble, availability)")
+        self.space = space
+        self._points = space.points
 
     def solve(
         self, request: "DeploymentRequest | TriParams", k: "int | None" = None
     ) -> ADPaRResult:
         """Minimal-penalty alternative admitting ``k`` strategies."""
-        params, k = _unpack(request, k, self._points.shape[0])
-        origin = np.array(
-            [params.cost, 1.0 - params.quality, params.latency], dtype=float
-        )
-        relax = np.maximum(self._points - origin[None, :], 0.0)
+        params, k = unpack_request(request, k, self._points.shape[0])
+        origin = self.space.origin_of(params)
+        relax = self.space.relaxations(origin)
 
         best_value = math.inf
         best: "tuple[float, float, float] | None" = None
@@ -127,16 +129,19 @@ def weighted_adpar_brute_force(
     penalty: "RelaxationPenalty | None" = None,
     availability: float = 1.0,
     max_subsets: int = 2_000_000,
+    space: "RelaxationSpace | None" = None,
 ) -> ADPaRResult:
     """Exhaustive reference for :class:`WeightedADPaR` (tests only)."""
     penalty = penalty or RelaxationPenalty()
-    matrix = ensemble.estimate_matrix(availability)
-    points = np.column_stack([matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]])
-    params, k = _unpack(request, k, points.shape[0])
+    if space is None:
+        space = RelaxationSpace(ensemble, availability)
+    elif space.ensemble is not ensemble or space.availability != float(availability):
+        raise ValueError("space was built for a different (ensemble, availability)")
+    points = space.points
+    params, k = unpack_request(request, k, points.shape[0])
     if math.comb(points.shape[0], k) > max_subsets:
         raise ValueError("instance too large for the brute-force budget")
-    origin = np.array([params.cost, 1.0 - params.quality, params.latency])
-    relax = np.maximum(points - origin[None, :], 0.0)
+    relax = space.relaxations(space.origin_of(params))
     best_value = math.inf
     best = None
     for subset in combinations(range(points.shape[0]), k):
@@ -147,22 +152,6 @@ def weighted_adpar_brute_force(
             best = tuple(float(v) for v in bound)
     assert best is not None
     return _build_result(ensemble, params, relax, best, best_value, k)
-
-
-def _unpack(request, k, n) -> tuple[TriParams, int]:
-    if isinstance(request, DeploymentRequest):
-        params = request.params
-        if k is None:
-            k = request.k
-    else:
-        params = request
-        if k is None:
-            raise ValueError("k is required when passing bare TriParams")
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if k > n:
-        raise InfeasibleRequestError(f"cannot admit k={k} strategies: only {n} exist")
-    return params, int(k)
 
 
 def _build_result(

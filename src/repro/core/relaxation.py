@@ -1,0 +1,115 @@
+"""Shared relaxation geometry for the ADPaR solver subsystem.
+
+Every ADPaR backend — the exact sweep, the weighted/norm variants, and
+the three §5.2.1 baselines — works in the same unified smaller-is-better
+space of §4.1: strategies become points ``(C, Q', L) = (cost, 1−quality,
+latency)`` and a request becomes an origin whose per-dimension
+*relaxations* (Table 3) say how far each bound must grow to admit each
+strategy.  The seed re-derived that space inside every solver class; a
+:class:`RelaxationSpace` is instead built **once per (ensemble,
+availability)** — by :meth:`repro.engine.EngineCache.relaxation_space`
+when traffic flows through the engine — and handed to every backend, so
+five solvers over the same ensemble pay for parameter estimation and the
+per-dimension sweep orders exactly once.
+
+Everything here is read-only after construction; backends never mutate a
+space, which is what makes it safe to share across solver instances and
+engine caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import TriParams
+from repro.core.strategy import StrategyEnsemble
+
+
+class RelaxationSpace:
+    """Precomputed unified-space geometry shared by every ADPaR backend.
+
+    Parameters
+    ----------
+    ensemble:
+        Candidate strategies; parameters are estimated at ``availability``
+        (Equation 4).
+    availability:
+        Expected workforce ``W`` used for the estimation.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 3)`` unified smaller-is-better matrix in column order
+        ``(C, Q', L)`` — the single source every backend reads.
+    """
+
+    def __init__(self, ensemble: StrategyEnsemble, availability: float = 1.0):
+        self.ensemble = ensemble
+        self.availability = float(availability)
+        matrix = ensemble.estimate_matrix(self.availability)  # (n, 3) q/c/l
+        self.points = np.column_stack(
+            [matrix[:, 1], 1.0 - matrix[:, 0], matrix[:, 2]]
+        )
+        # Sorted per-dimension structures are derived lazily: scalar
+        # callers that never sweep (e.g. the R-tree baseline) skip them.
+        self._orders: "np.ndarray | None" = None
+        self._sorted_x: "np.ndarray | None" = None
+
+    @property
+    def size(self) -> int:
+        """Number of strategies (points) in the space."""
+        return self.points.shape[0]
+
+    @property
+    def dimension_orders(self) -> np.ndarray:
+        """``(3, n)`` stable per-dimension sweep orders (the paper's
+        Table 5 sweep-lines, one argsort per unified-space dimension)."""
+        if self._orders is None:
+            self._orders = np.vstack(
+                [np.argsort(self.points[:, d], kind="stable") for d in range(3)]
+            )
+        return self._orders
+
+    @property
+    def sorted_x(self) -> np.ndarray:
+        """The cost column of :attr:`points`, sorted ascending."""
+        if self._sorted_x is None:
+            self._sorted_x = self.points[self.dimension_orders[0], 0]
+        return self._sorted_x
+
+    # -------------------------------------------------------------- requests
+    @staticmethod
+    def origin_of(params: TriParams) -> np.ndarray:
+        """A request's anchor in the unified space, order ``(C, Q', L)``."""
+        return np.array(
+            [params.cost, 1.0 - params.quality, params.latency], dtype=float
+        )
+
+    def relaxations(self, origin: np.ndarray) -> np.ndarray:
+        """Step 1 (Table 3): clipped per-dimension relaxations, ``(n, 3)``."""
+        return np.maximum(self.points - origin[None, :], 0.0)
+
+    def relaxation_batch(self, origins: np.ndarray) -> np.ndarray:
+        """Relaxation matrices for a block of requests at once.
+
+        ``origins`` has shape ``(r, 3)``; the result has shape
+        ``(r, n, 3)`` and row ``i`` equals ``relaxations(origins[i])``
+        value for value — one broadcasted pass instead of ``r`` scalar
+        ones.
+        """
+        return np.maximum(self.points[None, :, :] - origins[:, None, :], 0.0)
+
+    def sweep_values(self, origin_x: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted relaxed cost column and its unique candidate values.
+
+        Equal — value for value — to ``np.sort`` respectively
+        ``np.unique`` of the relaxation matrix's cost column, but derived
+        from the precomputed :attr:`sorted_x` in ``O(n)``: subtraction
+        and clipping are monotone, so the point order survives.  This is
+        what lets the batch path amortize the per-request sweep setup.
+        """
+        sorted_relax = np.maximum(self.sorted_x - float(origin_x), 0.0)
+        keep = np.empty(sorted_relax.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(sorted_relax[1:], sorted_relax[:-1], out=keep[1:])
+        return sorted_relax, sorted_relax[keep]

@@ -6,8 +6,13 @@ runners — flows through :class:`RecommendationEngine`:
 * planner backends are pluggable via :class:`PlannerRegistry`
   (``batch-greedy``, ``payoff-dp``, ``baseline-greedy``,
   ``batch-bruteforce``),
-* :class:`EngineCache` memoizes workforce aggregates and ADPaR results
-  across calls and engines,
+* ADPaR solver backends are pluggable via :class:`SolverRegistry`
+  (``adpar-exact``, ``adpar-weighted``, ``onedim``, ``rtree``,
+  ``bruteforce``), all sharing one
+  :class:`~repro.core.relaxation.RelaxationSpace` per (ensemble,
+  availability),
+* :class:`EngineCache` memoizes workforce aggregates, ADPaR results and
+  the relaxation geometry across calls and engines,
 * :class:`EngineSession` carries the streaming ledger (admission,
   revocation, deferred-retry).
 
@@ -29,7 +34,14 @@ from repro.engine.registry import (
     default_registry,
 )
 from repro.engine.session import EngineSession
-from repro.exceptions import UnknownPlannerError
+from repro.engine.solvers import (
+    AdparSolver,
+    SolverContext,
+    SolverRegistry,
+    default_solver_registry,
+    solver_options_key,
+)
+from repro.exceptions import UnknownPlannerError, UnknownSolverError
 
 __all__ = [
     "RecommendationEngine",
@@ -43,4 +55,10 @@ __all__ = [
     "PlannerRegistry",
     "default_registry",
     "UnknownPlannerError",
+    "AdparSolver",
+    "SolverContext",
+    "SolverRegistry",
+    "default_solver_registry",
+    "solver_options_key",
+    "UnknownSolverError",
 ]

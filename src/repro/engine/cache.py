@@ -2,11 +2,14 @@
 
 Per-request model inversion (§3.2 step 1-2) and ADPaR fallbacks are pure
 functions of *(ensemble, workforce configuration, request parameters, k)*
-— they do not depend on request identity.  Every entry point used to
-re-fit them from scratch per call; the engine instead routes all traffic
-through one :class:`EngineCache` keyed by the ensemble's content
-fingerprint, so repeated parameters (the common case on a platform
-serving templated deployment requests) are answered from memory.
+— plus, for ADPaR, *(solver backend, norm, weights)* — they do not
+depend on request identity.  Every entry point used to re-fit them from
+scratch per call; the engine instead routes all traffic through one
+:class:`EngineCache` keyed by the ensemble's content fingerprint, so
+repeated parameters (the common case on a platform serving templated
+deployment requests) are answered from memory.  The cache also holds the
+per-(ensemble, availability) :class:`RelaxationSpace` every solver
+backend shares, and the solver instances themselves.
 
 The cache is bounded LRU per section and safe to share across engines —
 entries are frozen dataclasses keyed by frozen dataclasses.
@@ -20,11 +23,19 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.adpar import ADPaRExact, ADPaRResult
+from repro.core.adpar import ADPaRResult
 from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.core.workforce import RequestWorkforce, WorkforceComputer
+from repro.engine.solvers import (
+    AdparSolver,
+    SolverContext,
+    SolverRegistry,
+    default_solver_registry,
+    solver_options_key,
+)
 from repro.exceptions import InfeasibleRequestError
 
 #: Sentinel cached for (params, k) pairs whose ADPaR solve proved infeasible.
@@ -124,10 +135,12 @@ class EngineCache:
         max_workforce_entries: int = 262_144,
         max_adpar_entries: int = 65_536,
         max_solver_entries: int = 64,
+        max_space_entries: int = 64,
     ):
         self._workforce = _LRU(max_workforce_entries)
         self._adpar_results = _LRU(max_adpar_entries)
         self._adpar_solvers = _LRU(max_solver_entries)
+        self._spaces = _LRU(max_space_entries)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------- workforce
@@ -143,30 +156,87 @@ class EngineCache:
         self._workforce.put(key, need)
 
     # ----------------------------------------------------------------- adpar
-    def adpar_solver(
+    def relaxation_space(
         self, ensemble: StrategyEnsemble, availability: float
-    ) -> ADPaRExact:
-        """A (cached) exact ADPaR solver for one estimation context."""
+    ) -> RelaxationSpace:
+        """The (cached) shared unified-space geometry for one context.
+
+        Every solver backend created through this cache for the same
+        (ensemble, availability) reads the same space — the geometry is
+        built once and reused.
+        """
         key = (ensemble_fingerprint(ensemble), float(availability))
-        solver = self._adpar_solvers.get(key)
-        if solver is None:
-            solver = ADPaRExact(ensemble, availability=float(availability))
-            self._adpar_solvers.put(key, solver)
-        return solver
+        space = self._spaces.get(key)
+        if space is None:
+            space = RelaxationSpace(ensemble, float(availability))
+            self._spaces.put(key, space)
+        return space
+
+    def adpar_solver(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        solver: str = "adpar-exact",
+        options: "dict | None" = None,
+        registry: "SolverRegistry | None" = None,
+    ) -> AdparSolver:
+        """A (cached) ADPaR solver backend for one estimation context.
+
+        Keyed by (ensemble fingerprint, availability, backend name,
+        canonical options, registry) — e.g. two ``adpar-weighted``
+        solvers with different norms are distinct entries, as are two
+        registries binding the same name to different factories — but
+        all share the cached :class:`RelaxationSpace`.
+        """
+        registry = registry if registry is not None else default_solver_registry()
+        key = (
+            ensemble_fingerprint(ensemble),
+            float(availability),
+            solver,
+            solver_options_key(options),
+            registry,
+        )
+        hit = self._adpar_solvers.get(key)
+        if hit is None:
+            context = SolverContext(
+                ensemble=ensemble,
+                availability=float(availability),
+                space=self.relaxation_space(ensemble, availability),
+            )
+            hit = registry.create(solver, context, options)
+            self._adpar_solvers.put(key, hit)
+        return hit
+
+    def _adpar_key(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        request: DeploymentRequest,
+        solver: str,
+        options: "dict | None",
+        registry: "SolverRegistry | None",
+    ) -> tuple:
+        return (
+            ensemble_fingerprint(ensemble),
+            float(availability),
+            request.params,
+            request.k,
+            solver,
+            solver_options_key(options),
+            registry if registry is not None else default_solver_registry(),
+        )
 
     def adpar_solve(
         self,
         ensemble: StrategyEnsemble,
         availability: float,
         request: DeploymentRequest,
+        solver: str = "adpar-exact",
+        options: "dict | None" = None,
+        registry: "SolverRegistry | None" = None,
     ) -> ADPaRResult:
-        """Cached :meth:`ADPaRExact.solve`; infeasibility is cached too."""
-        key = (
-            ensemble_fingerprint(ensemble),
-            float(availability),
-            request.params,
-            request.k,
-        )
+        """Cached single-request solve; infeasibility is cached too."""
+        key = self._adpar_key(ensemble, availability, request, solver, options, registry)
         hit = self._adpar_results.get(key)
         if hit is not None:
             self.stats.adpar_hits += 1
@@ -176,14 +246,83 @@ class EngineCache:
                 )
             return hit
         self.stats.adpar_misses += 1
-        solver = self.adpar_solver(ensemble, availability)
+        backend = self.adpar_solver(ensemble, availability, solver, options, registry)
         try:
-            result = solver.solve(request)
+            result = backend.solve(request)
         except InfeasibleRequestError:
             self._adpar_results.put(key, _INFEASIBLE)
             raise
         self._adpar_results.put(key, result)
         return result
+
+    def adpar_solve_batch(
+        self,
+        ensemble: StrategyEnsemble,
+        availability: float,
+        requests: "list[DeploymentRequest]",
+        solver: str = "adpar-exact",
+        options: "dict | None" = None,
+        registry: "SolverRegistry | None" = None,
+    ) -> "list[ADPaRResult | None]":
+        """Cached batch solve; ``None`` marks an infeasible request.
+
+        Cache hits are answered in place, duplicate (params, k) pairs
+        within the batch are solved once, and the remaining misses go to
+        the backend's :meth:`~repro.engine.solvers.AdparSolver.solve_batch`
+        in a single call so the per-request geometry is amortized.
+        """
+        results: "list[ADPaRResult | None]" = [None] * len(requests)
+        missing: "list[tuple[tuple, DeploymentRequest]]" = []
+        pending: "dict[tuple, list[int]]" = {}
+        for i, request in enumerate(requests):
+            key = self._adpar_key(
+                ensemble, availability, request, solver, options, registry
+            )
+            hit = self._adpar_results.get(key)
+            if hit is not None:
+                self.stats.adpar_hits += 1
+                results[i] = None if hit is _INFEASIBLE else hit
+                continue
+            self.stats.adpar_misses += 1
+            if key in pending:
+                pending[key].append(i)
+                continue
+            pending[key] = [i]
+            missing.append((key, request))
+        if not missing:
+            return results
+        backend = self.adpar_solver(ensemble, availability, solver, options, registry)
+        feasible: "list[tuple[tuple, DeploymentRequest]]" = []
+        for key, request in missing:
+            if request.k > len(ensemble):
+                # The one infeasibility every backend shares: no relaxation
+                # can conjure strategies that are not in S.
+                self._adpar_results.put(key, _INFEASIBLE)
+            else:
+                feasible.append((key, request))
+        if feasible:
+            try:
+                solved: "list[ADPaRResult | None]" = backend.solve_batch(
+                    [request for _, request in feasible]
+                )
+            except InfeasibleRequestError:
+                # A backend refused mid-batch (every request resolves or
+                # none does in solve_batch): re-solve per request so one
+                # infeasible request cannot abort its batchmates.
+                solved = []
+                for _key, request in feasible:
+                    try:
+                        solved.append(backend.solve(request))
+                    except InfeasibleRequestError:
+                        solved.append(None)
+            for (key, _request), result in zip(feasible, solved):
+                if result is None:
+                    self._adpar_results.put(key, _INFEASIBLE)
+                    continue
+                self._adpar_results.put(key, result)
+                for i in pending[key]:
+                    results[i] = result
+        return results
 
     # ----------------------------------------------------------------- sizes
     def __len__(self) -> int:

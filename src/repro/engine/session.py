@@ -4,7 +4,10 @@ An :class:`EngineSession` is the online counterpart of
 :meth:`RecommendationEngine.resolve`: requests arrive one at a time, a
 workforce ledger tracks remaining availability, admitted requests hold a
 reservation until completed or revoked, and requests that do not fit are
-answered with ADPaR alternatives.  Decisions are identical to the legacy
+answered with ADPaR alternatives produced by the owning engine's
+configured solver backend (``solver=``/``solver_options=`` on the
+engine), so a session opened on an ``onedim`` or ``adpar-weighted``
+engine answers with that backend.  Decisions are identical to the legacy
 ``StreamingAggregator`` (differential-tested); on top of it the session
 remembers DEFERRED requests and can retry them once capacity frees —
 previously every caller re-implemented that loop.

@@ -1,0 +1,438 @@
+"""Pluggable ADPaR solver backends for the recommendation engine.
+
+A *solver* answers the other half of the engine's job — given a request
+the planner could not satisfy, which alternative parameters ``d'`` to
+recommend (§4) — behind a single protocol: ``solve(request, k) ->
+ADPaRResult`` plus a batch form ``solve_batch(requests)``.  The registry
+maps stable backend names to factories so callers (the engine, the CLI's
+``--solver`` flag, the fig17/fig18 runners) can swap solvers without
+rewiring, exactly parallel to :class:`~repro.engine.registry.PlannerRegistry`:
+
+========================  ====================================================
+``adpar-exact``           Vectorized exact sweep (Theorem 4), pinned
+                          bitwise-identical to :class:`ADPaRExact` — the
+                          default.
+``adpar-weighted``        Exact under a monotone penalty: ``norm`` ∈
+                          {l1, l2, linf} and per-dimension ``weights``.
+``onedim``                Baseline2 — one-parameter-at-a-time refinement
+                          (Mishra et al.; §5.2.1).
+``rtree``                 Baseline3 — R-tree MBB scan (§5.2.1).
+``bruteforce``            ADPaRB — exhaustive k-subset enumeration
+                          (exact, exponential).
+========================  ====================================================
+
+All five share the context's :class:`~repro.core.relaxation.RelaxationSpace`,
+so one engine comparing several backends over the same ensemble builds
+the unified smaller-is-better geometry once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from dataclasses import replace as _dataclass_replace
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.baselines.adpar_bruteforce import adpar_brute_force
+from repro.baselines.adpar_onedim import OneDimBaseline
+from repro.baselines.adpar_rtree import RTreeBaseline
+from repro.core.adpar import ADPaRResult, finalize_result, unpack_request
+from repro.core.adpar_variants import RelaxationPenalty, WeightedADPaR
+from repro.core.params import TriParams
+from repro.core.relaxation import RelaxationSpace
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import InfeasibleRequestError, UnknownSolverError
+from repro.geometry.sweepline import block_frontier
+
+_EPS = 1e-12
+
+#: One request as the solver protocol accepts it.
+SolverRequest = "DeploymentRequest | TriParams"
+
+
+@dataclass(frozen=True)
+class SolverContext:
+    """Everything a solver backend needs to instantiate itself."""
+
+    ensemble: StrategyEnsemble
+    availability: float
+    space: "RelaxationSpace | None" = None
+
+    def with_space(self) -> "SolverContext":
+        """This context with a :class:`RelaxationSpace` guaranteed."""
+        if self.space is not None:
+            return self
+        return _dataclass_replace(
+            self, space=RelaxationSpace(self.ensemble, self.availability)
+        )
+
+
+class AdparSolver(Protocol):
+    """The one seam every alternative-parameter solver sits behind."""
+
+    name: str
+    space: RelaxationSpace
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        """Alternative parameters admitting ``k`` strategies."""
+        ...
+
+    def solve_batch(
+        self, requests: Sequence[SolverRequest], k: "int | None" = None
+    ) -> list[ADPaRResult]:
+        """Solve many requests over the shared geometry in one call."""
+        ...
+
+
+SolverFactory = Callable[[SolverContext, dict], "AdparSolver"]
+
+
+def solver_options_key(options: "dict | None") -> tuple:
+    """Canonical hashable form of backend options, for cache keys.
+
+    Sorted by key; list/tuple values (e.g. ``weights``) become tuples so
+    ``{"norm": "l1", "weights": [2, 1, 1]}`` keys identically however the
+    caller spelled it.
+    """
+
+    def freeze(value):
+        if isinstance(value, (list, tuple)):
+            return tuple(freeze(v) for v in value)
+        if isinstance(value, dict):
+            return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+        return value
+
+    return tuple(sorted((k, freeze(v)) for k, v in (options or {}).items()))
+
+
+# --------------------------------------------------------------------- exact
+def _vectorized_sweep(
+    space: RelaxationSpace, relax: np.ndarray, origin_x: float, k: int
+) -> tuple[float, float, float]:
+    """The exact sweep of ``ADPaRExact._sweep``, result-identical but fast.
+
+    The reference scan evaluates the full 2-D Pareto frontier at *every*
+    candidate cost relaxation — ``O(|S|)`` work per candidate.  The
+    returned optimum, however, is the lexicographic minimum of
+    ``(X² + Y² + Z², X, Y)`` over all (candidate, frontier-point) pairs
+    (the reference's strict-improvement scan order is exactly that tie
+    break), which licenses two prunes that never change the winner:
+
+    * **Frontier-change gating.**  If no strategy entering at candidate
+      ``x`` pierces the current (quality, latency) staircase, the
+      frontier at ``x`` equals the last evaluated one, so every pair at
+      ``x`` is strictly dominated by the same ``(Y, Z)`` at the smaller,
+      already-evaluated ``x`` — skip without recomputing.  Piercing is a
+      binary search against the staircase corners per entering strategy.
+    * **Global 2-D bound.**  ``G``, the unconstrained-cost optimum of
+      ``Y² + Z²`` (one frontier pass over all strategies), lower-bounds
+      every candidate's 2-D completion, so the scan can stop at
+      ``X² + G ≥ best`` — strictly earlier than the reference's
+      ``X² ≥ best`` Figure-8 bound.
+
+    Candidate values come from the space's presorted cost column
+    (:meth:`RelaxationSpace.sweep_values` matches ``np.unique`` value for
+    value), rows are lexsorted by (quality, latency) once per request,
+    and frontiers are enumerated by
+    :func:`~repro.geometry.sweepline.block_frontier`, which yields
+    exactly what the reference heap sweep yields.  Property tests pin the
+    result bitwise-identical to ``ADPaRExact``.
+    """
+    _, xs = space.sweep_values(origin_x)
+    yz_order = np.lexsort((relax[:, 2], relax[:, 1]))
+    ys = relax[yz_order, 1]
+    zs = relax[yz_order, 2]
+    x_in_yz = relax[yz_order, 0]
+
+    # Admission step per row: row joins S_j iff x_row <= xs[j] + eps,
+    # i.e. at the first candidate whose threshold reaches its value.
+    thresholds = xs + _EPS
+    enter_at = np.searchsorted(thresholds, x_in_yz, side="left")
+    enter_order = np.argsort(enter_at, kind="stable")
+    enter_sorted = enter_at[enter_order]
+    y_entering = ys[enter_order]
+    z_entering = zs[enter_order]
+    starts = np.searchsorted(enter_sorted, np.arange(xs.size + 1), side="left")
+
+    # Unconstrained-cost lower bound on any candidate's 2-D completion.
+    G = min((y * y + z * z for y, z in block_frontier(ys, zs, k)), default=math.inf)
+
+    best_obj = math.inf
+    best: "tuple[float, float, float] | None" = None
+    corners_y: "np.ndarray | None" = None  # current staircase, y ascending
+    corners_z: "np.ndarray | None" = None
+    corners: list[tuple[float, float]] = []
+    members = 0
+    dirty = False
+    for j in range(xs.size):
+        x = float(xs[j])
+        if x * x + G >= best_obj:
+            break  # tighter than the Figure-8 bound; same winner
+        lo, hi = int(starts[j]), int(starts[j + 1])
+        if hi > lo:
+            members += hi - lo
+            if not dirty:
+                if corners_y is None:
+                    dirty = members >= k
+                else:
+                    pos = (
+                        np.searchsorted(corners_y, y_entering[lo:hi], side="right")
+                        - 1
+                    )
+                    pierced = (pos < 0) | (
+                        z_entering[lo:hi] < corners_z[np.maximum(pos, 0)]
+                    )
+                    dirty = bool(pierced.any())
+        if members < k or not dirty:
+            continue
+        mask = enter_at <= j
+        corners = list(block_frontier(ys[mask], zs[mask], k))
+        corners_y = np.array([c[0] for c in corners])
+        corners_z = np.array([c[1] for c in corners])
+        dirty = False
+        for y, z in corners:
+            obj = x * x + y * y + z * z
+            if obj < best_obj:
+                best_obj = obj
+                best = (x, y, z)
+    if best is None:
+        raise InfeasibleRequestError("sweep found no covering relaxation")
+    return best
+
+
+class VectorizedExactSolver:
+    """``adpar-exact``: the default backend, vectorized over blocks.
+
+    Property tests pin both paths — :meth:`solve` and
+    :meth:`solve_batch` — bitwise-identical (distance, alternative
+    parameters, chosen strategy indices) to the reference
+    :class:`~repro.core.adpar.ADPaRExact`.
+    """
+
+    name = "adpar-exact"
+
+    #: Requests per relaxation-matrix block; bounds peak memory at
+    #: ``_CHUNK × n × 3`` floats while keeping the broadcast win.
+    _CHUNK = 128
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.ensemble = context.ensemble
+        self.availability = context.availability
+        self.space = context.space
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return self.solve_batch([request], k)[0]
+
+    def solve_batch(
+        self, requests: Sequence[SolverRequest], k: "int | None" = None
+    ) -> list[ADPaRResult]:
+        space = self.space
+        unpacked = [unpack_request(r, k, space.size) for r in requests]
+        results: list[ADPaRResult] = []
+        for start in range(0, len(unpacked), self._CHUNK):
+            part = unpacked[start : start + self._CHUNK]
+            origins = np.stack([space.origin_of(params) for params, _ in part])
+            relax_block = space.relaxation_batch(origins)
+            for (params, kk), origin, relax in zip(part, origins, relax_block):
+                best = _vectorized_sweep(space, relax, float(origin[0]), kk)
+                results.append(
+                    finalize_result(self.ensemble, params, relax, best, kk)
+                )
+        return results
+
+
+# ------------------------------------------------------------------ wrappers
+class _ScalarLoopMixin:
+    """Batch form for backends whose algorithm is inherently per-request."""
+
+    def solve_batch(
+        self, requests: Sequence[SolverRequest], k: "int | None" = None
+    ) -> list[ADPaRResult]:
+        return [self.solve(request, k) for request in requests]
+
+
+class WeightedSolver(_ScalarLoopMixin):
+    """``adpar-weighted``: exact under ``norm``/``weights`` options."""
+
+    name = "adpar-weighted"
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.space = context.space
+        weights = options.get("weights", (1.0, 1.0, 1.0))
+        penalty = RelaxationPenalty(
+            weights=tuple(float(w) for w in weights),
+            norm=str(options.get("norm", "l2")),
+        )
+        self.penalty = penalty
+        self._solver = WeightedADPaR(
+            context.ensemble,
+            penalty,
+            availability=context.availability,
+            space=context.space,
+        )
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return self._solver.solve(request, k)
+
+
+class OneDimSolver(_ScalarLoopMixin):
+    """``onedim``: Baseline2, one-parameter-at-a-time refinement."""
+
+    name = "onedim"
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.space = context.space
+        self._solver = OneDimBaseline(
+            context.ensemble, context.availability, space=context.space
+        )
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return self._solver.solve(request, k)
+
+
+class RTreeSolver(_ScalarLoopMixin):
+    """``rtree``: Baseline3, R-tree MBB scan (bulk-loaded once)."""
+
+    name = "rtree"
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.space = context.space
+        self._solver = RTreeBaseline(
+            context.ensemble,
+            context.availability,
+            max_entries=int(options.get("max_entries", 8)),
+            space=context.space,
+        )
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return self._solver.solve(request, k)
+
+
+class BruteForceSolver(_ScalarLoopMixin):
+    """``bruteforce``: ADPaRB subset enumeration (exact, exponential)."""
+
+    name = "bruteforce"
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.ensemble = context.ensemble
+        self.availability = context.availability
+        self.space = context.space
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return adpar_brute_force(
+            self.ensemble,
+            request,
+            k,
+            availability=self.availability,
+            space=self.space,
+        )
+
+
+# ------------------------------------------------------------------ registry
+class SolverRegistry:
+    """Name → solver-factory mapping with typed error handling."""
+
+    def __init__(self):
+        self._factories: "dict[str, SolverFactory]" = {}
+        self._descriptions: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: SolverFactory,
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Register a backend; re-registering a name requires ``replace``."""
+        if not name:
+            raise ValueError("solver name must be non-empty")
+        if name in self._factories and not replace:
+            raise ValueError(f"solver {name!r} is already registered")
+        self._factories[name] = factory
+        self._descriptions[name] = description
+
+    def names(self) -> list[str]:
+        """Registered backend names, sorted."""
+        return sorted(self._factories)
+
+    def describe(self, name: str) -> str:
+        if name not in self._factories:
+            raise UnknownSolverError(name)
+        return self._descriptions.get(name, "")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def create(
+        self,
+        name: str,
+        context: SolverContext,
+        options: "dict | None" = None,
+    ) -> AdparSolver:
+        """Instantiate a backend for one estimation context."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise UnknownSolverError(
+                f"unknown solver backend {name!r}; registered: {known}"
+            ) from None
+        return factory(context.with_space(), dict(options or {}))
+
+
+def _builtin_registry() -> SolverRegistry:
+    registry = SolverRegistry()
+    registry.register(
+        "adpar-exact",
+        VectorizedExactSolver,
+        "vectorized exact sweep (Theorem 4); the default",
+    )
+    registry.register(
+        "adpar-weighted",
+        WeightedSolver,
+        "exact under per-dimension weights and an l1/l2/linf norm",
+    )
+    registry.register(
+        "onedim",
+        OneDimSolver,
+        "Baseline2: one-parameter-at-a-time refinement (§5.2.1)",
+    )
+    registry.register(
+        "rtree",
+        RTreeSolver,
+        "Baseline3: R-tree MBB scan (§5.2.1)",
+    )
+    registry.register(
+        "bruteforce",
+        BruteForceSolver,
+        "ADPaRB: exhaustive k-subset enumeration; exact, exponential",
+    )
+    return registry
+
+
+_DEFAULT_REGISTRY = _builtin_registry()
+
+
+def default_solver_registry() -> SolverRegistry:
+    """The process-wide registry with the built-in backends."""
+    return _DEFAULT_REGISTRY

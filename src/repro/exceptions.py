@@ -25,3 +25,7 @@ class UnknownStrategyError(ReproError, KeyError):
 
 class UnknownPlannerError(ReproError, KeyError):
     """A planner backend name was requested that the registry lacks."""
+
+
+class UnknownSolverError(ReproError, KeyError):
+    """An ADPaR solver backend name was requested that the registry lacks."""

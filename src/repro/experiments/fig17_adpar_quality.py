@@ -16,9 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.adpar_bruteforce import adpar_brute_force
-from repro.baselines.adpar_onedim import OneDimBaseline
-from repro.baselines.adpar_rtree import RTreeBaseline
 from repro.core.strategy import StrategyEnsemble
 from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
@@ -35,17 +32,24 @@ K_SWEEP_BF = (5, 10, 15)
 def _distances(
     n: int, k: int, rng: np.random.Generator, with_brute_force: bool
 ) -> tuple:
-    """(exact, baseline2, baseline3[, brute]) distances for one draw."""
+    """(exact, baseline2, baseline3[, brute]) distances for one draw.
+
+    All solvers are served by the engine's solver registry, so each is
+    constructed once per ensemble (no per-request R-tree rebuilds) and
+    all of them share one relaxation space per ensemble.
+    """
     rng_pts, rng_req = spawn_rngs(rng, 2)
     points = generate_adpar_points(n, "uniform", rng_pts)
     request = hard_request_for(points, rng_req)
     ensemble = StrategyEnsemble.from_params(points)
     engine = RecommendationEngine(ensemble, availability=1.0)
     exact = engine.recommend_alternative(request, k).distance
-    b2 = OneDimBaseline(ensemble).solve(request, k).distance
-    b3 = RTreeBaseline(ensemble).solve(request, k).distance
+    b2 = engine.recommend_alternative(request, k, solver="onedim").distance
+    b3 = engine.recommend_alternative(request, k, solver="rtree").distance
     if with_brute_force:
-        brute = adpar_brute_force(ensemble, request, k).distance
+        brute = engine.recommend_alternative(
+            request, k, solver="bruteforce"
+        ).distance
         return exact, b2, b3, brute
     return exact, b2, b3
 

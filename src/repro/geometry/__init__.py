@@ -14,7 +14,13 @@ from repro.geometry.dominance import (
     covered_indices,
     pareto_minima,
 )
-from repro.geometry.sweepline import SweepEvent, build_relaxation_events, ParetoSweep
+from repro.geometry.sweepline import (
+    ParetoSweep,
+    SweepEvent,
+    block_frontier,
+    build_relaxation_events,
+    relaxation_event_arrays,
+)
 
 __all__ = [
     "Point3",
@@ -25,5 +31,7 @@ __all__ = [
     "pareto_minima",
     "SweepEvent",
     "build_relaxation_events",
+    "relaxation_event_arrays",
     "ParetoSweep",
+    "block_frontier",
 ]

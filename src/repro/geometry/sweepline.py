@@ -41,22 +41,38 @@ class SweepEvent:
         return DIM_LABELS[self.dimension]
 
 
+def relaxation_event_arrays(
+    relaxations: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The paper's sorted ``(R, I, D)`` lists as three parallel arrays.
+
+    Pure NumPy event construction: the ``(n, 3)`` relaxation matrix is
+    flattened and lexsorted by (value, strategy, dimension) in one pass —
+    no per-event Python objects.  :func:`build_relaxation_events` wraps
+    the same arrays into :class:`SweepEvent` objects for trace output.
+    """
+    arr = np.asarray(relaxations, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValueError(f"relaxations must have shape (n, 3), got {arr.shape}")
+    n = arr.shape[0]
+    values = arr.ravel()  # row-major: index i*3 + d
+    strategies = np.repeat(np.arange(n), 3)
+    dimensions = np.tile(np.arange(3), n)
+    order = np.lexsort((dimensions, strategies, values))
+    return values[order], strategies[order], dimensions[order]
+
+
 def build_relaxation_events(relaxations: np.ndarray) -> list[SweepEvent]:
     """Flatten an ``(n, 3)`` relaxation matrix into the sorted event list.
 
     Ties are broken by (value, strategy, dimension) so the order — and hence
     any trace output — is deterministic.
     """
-    arr = np.asarray(relaxations, dtype=float)
-    if arr.ndim != 2 or arr.shape[1] != 3:
-        raise ValueError(f"relaxations must have shape (n, 3), got {arr.shape}")
-    events = [
-        SweepEvent(float(arr[i, d]), i, d)
-        for i in range(arr.shape[0])
-        for d in range(3)
+    values, strategies, dimensions = relaxation_event_arrays(relaxations)
+    return [
+        SweepEvent(float(v), int(i), int(d))
+        for v, i, d in zip(values, strategies, dimensions)
     ]
-    events.sort(key=lambda e: (e.value, e.strategy, e.dimension))
-    return events
 
 
 class ParetoSweep:
@@ -105,6 +121,25 @@ class ParetoSweep:
                     best_z = z_bound
                     yield (y_bound, z_bound)
 
+    def frontier_blocks(
+        self, k: int, block: int = 4096
+    ) -> Iterator[tuple[float, float]]:
+        """Array-based :meth:`frontier`: identical bounds, block at a time.
+
+        Same contract and — pair for pair — the same yielded values as
+        :meth:`frontier`, but the per-point Python loop is replaced by
+        NumPy filtering over whole candidate blocks (see
+        :func:`block_frontier`).  This is the path the vectorized ADPaR
+        backend sweeps with; :meth:`frontier` remains the heap reference
+        the property tests compare against.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self._ys.size < k:
+            return
+        order = np.lexsort((self._zs, self._ys))
+        yield from block_frontier(self._ys[order], self._zs[order], k, block=block)
+
     def best_bound(self, k: int) -> "tuple[float, float] | None":
         """The frontier bound minimizing ``Y² + Z²`` (ADPaR's objective)."""
         best = None
@@ -115,3 +150,46 @@ class ParetoSweep:
                 best_obj = obj
                 best = (y, z)
         return best
+
+
+def block_frontier(
+    ys: np.ndarray, zs: np.ndarray, k: int, block: int = 4096
+) -> Iterator[tuple[float, float]]:
+    """Pareto frontier over points already sorted by ``(y, z)``.
+
+    Yields exactly the pairs :meth:`ParetoSweep.frontier` yields — the
+    running size-``k`` heap over ``z`` only ever shrinks its maximum, so
+    any point whose ``z`` is not below the heap's maximum at the start of
+    its block cannot improve the bound later in that block either.  Whole
+    blocks are therefore filtered with one NumPy comparison and Python
+    touches only the (few) improving points, which is what makes the
+    vectorized ADPaR sweep fast on large ensembles.
+
+    ``ys``/``zs`` must be float arrays pre-sorted lexicographically by
+    ``(y, z, original index)`` — callers with unsorted data should use
+    :meth:`ParetoSweep.frontier_blocks` instead.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = ys.size
+    if n < k:
+        return
+    heap = [-float(z) for z in zs[:k]]
+    heapq.heapify(heap)
+    z_bound = -heap[0]
+    best_z = z_bound
+    yield (float(ys[k - 1]), z_bound)
+    i = k
+    while i < n:
+        j = min(i + block, n)
+        for offset in np.flatnonzero(zs[i:j] < -heap[0]):
+            z = float(zs[i + offset])
+            if z >= -heap[0]:
+                # The heap maximum dropped below z since the block filter.
+                continue
+            heapq.heapreplace(heap, -z)
+            z_bound = -heap[0]
+            if z_bound < best_z:
+                best_z = z_bound
+                yield (float(ys[i + offset]), z_bound)
+        i = j

@@ -36,10 +36,30 @@ class TestParser:
         args = build_parser().parse_args(["engine"])
         assert args.command == "engine"
         assert args.planner == "batch-greedy"
+        assert args.solver == "adpar-exact"
+        assert args.norm == "l2"
+        assert args.weights is None
 
     def test_engine_unknown_planner_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["engine", "--planner", "quantum"])
+
+    def test_engine_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--solver", "oracle"])
+
+    def test_engine_unknown_norm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "--norm", "l3"])
+
+    def test_engine_solver_flags_parse(self):
+        args = build_parser().parse_args(
+            ["engine", "--solver", "adpar-weighted", "--norm", "l1",
+             "--weights", "2", "1", "1"]
+        )
+        assert args.solver == "adpar-weighted"
+        assert args.norm == "l1"
+        assert args.weights == [2.0, 1.0, 1.0]
 
 
 class TestMain:
@@ -67,6 +87,8 @@ class TestMain:
             ["engine", "--strategies", "0"],
             ["engine", "--requests", "0"],
             ["engine", "--seed", "-1"],
+            ["engine", "--solver", "adpar-weighted", "--weights", "-1", "1", "1"],
+            ["engine", "--solver", "adpar-weighted", "--weights", "0", "0", "0"],
         ],
     )
     def test_engine_invalid_workload_fails_cleanly(self, argv, capsys):
@@ -84,8 +106,26 @@ class TestMain:
         assert code == 0
         text = out.getvalue()
         assert f"planner={planner}" in text
+        assert "solver=adpar-exact" in text
         assert "satisfied=" in text
         assert "cache:" in text
+
+    @pytest.mark.parametrize(
+        "argv, label",
+        [
+            (["engine", "--solver", "onedim"], "solver=onedim"),
+            (
+                ["engine", "--solver", "adpar-weighted", "--norm", "linf",
+                 "--weights", "2", "1", "1"],
+                "solver=adpar-weighted",
+            ),
+        ],
+    )
+    def test_engine_solver_selection_end_to_end(self, argv, label):
+        out = io.StringIO()
+        code = main(argv + ["--strategies", "30", "--requests", "8", "--k", "2"], out=out)
+        assert code == 0
+        assert label in out.getvalue()
 
     def test_registry_covers_all_paper_artifacts(self):
         # One entry per §5 artifact: tables 1-5 (example), fig 11-18, table 6.

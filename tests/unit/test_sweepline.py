@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.geometry.sweepline import ParetoSweep, SweepEvent, build_relaxation_events
+from repro.geometry.sweepline import (
+    ParetoSweep,
+    SweepEvent,
+    build_relaxation_events,
+    relaxation_event_arrays,
+)
 
 
 class TestEvents:
@@ -28,6 +33,18 @@ class TestEvents:
     def test_bad_shape_rejected(self):
         with pytest.raises(ValueError):
             build_relaxation_events(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            relaxation_event_arrays(np.zeros((3, 2)))
+
+    def test_event_arrays_match_event_objects(self):
+        rng = np.random.default_rng(3)
+        relax = rng.uniform(0, 1, (10, 3))
+        relax[2] = relax[7]  # force value ties across strategies
+        values, strategies, dimensions = relaxation_event_arrays(relax)
+        events = build_relaxation_events(relax)
+        assert [e.value for e in events] == list(values)
+        assert [e.strategy for e in events] == list(strategies)
+        assert [e.dimension for e in events] == list(dimensions)
 
 
 def naive_best_bound(ys, zs, k):
@@ -88,3 +105,23 @@ class TestParetoSweep:
         frontier = list(ParetoSweep(ys, zs).frontier(5))
         z_values = [z for _, z in frontier]
         assert all(b < a for a, b in zip(z_values, z_values[1:]))
+
+    def test_frontier_blocks_identical_to_frontier(self):
+        """The array-based path yields exactly the heap reference's pairs."""
+        rng = np.random.default_rng(2)
+        for trial in range(40):
+            n = int(rng.integers(1, 64))
+            k = int(rng.integers(1, n + 1))
+            # Quantized values force plenty of ties in both dimensions.
+            ys = rng.integers(0, 6, n) / 5.0
+            zs = rng.integers(0, 6, n) / 5.0
+            sweep = ParetoSweep(ys, zs)
+            # A tiny block size exercises the cross-block heap carry-over.
+            assert list(sweep.frontier_blocks(k, block=4)) == list(
+                sweep.frontier(k)
+            )
+
+    def test_frontier_blocks_validates_k(self):
+        with pytest.raises(ValueError):
+            list(ParetoSweep([0.1], [0.1]).frontier_blocks(0))
+        assert list(ParetoSweep([0.1], [0.1]).frontier_blocks(2)) == []
