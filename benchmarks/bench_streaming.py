@@ -1,0 +1,153 @@
+"""Bench: the streaming admission hot path — scalar vs micro-batched.
+
+Two pins on a fig15-scale stream (|S|=30, >= 1000 arrivals), recorded to
+``BENCH_streaming.json`` next to this file so the perf trajectory is
+tracked across commits:
+
+* ``test_bench_submit_many_speedup`` admits the same arrival stream
+  per-request through ``EngineSession.submit`` and in one
+  ``EngineSession.submit_many`` call (fresh engines, cold caches on both
+  sides), asserts the decisions are identical field-for-field, and pins
+  the micro-batched path at >= 5x throughput — a regression in the
+  broadcasted aggregate pass, the bulk cache probes, or the batch ADPaR
+  fallback fails the bench.
+* ``test_bench_memoized_resubmit`` replays previously seen request
+  shapes through a warm session and pins the memoized path at >= 10x
+  over cold per-request aggregation — heavy traffic repeats request
+  shapes, so resubmission must skip model inversion entirely.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.workforce import WorkforceComputer
+from repro.engine import RecommendationEngine
+from repro.utils.rng import spawn_rngs
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+N_STRATEGIES = 30
+N_ARRIVALS = 1200
+K = 3
+AVAILABILITY = 0.95
+AGGREGATION = "max"
+
+SUBMIT_MANY_FLOOR = 5.0
+MEMOIZED_FLOOR = 10.0
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_streaming.json"
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one bench section into BENCH_streaming.json."""
+    results = {}
+    if RESULTS_PATH.exists():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results[section] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _workload(seed: int = 41):
+    """A fig15-scale arrival stream: mostly admissible/deferrable, with an
+    ADPaR-fallback tail, every request shape distinct (worst case for the
+    cache, so the speedup measures vectorization, not memoization)."""
+    rng_s, rng_r = spawn_rngs(seed, 2)
+    ensemble = generate_strategy_ensemble(N_STRATEGIES, "uniform", rng_s)
+    stream = generate_requests(
+        N_ARRIVALS, k=K, seed=rng_r, low=0.5, quality_offset=0.45
+    )
+    return ensemble, stream
+
+
+def _session(ensemble):
+    return RecommendationEngine(
+        ensemble, AVAILABILITY, aggregation=AGGREGATION
+    ).open_session()
+
+
+def _scalar_vs_batch() -> tuple[float, float]:
+    ensemble, stream = _workload()
+
+    scalar_session = _session(ensemble)
+    start = time.perf_counter()
+    scalar = [scalar_session.submit(request) for request in stream]
+    scalar_s = time.perf_counter() - start
+
+    batch_session = _session(ensemble)
+    start = time.perf_counter()
+    batched = batch_session.submit_many(stream)
+    batch_s = time.perf_counter() - start
+
+    assert [d.comparison_key() for d in scalar] == [
+        d.comparison_key() for d in batched
+    ]
+    assert batch_session.admitted_count == scalar_session.admitted_count
+    assert batch_session.remaining == scalar_session.remaining
+    assert [r.request_id for r in batch_session.deferred] == [
+        r.request_id for r in scalar_session.deferred
+    ]
+    return scalar_s, batch_s
+
+
+def test_bench_submit_many_speedup(benchmark):
+    scalar_s, batch_s = benchmark.pedantic(_scalar_vs_batch, rounds=1, iterations=1)
+    speedup = scalar_s / max(batch_s, 1e-9)
+    info = {
+        "n_strategies": N_STRATEGIES,
+        "n_arrivals": N_ARRIVALS,
+        "submit_loop_s": round(scalar_s, 4),
+        "submit_many_s": round(batch_s, 4),
+        "speedup": round(speedup, 1),
+        "floor": SUBMIT_MANY_FLOOR,
+    }
+    benchmark.extra_info.update(info)
+    _record("submit_many", info)
+    assert speedup >= SUBMIT_MANY_FLOOR, (
+        f"submit_many ({batch_s:.3f}s) should beat the per-request submit "
+        f"loop ({scalar_s:.3f}s) by >= {SUBMIT_MANY_FLOOR}x, got {speedup:.1f}x"
+    )
+
+
+def _cold_vs_memoized() -> tuple[float, float]:
+    ensemble, shapes = _workload(seed=43)
+
+    # Cold aggregation: the plain computer, one model inversion per shape.
+    plain = WorkforceComputer(ensemble, aggregation=AGGREGATION)
+    start = time.perf_counter()
+    for request in shapes:
+        plain.aggregate(request)
+    cold_s = time.perf_counter() - start
+
+    # Memoized resubmission: same shapes (fresh request objects) through a
+    # session whose engine cache has seen them once.
+    engine = RecommendationEngine(ensemble, AVAILABILITY, aggregation=AGGREGATION)
+    engine.open_session().submit_many(shapes)
+    resubmitted = [request.with_params(request.params) for request in shapes]
+    session = engine.open_session()
+    start = time.perf_counter()
+    for request in resubmitted:
+        session.submit(request)
+    warm_s = time.perf_counter() - start
+    return cold_s, warm_s
+
+
+def test_bench_memoized_resubmit(benchmark):
+    cold_s, warm_s = benchmark.pedantic(_cold_vs_memoized, rounds=1, iterations=1)
+    speedup = cold_s / max(warm_s, 1e-9)
+    info = {
+        "n_strategies": N_STRATEGIES,
+        "n_arrivals": N_ARRIVALS,
+        "cold_aggregate_s": round(cold_s, 4),
+        "memoized_submit_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "floor": MEMOIZED_FLOOR,
+    }
+    benchmark.extra_info.update(info)
+    _record("memoized_resubmit", info)
+    assert speedup >= MEMOIZED_FLOOR, (
+        f"memoized resubmission ({warm_s:.3f}s) should beat cold "
+        f"aggregation ({cold_s:.3f}s) by >= {MEMOIZED_FLOOR}x, got {speedup:.1f}x"
+    )

@@ -72,3 +72,24 @@ print(
     f"\nadmitted={stream.admitted_count} completed={stream.completed_count} "
     f"revoked={stream.revoked_count} utilization={stream.utilization():.1%}"
 )
+
+# High-traffic mode: a whole arrival burst in one vectorized call.  The
+# decisions are identical to submitting one at a time — the model
+# inversions and ADPaR fallbacks just run as two batch passes.
+burst = [
+    DeploymentRequest(
+        request_id=f"burst-{i:03d}",
+        params=TriParams(
+            quality=float(rng.uniform(0.35, 0.75)),
+            cost=float(rng.uniform(0.625, 1.0)),
+            latency=float(rng.uniform(0.625, 1.0)),
+        ),
+        k=3,
+    )
+    for i in range(200)
+]
+decisions = stream.submit_many(burst)
+by_status: dict[str, int] = {}
+for decision in decisions:
+    by_status[decision.status.value] = by_status.get(decision.status.value, 0) + 1
+print(f"\nburst of {len(burst)} arrivals via submit_many: {by_status}")

@@ -7,10 +7,14 @@ Usage::
     python -m repro run all               # the full report
     python -m repro engine --planner payoff-dp   # resolve a synthetic batch
     python -m repro engine --solver adpar-weighted --norm l1 --weights 2 1 1
+    python -m repro stream --arrivals 5000 --burst 128   # streaming admission
 
 ``engine`` routes a synthetic workload through the
 :class:`~repro.engine.RecommendationEngine` with selectable planner and
 ADPaR solver backends — the same path the experiment runners use.
+``stream`` drives a synthetic arrival stream through an
+:class:`~repro.engine.EngineSession` in vectorized micro-bursts with
+completion waves and deferred-queue retries.
 """
 
 from __future__ import annotations
@@ -153,6 +157,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--workforce-mode", choices=("paper", "strict"), default="paper"
     )
     engine.add_argument("--seed", type=int, default=7)
+    stream = sub.add_parser(
+        "stream",
+        help="drive a synthetic arrival stream through an engine session",
+    )
+    stream.add_argument(
+        "--solver",
+        choices=default_solver_registry().names(),
+        default="adpar-exact",
+        help="ADPaR backend answering requests that never fit as stated",
+    )
+    stream.add_argument("--strategies", type=int, default=30, help="|S|")
+    stream.add_argument(
+        "--arrivals", type=int, default=1000, help="stream length"
+    )
+    stream.add_argument(
+        "--burst",
+        type=int,
+        default=64,
+        help="micro-batch size fed to submit_many per admission wave",
+    )
+    stream.add_argument(
+        "--hold",
+        type=int,
+        default=2,
+        help="bursts a deployment stays active before completing",
+    )
+    stream.add_argument("--k", type=int, default=3, help="strategies per request")
+    stream.add_argument(
+        "--availability", type=float, default=0.9, help="expected workforce W"
+    )
+    stream.add_argument(
+        "--distribution", choices=("uniform", "normal"), default="uniform"
+    )
+    stream.add_argument("--aggregation", choices=("sum", "max"), default="max")
+    stream.add_argument(
+        "--workforce-mode", choices=("paper", "strict"), default="paper"
+    )
+    stream.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -215,6 +257,85 @@ def run_engine(args, out) -> int:
     return 0
 
 
+def run_stream(args, out) -> int:
+    """The ``stream`` subcommand: a synthetic arrival stream, micro-batched.
+
+    Arrivals run through :func:`repro.engine.session.drive_stream` — the
+    same loop the platform simulator's ``stream_window`` uses: vectorized
+    ``submit_many`` bursts, completion waves after ``--hold`` bursts, and
+    deferred-queue retries (O(1) per entry — each entry carries its
+    precomputed aggregate).
+    """
+    import time
+
+    from repro.core.streaming import StreamStatus
+    from repro.engine.session import drive_stream
+    from repro.utils.rng import spawn_rngs
+    from repro.workloads.generators import (
+        generate_requests,
+        generate_strategy_ensemble,
+    )
+
+    try:
+        if args.arrivals < 1:
+            raise ValueError("--arrivals must be >= 1")
+        if args.burst < 1:
+            raise ValueError("--burst must be >= 1")
+        if args.hold < 1:
+            raise ValueError("--hold must be >= 1")
+        rng_s, rng_r = spawn_rngs(args.seed, 2)
+        ensemble = generate_strategy_ensemble(
+            args.strategies, args.distribution, rng_s
+        )
+        stream = generate_requests(
+            args.arrivals, k=min(args.k, args.strategies), seed=rng_r
+        )
+        engine = RecommendationEngine(
+            ensemble,
+            args.availability,
+            aggregation=args.aggregation,
+            workforce_mode=args.workforce_mode,
+            solver=args.solver,
+        )
+    except ValueError as exc:
+        print(f"repro stream: error: {exc}", file=sys.stderr)
+        return 2
+    session = engine.open_session()
+    start = time.perf_counter()
+    decisions, retried = drive_stream(
+        session, stream, burst_size=args.burst, hold_bursts=args.hold
+    )
+    elapsed = time.perf_counter() - start
+    counts = {status: 0 for status in StreamStatus}
+    for decision in decisions:
+        counts[decision.status] += 1
+    stats = engine.stats
+    print(
+        f"stream |S|={args.strategies} arrivals={args.arrivals} "
+        f"burst={args.burst} hold={args.hold} k={args.k} "
+        f"W={args.availability} solver={args.solver}",
+        file=out,
+    )
+    print(
+        f"admitted={session.admitted_count} completed={session.completed_count} "
+        f"alternative={counts[StreamStatus.ALTERNATIVE]} "
+        f"infeasible={counts[StreamStatus.INFEASIBLE]} "
+        f"deferred={len(session.deferred)} retried={retried}",
+        file=out,
+    )
+    print(
+        f"throughput={args.arrivals / max(elapsed, 1e-9):.0f} req/s "
+        f"({elapsed * 1e3:.1f} ms), utilization={session.utilization():.2f}",
+        file=out,
+    )
+    print(
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate():.0%})",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: "list[str] | None" = None, out=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -234,6 +355,8 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
         return 0
     if args.command == "engine":
         return run_engine(args, out)
+    if args.command == "stream":
+        return run_stream(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, factory = EXPERIMENTS[name]

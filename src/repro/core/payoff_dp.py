@@ -81,6 +81,11 @@ def payoff_dynamic_program(
     values = [request_value(request, objective) for request, _ in candidates]
 
     # dp[c] = best value using capacity c; choice[i][c] = took item i at c.
+    # Each item is one rolling NumPy update: the candidate row
+    # ``dp[:-weight] + value`` is compared against ``dp[weight:]`` and
+    # copied in place where it wins — no per-cell Python work and no
+    # full-width concatenate/where temporaries.  Cells below ``weight``
+    # can never take the item, so they are skipped rather than masked.
     dp = np.zeros(capacity + 1)
     taken = np.zeros((len(candidates), capacity + 1), dtype=bool)
     for i, (weight, value) in enumerate(zip(weights, values)):
@@ -91,10 +96,9 @@ def payoff_dynamic_program(
             dp += value
             taken[i, :] = True
             continue
-        shifted = np.concatenate([np.full(weight, -np.inf), dp[:-weight] + value])
-        better = shifted > dp + _EPS
-        dp = np.where(better, shifted, dp)
-        taken[i] = better
+        candidate = dp[:-weight] + value
+        better = np.greater(candidate, dp[weight:] + _EPS, out=taken[i, weight:])
+        np.copyto(dp[weight:], candidate, where=better)
 
     # Backtrack from the best capacity.
     best_c = int(np.argmax(dp))

@@ -49,6 +49,32 @@ class StreamDecision:
     workforce_reserved: float = 0.0
     alternative: "ADPaRResult | None" = None
 
+    def comparison_key(self) -> tuple:
+        """Every decision-relevant field, for exact equality checks.
+
+        The one canonical key used by the differential property tests,
+        the fig15 streaming panel, and ``benchmarks/bench_streaming.py``
+        to pin the vectorized paths to the scalar ones — including the
+        ADPaR alternative's parameters, distance, and strategy choice,
+        so a drift in any of them fails the comparison.
+        """
+        alternative = (
+            None
+            if self.alternative is None
+            else (
+                self.alternative.alternative,
+                self.alternative.distance,
+                self.alternative.strategy_indices,
+            )
+        )
+        return (
+            self.request.request_id,
+            self.status,
+            self.strategy_names,
+            self.workforce_reserved,
+            alternative,
+        )
+
 
 class StreamingAggregator:
     """Online admission with a workforce ledger and revocation.
@@ -112,10 +138,30 @@ class StreamingAggregator:
     def completed_count(self) -> int:
         return self._session.completed_count
 
+    @property
+    def deferred(self) -> "list[DeploymentRequest]":
+        """Requests answered DEFERRED, in arrival order, awaiting retry."""
+        return self._session.deferred
+
     # ---------------------------------------------------------------- submit
     def submit(self, request: DeploymentRequest) -> StreamDecision:
         """Process one arriving request against the current ledger."""
         return self._session.submit(request)
+
+    def submit_many(
+        self, requests: "list[DeploymentRequest]"
+    ) -> list[StreamDecision]:
+        """Admit one arrival burst through the vectorized session path.
+
+        Decisions are identical to submitting one at a time; the model
+        inversions and ADPaR fallbacks run as two batch passes instead of
+        per-request scalar solves.
+        """
+        return self._session.submit_many(requests)
+
+    def retry_deferred(self) -> list[StreamDecision]:
+        """Resubmit deferred requests against freed capacity (O(1)/entry)."""
+        return self._session.retry_deferred()
 
     # ------------------------------------------------------------ lifecycle
     def revoke(self, request_id: str) -> float:

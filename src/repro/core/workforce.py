@@ -260,30 +260,44 @@ class WorkforceComputer:
             order = np.argsort(grid, axis=1, kind="stable")
             ranked = np.take_along_axis(grid, order, axis=1)
             eligible_counts = (ranked <= bound + _EPS).sum(axis=1)
+            # Gather every per-request scalar in one vectorized pass —
+            # requirement (the k-prefix sum or the k-th value), eligible
+            # count, chosen indices — so the remaining loop is pure
+            # Python-object assembly with no per-row NumPy reductions.
+            # Rows are grouped by k so the sum-case reduction runs the
+            # same length-k pairwise ``.sum`` as :meth:`aggregate` (a
+            # cumsum would associate additions differently and drift in
+            # the last ulp).
+            ks = np.fromiter((r.k for r in chunk), dtype=np.intp, count=len(chunk))
+            requirements = np.empty(len(chunk))
+            for k_val in np.unique(ks):
+                mask = ks == k_val
+                kk = min(int(k_val), n)
+                if self.aggregation == "sum":
+                    requirements[mask] = ranked[mask, :kk].sum(axis=1)
+                else:
+                    requirements[mask] = ranked[mask, kk - 1]
+            feasible = (ks <= eligible_counts).tolist()
+            requirement_list = requirements.tolist()
+            eligible_list = eligible_counts.tolist()
+            order_list = order.tolist()
             for i, request in enumerate(chunk):
-                k = request.k
-                eligible = int(eligible_counts[i])
-                if eligible < k:
+                if not feasible[i]:
                     results.append(
                         RequestWorkforce(
                             request_id=request.request_id,
                             requirement=math.inf,
                             strategy_indices=(),
-                            eligible_count=eligible,
+                            eligible_count=eligible_list[i],
                         )
                     )
                     continue
-                chosen_values = ranked[i, :k]
-                if self.aggregation == "sum":
-                    requirement = float(chosen_values.sum())
-                else:
-                    requirement = float(chosen_values.max())
                 results.append(
                     RequestWorkforce(
                         request_id=request.request_id,
-                        requirement=requirement,
-                        strategy_indices=tuple(int(j) for j in order[i, :k]),
-                        eligible_count=eligible,
+                        requirement=requirement_list[i],
+                        strategy_indices=tuple(order_list[i][: request.k]),
+                        eligible_count=eligible_list[i],
                     )
                 )
         return results

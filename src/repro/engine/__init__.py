@@ -14,7 +14,10 @@ runners — flows through :class:`RecommendationEngine`:
 * :class:`EngineCache` memoizes workforce aggregates, ADPaR results and
   the relaxation geometry across calls and engines,
 * :class:`EngineSession` carries the streaming ledger (admission,
-  revocation, deferred-retry).
+  revocation, deferred-retry) with a vectorized burst path
+  (:meth:`~EngineSession.submit_many`) and an O(1)-retry deferred queue
+  whose entries carry their precomputed aggregates
+  (:class:`DeferredEntry`).
 
 The legacy :class:`repro.Aggregator` and
 :class:`repro.StreamingAggregator` remain as thin shims over this layer.
@@ -33,7 +36,7 @@ from repro.engine.registry import (
     PlannerRegistry,
     default_registry,
 )
-from repro.engine.session import EngineSession
+from repro.engine.session import DeferredEntry, EngineSession, drive_stream
 from repro.engine.solvers import (
     AdparSolver,
     SolverContext,
@@ -46,6 +49,8 @@ from repro.exceptions import UnknownPlannerError, UnknownSolverError
 __all__ = [
     "RecommendationEngine",
     "EngineSession",
+    "DeferredEntry",
+    "drive_stream",
     "EngineCache",
     "CacheStats",
     "CachingWorkforceComputer",

@@ -12,7 +12,7 @@ per-(ensemble, availability) :class:`RelaxationSpace` every solver
 backend shares, and the solver instances themselves.
 
 The cache is bounded LRU per section and safe to share across engines —
-entries are frozen dataclasses keyed by frozen dataclasses.
+entries are frozen dataclasses keyed by flat value tuples.
 """
 
 from __future__ import annotations
@@ -24,7 +24,6 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.adpar import ADPaRResult
-from repro.core.params import TriParams
 from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
@@ -93,11 +92,12 @@ class _LRU:
         self._entries: OrderedDict = OrderedDict()
 
     def get(self, key):
-        try:
+        # dict.get + move_to_end instead of try/except: misses are the
+        # common cold-path case and must not pay exception dispatch.
+        value = self._entries.get(key)
+        if value is not None:
             self._entries.move_to_end(key)
-            return self._entries[key]
-        except KeyError:
-            return None
+        return value
 
     def put(self, key, value) -> None:
         self._entries[key] = value
@@ -109,16 +109,12 @@ class _LRU:
         return len(self._entries)
 
 
-@dataclass(frozen=True)
-class _WorkforceKey:
-    """Cache identity of one per-request workforce aggregate."""
-
-    fingerprint: str
-    mode: str
-    aggregation: str
-    eligibility_bound: float
-    params: TriParams
-    k: int
+#: Cache identity of one per-request workforce aggregate: a flat tuple
+#: ``(fingerprint, mode, aggregation, eligibility_bound, quality, cost,
+#: latency, k)``.  Flat on purpose — the streaming burst path hashes one
+#: key per arriving request, and a flat tuple hashes in one C-level pass
+#: where a nested dataclass key pays two Python ``__hash__`` frames.
+_WorkforceKey = tuple
 
 
 class EngineCache:
@@ -154,6 +150,29 @@ class EngineCache:
 
     def store_workforce(self, key: _WorkforceKey, need: RequestWorkforce) -> None:
         self._workforce.put(key, need)
+
+    def lookup_workforce_many(
+        self, keys: list
+    ) -> "list[RequestWorkforce | None]":
+        """Bulk :meth:`lookup_workforce`: one stats update for the batch.
+
+        The streaming burst path probes thousands of keys per call;
+        per-key method dispatch and counter increments are measurable
+        there, so hits/misses are tallied once.
+        """
+        get = self._workforce.get
+        results = [get(key) for key in keys]
+        hits = sum(1 for hit in results if hit is not None)
+        self.stats.workforce_hits += hits
+        self.stats.workforce_misses += len(results) - hits
+        return results
+
+    def store_workforce_many(
+        self, pairs: "list[tuple[_WorkforceKey, RequestWorkforce]]"
+    ) -> None:
+        """Bulk :meth:`store_workforce` for a freshly computed block."""
+        for key, need in pairs:
+            self._workforce.put(key, need)
 
     # ----------------------------------------------------------------- adpar
     def relaxation_space(
@@ -362,14 +381,12 @@ class CachingWorkforceComputer(WorkforceComputer):
         )
 
     def _key(self, request: DeploymentRequest) -> _WorkforceKey:
-        fingerprint, mode, aggregation, bound = self._key_prefix
-        return _WorkforceKey(
-            fingerprint=fingerprint,
-            mode=mode,
-            aggregation=aggregation,
-            eligibility_bound=bound,
-            params=request.params,
-            k=request.k,
+        params = request.params
+        return self._key_prefix + (
+            params.quality,
+            params.cost,
+            params.latency,
+            request.k,
         )
 
     @staticmethod
@@ -392,28 +409,34 @@ class CachingWorkforceComputer(WorkforceComputer):
     def aggregate_all(
         self, requests: "list[DeploymentRequest]"
     ) -> list[RequestWorkforce]:
-        results: "list[RequestWorkforce | None]" = [None] * len(requests)
+        # Keys are built exactly once per request and probed through the
+        # bulk cache API; only the misses reach the broadcasted NumPy
+        # pass.  This is the streaming burst hot path (EngineSession
+        # .submit_many), so per-request Python overhead is kept minimal.
+        keys = [self._key(request) for request in requests]
+        results = self.cache.lookup_workforce_many(keys)
         missing: list[DeploymentRequest] = []
         missing_at: list[int] = []
         pending: dict = {}
-        for i, request in enumerate(requests):
-            key = self._key(request)
-            hit = self.cache.lookup_workforce(key)
+        for i, hit in enumerate(results):
             if hit is not None:
-                results[i] = self._relabel(hit, request)
-            elif key in pending:
+                results[i] = self._relabel(hit, requests[i])
+                continue
+            key = keys[i]
+            if key in pending:
                 # Duplicate parameters within one batch: compute once.
                 pending[key].append(i)
             else:
-                missing.append(request)
+                missing.append(requests[i])
                 missing_at.append(i)
                 pending[key] = [i]
         if missing:
             computed = super().aggregate_all(missing)
-            for request, i, need in zip(missing, missing_at, computed):
-                key = self._key(request)
-                self.cache.store_workforce(key, need)
+            self.cache.store_workforce_many(
+                [(keys[i], need) for i, need in zip(missing_at, computed)]
+            )
+            for i, need in zip(missing_at, computed):
                 results[i] = need
-                for j in pending[key][1:]:
+                for j in pending[keys[i]][1:]:
                     results[j] = self._relabel(need, requests[j])
         return results  # type: ignore[return-value]

@@ -362,9 +362,13 @@ class RecommendationEngine:
     def open_session(self) -> EngineSession:
         """Open a streaming session over this engine's workforce ledger.
 
-        The session admits requests one at a time against the remaining
-        availability, answers non-fitting requests with ADPaR
-        alternatives, and handles revocation and deferred-retry in one
-        place (the paper's §7 open problem).
+        The session admits requests one at a time (or per arrival burst
+        through :meth:`EngineSession.submit_many`, which runs the model
+        inversions and ADPaR fallbacks as two vectorized batch passes)
+        against the remaining availability, answers non-fitting requests
+        with ADPaR alternatives, and handles revocation and
+        deferred-retry in one place (the paper's §7 open problem).
+        Repeated request shapes are served from this engine's shared
+        workforce cache, so resubmissions skip model inversion entirely.
         """
         return EngineSession(self)

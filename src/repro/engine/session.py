@@ -12,23 +12,62 @@ engine answers with that backend.  Decisions are identical to the legacy
 remembers DEFERRED requests and can retry them once capacity frees —
 previously every caller re-implemented that loop.
 
+The streaming hot path is vectorized (the "fully dynamic stream" the
+paper's §7 leaves open, served at batch-path speed):
+
+* :meth:`submit_many` admits an arrival burst through one broadcasted
+  :meth:`~repro.core.workforce.WorkforceComputer.aggregate_all` pass and
+  one batch ADPaR call for the requests that fall to the ALTERNATIVE
+  branch — decisions, counters, and ledger state are pinned identical to
+  the equivalent :meth:`submit` loop
+  (``tests/property/test_streaming_equivalence.py``).
+* Per-request model inversion is memoized in the engine's shared
+  :class:`~repro.engine.cache.EngineCache` keyed by (params, k,
+  workforce configuration), so resubmitted request shapes — the common
+  case on a platform serving templated deployments — skip inversion
+  entirely.
+* Every DEFERRED request is queued as a :class:`DeferredEntry` carrying
+  its already-computed aggregate, so :meth:`retry_deferred` is O(1) per
+  entry in model work, and a min-requirement early exit makes a drain
+  against insufficient capacity O(1) total.
+
 One-shot batches go through :meth:`resolve_batch`, so a session is the
 single API surface for both batch and streaming traffic.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.aggregator import AggregatorReport
 from repro.core.request import DeploymentRequest
 from repro.core.streaming import StreamDecision, StreamStatus
+from repro.core.workforce import RequestWorkforce
 from repro.exceptions import InfeasibleRequestError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.adpar import ADPaRResult
     from repro.engine.engine import RecommendationEngine
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class DeferredEntry:
+    """One deferred request plus its already-computed workforce aggregate.
+
+    Carrying the aggregate makes :meth:`EngineSession.retry_deferred` pure
+    ledger arithmetic — O(1) per entry, no model inversion.  The aggregate
+    is valid for exactly this request object's (params, k): a
+    resubmission with revised parameters replaces the whole entry, so a
+    stale aggregate can never be replayed.
+    """
+
+    request: DeploymentRequest
+    need: RequestWorkforce
 
 
 class EngineSession:
@@ -39,7 +78,12 @@ class EngineSession:
         self.availability = engine.availability
         self._computer = engine.computer
         self._reserved: "dict[str, StreamDecision]" = {}
-        self._deferred: "dict[str, DeploymentRequest]" = {}
+        self._deferred: "dict[str, DeferredEntry]" = {}
+        # Lower bound on the smallest deferred requirement.  Insertions
+        # keep it tight; removals may leave it conservatively low (never
+        # high), so the retry early-exit can only skip provably futile
+        # drains.  Exact again after every full retry pass.
+        self._deferred_floor = math.inf
         self._used = 0.0
         self.admitted_count = 0
         self.revoked_count = 0
@@ -59,6 +103,11 @@ class EngineSession:
     @property
     def deferred(self) -> "list[DeploymentRequest]":
         """Requests answered DEFERRED, in arrival order, awaiting retry."""
+        return [entry.request for entry in self._deferred.values()]
+
+    @property
+    def deferred_entries(self) -> "list[DeferredEntry]":
+        """Deferred queue entries (request + carried aggregate), in order."""
         return list(self._deferred.values())
 
     def utilization(self) -> float:
@@ -72,20 +121,75 @@ class EngineSession:
         """Process one arriving request against the current ledger."""
         if request.request_id in self._reserved:
             raise ValueError(f"request {request.request_id!r} is already active")
-        decision = self._decide(request)
-        if decision.status is StreamStatus.DEFERRED:
-            # Assignment (not setdefault): a resubmission with revised
-            # params must replace the stale entry; re-assigning an existing
-            # key keeps its place in the arrival order.
-            self._deferred[request.request_id] = request
-        else:
-            self._deferred.pop(request.request_id, None)
-        return decision
-
-    def _decide(self, request: DeploymentRequest) -> StreamDecision:
         need = self._computer.aggregate(request)
-        if not need.feasible:
-            return self._answer_infeasible(request)
+        if self._fits_platform(need):
+            return self._admit_or_defer(request, need)
+        return self._fallback_decision(request, self._solve_alternative(request))
+
+    def submit_many(
+        self, requests: "list[DeploymentRequest]"
+    ) -> list[StreamDecision]:
+        """Admit one arrival burst; identical to the equivalent submit loop.
+
+        The per-request model inversions run as a single broadcasted (and
+        cache-backed) ``aggregate_all`` pass, and every request that falls
+        to the ALTERNATIVE branch is answered through the engine's batch
+        ADPaR path — a burst costs two vectorized passes instead of
+        ``2 · len(requests)`` scalar solves.  The ledger walk itself stays
+        sequential, so admission order, deferred-queue bookkeeping, and
+        duplicate-id errors match :meth:`submit` decision-for-decision.
+        """
+        if not requests:
+            return []
+        requests = list(requests)
+        needs = self._computer.aggregate_all(requests)
+        # Whether a request lands in the ALTERNATIVE/INFEASIBLE branch
+        # depends only on its aggregate, never on the ledger: solve that
+        # whole branch in one batch call up front.  Alignment is by
+        # occurrence order, so duplicate ids within a burst stay distinct.
+        # A request whose id is already reserved makes the walk raise when
+        # it is reached (nothing in a burst releases reservations), so
+        # nothing past the first such position is ever consumed — don't
+        # pay its ADPaR solves.
+        reserved = self._reserved
+        limit = next(
+            (
+                i
+                for i, request in enumerate(requests)
+                if request.request_id in reserved
+            ),
+            len(requests),
+        )
+        fits = [self._fits_platform(need) for need in needs]
+        fallback = [
+            request
+            for request, fit in zip(requests[:limit], fits[:limit])
+            if not fit
+        ]
+        solved = iter(self.engine._alternatives_for(fallback) if fallback else ())
+        admit_or_defer = self._admit_or_defer
+        decisions: list[StreamDecision] = []
+        append = decisions.append
+        for request, need, fit in zip(requests, needs, fits):
+            if request.request_id in reserved:
+                raise ValueError(
+                    f"request {request.request_id!r} is already active"
+                )
+            if fit:
+                append(admit_or_defer(request, need))
+            else:
+                append(self._fallback_decision(request, next(solved)))
+        return decisions
+
+    # -------------------------------------------------------- decision rules
+    def _fits_platform(self, need: RequestWorkforce) -> bool:
+        """True iff the request could run on an *empty* platform."""
+        return need.feasible and need.requirement <= self.availability + _EPS
+
+    def _admit_or_defer(
+        self, request: DeploymentRequest, need: RequestWorkforce
+    ) -> StreamDecision:
+        """Ledger arithmetic for a request that fits the platform."""
         if need.requirement <= self.remaining + _EPS:
             decision = StreamDecision(
                 request=request,
@@ -98,23 +202,47 @@ class EngineSession:
             self._reserved[request.request_id] = decision
             self._used += need.requirement
             self.admitted_count += 1
+            self._drop_deferred(request.request_id)
             return decision
-        if need.requirement <= self.availability + _EPS:
-            # Would fit an empty platform: defer rather than mutate params.
-            return StreamDecision(request=request, status=StreamStatus.DEFERRED)
-        return self._answer_infeasible(request)
+        # Would fit an empty platform: defer rather than mutate params.
+        self._push_deferred(request, need)
+        return StreamDecision(request=request, status=StreamStatus.DEFERRED)
 
-    def _answer_infeasible(self, request: DeploymentRequest) -> StreamDecision:
+    def _solve_alternative(
+        self, request: DeploymentRequest
+    ) -> "ADPaRResult | None":
         try:
-            alternative = self.engine.recommend_alternative(request)
+            return self.engine.recommend_alternative(request)
         except InfeasibleRequestError:
+            return None
+
+    def _fallback_decision(
+        self, request: DeploymentRequest, result: "ADPaRResult | None"
+    ) -> StreamDecision:
+        self._drop_deferred(request.request_id)
+        if result is None:
             return StreamDecision(request=request, status=StreamStatus.INFEASIBLE)
         return StreamDecision(
             request=request,
             status=StreamStatus.ALTERNATIVE,
-            strategy_names=alternative.strategy_names,
-            alternative=alternative,
+            strategy_names=result.strategy_names,
+            alternative=result,
         )
+
+    # -------------------------------------------------------- deferred queue
+    def _push_deferred(
+        self, request: DeploymentRequest, need: RequestWorkforce
+    ) -> None:
+        # Assignment (not setdefault): a resubmission with revised params
+        # must replace the stale entry — aggregate included — while
+        # keeping its place in the arrival order.
+        self._deferred[request.request_id] = DeferredEntry(request, need)
+        if need.requirement < self._deferred_floor:
+            self._deferred_floor = need.requirement
+
+    def _drop_deferred(self, request_id: str) -> None:
+        if self._deferred.pop(request_id, None) is not None and not self._deferred:
+            self._deferred_floor = math.inf
 
     # ------------------------------------------------------------ lifecycle
     def revoke(self, request_id: str) -> float:
@@ -141,14 +269,27 @@ class EngineSession:
     def retry_deferred(self) -> list[StreamDecision]:
         """Resubmit deferred requests (arrival order) against freed capacity.
 
-        Requests that still do not fit stay deferred; admitted (or
-        alternatively answered) ones leave the queue.  Returns the fresh
-        decision per retried request.
+        Each queue entry carries the aggregate computed when it was
+        deferred, so a retry is O(1) ledger arithmetic per entry — no
+        model inversion (a deferred request is feasible by construction,
+        so the fallback branch is unreachable here).  When even the
+        smallest deferred requirement exceeds the remaining capacity the
+        drain exits immediately and returns ``[]`` — the queue is
+        provably unchanged, so nothing is resubmitted and the call costs
+        O(1) total.  Requests that still do not fit stay deferred;
+        admitted ones leave the queue.  Returns the fresh decision per
+        retried request.
         """
+        if not self._deferred:
+            return []
+        if self._deferred_floor > self.remaining + _EPS:
+            return []
+        # Reset before the pass: re-deferred entries rebuild an exact min.
+        self._deferred_floor = math.inf
         decisions: list[StreamDecision] = []
-        for request in list(self._deferred.values()):
-            del self._deferred[request.request_id]
-            decisions.append(self.submit(request))
+        for entry in list(self._deferred.values()):
+            del self._deferred[entry.request.request_id]
+            decisions.append(self._admit_or_defer(entry.request, entry.need))
         return decisions
 
     # ----------------------------------------------------------------- batch
@@ -160,3 +301,66 @@ class EngineSession:
         streaming ledger.
         """
         return self.engine.resolve(requests)
+
+
+def drive_stream(
+    session: EngineSession,
+    requests: "list[DeploymentRequest]",
+    burst_size: int = 64,
+    hold_bursts: int = 2,
+) -> "tuple[list[StreamDecision], int]":
+    """Run the canonical high-traffic admission loop over one session.
+
+    The one driver behind the CLI ``stream`` subcommand and the platform
+    simulator's ``stream_window``: arrivals are admitted per micro-burst
+    through :meth:`EngineSession.submit_many`; deployments admitted
+    ``hold_bursts`` bursts ago complete and free their workforce; the
+    deferred queue is retried after every completion wave, with
+    retry-admitted deployments joining the youngest cohort so they too
+    complete ``hold_bursts`` bursts later.  After the last burst the
+    remaining cohorts are flushed oldest-first, retrying after each wave
+    so late capacity still serves the queue.
+
+    Returns ``(decisions, retried)``: every decision in production order
+    (burst answers interleaved with retry answers, so
+    ``len(decisions) == len(requests) + retried``) and the number of
+    retry decisions among them.
+    """
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if hold_bursts < 1:
+        raise ValueError("hold_bursts must be >= 1")
+    decisions: list[StreamDecision] = []
+    retried = 0
+
+    def admitted_ids(batch):
+        return [
+            d.request.request_id
+            for d in batch
+            if d.status is StreamStatus.ADMITTED
+        ]
+
+    def complete_cohort(cohort):
+        for request_id in cohort:
+            session.complete(request_id)
+        retries = session.retry_deferred()
+        decisions.extend(retries)
+        return retries
+
+    cohorts: "deque[list[str]]" = deque()
+    for start in range(0, len(requests), burst_size):
+        batch = session.submit_many(list(requests[start : start + burst_size]))
+        decisions.extend(batch)
+        cohorts.append(admitted_ids(batch))
+        if len(cohorts) > hold_bursts:
+            retries = complete_cohort(cohorts.popleft())
+            retried += len(retries)
+            cohorts[-1].extend(admitted_ids(retries))
+    while cohorts:
+        retries = complete_cohort(cohorts.popleft())
+        retried += len(retries)
+        if retries and cohorts:
+            cohorts[-1].extend(admitted_ids(retries))
+        elif retries:
+            cohorts.append(admitted_ids(retries))
+    return decisions, retried

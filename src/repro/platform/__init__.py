@@ -17,6 +17,7 @@ from repro.platform.simulator import (
     DeploymentWindow,
     PAPER_WINDOWS,
     PlatformSimulator,
+    StreamWindowReport,
     WindowObservation,
 )
 from repro.platform.history import AvailabilityRecord, HistoryLog
@@ -33,6 +34,7 @@ __all__ = [
     "DeploymentWindow",
     "PAPER_WINDOWS",
     "PlatformSimulator",
+    "StreamWindowReport",
     "WindowObservation",
     "AvailabilityRecord",
     "HistoryLog",

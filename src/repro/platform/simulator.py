@@ -60,6 +60,27 @@ class WindowObservation:
     engaged_workers: tuple[Worker, ...]
 
 
+@dataclass(frozen=True)
+class StreamWindowReport:
+    """Outcome of streaming one request arrival sequence through a window.
+
+    ``decisions`` holds every decision in the order it was produced —
+    burst admissions interleaved with deferred retries — so
+    ``len(decisions) == arrivals + retried``.
+    """
+
+    observation: WindowObservation
+    decisions: tuple
+    arrivals: int
+    retried: int
+    admitted: int
+    completed: int
+    alternative: int
+    infeasible: int
+    still_deferred: int
+    utilization: float
+
+
 class PlatformSimulator:
     """Simulates worker participation for deployments on the platform."""
 
@@ -165,6 +186,60 @@ class PlatformSimulator:
         factory = engine_factory if engine_factory is not None else RecommendationEngine
         engine = factory(ensemble, observation.availability, **engine_kwargs)
         return observation, engine.resolve(requests)
+
+    def stream_window(
+        self,
+        ensemble,
+        requests,
+        window: DeploymentWindow,
+        task_type: str = "translation",
+        strategy_name: str = "SEQ-IND-CRO",
+        burst_size: int = 32,
+        hold_bursts: int = 2,
+        engine_factory=None,
+        **engine_kwargs,
+    ) -> "StreamWindowReport":
+        """Deploy a window, then stream arriving requests through a session.
+
+        The streaming counterpart of :meth:`resolve_batch` (and the §7
+        dynamic setting end-to-end): the observed availability ``x'/x``
+        seeds an :class:`~repro.engine.EngineSession` and the arrivals
+        run through :func:`repro.engine.session.drive_stream` — vectorized
+        micro-bursts, completion waves after ``hold_bursts`` bursts, and
+        deferred-queue retries (O(1) in model work via carried
+        aggregates).  Decisions per request are identical to submitting
+        one at a time — only the per-arrival cost changes.
+        """
+        from repro.core.streaming import StreamStatus
+        from repro.engine import RecommendationEngine
+        from repro.engine.session import drive_stream
+
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if hold_bursts < 1:
+            raise ValueError("hold_bursts must be >= 1")
+        observation = self.run_window(window, task_type, strategy_name=strategy_name)
+        factory = engine_factory if engine_factory is not None else RecommendationEngine
+        engine = factory(ensemble, observation.availability, **engine_kwargs)
+        session = engine.open_session()
+        decisions, retried = drive_stream(
+            session, requests, burst_size=burst_size, hold_bursts=hold_bursts
+        )
+        by_status = {status: 0 for status in StreamStatus}
+        for decision in decisions:
+            by_status[decision.status] += 1
+        return StreamWindowReport(
+            observation=observation,
+            decisions=tuple(decisions),
+            arrivals=len(requests),
+            retried=retried,
+            admitted=session.admitted_count,
+            completed=session.completed_count,
+            alternative=by_status[StreamStatus.ALTERNATIVE],
+            infeasible=by_status[StreamStatus.INFEASIBLE],
+            still_deferred=len(session.deferred),
+            utilization=session.utilization(),
+        )
 
     def observe_availability(
         self,

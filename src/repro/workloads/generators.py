@@ -73,8 +73,11 @@ def generate_requests(
     high: float = 1.0,
     task_type: str = "generic",
     quality_offset: float = 0.25,
+    prefix: str = "d",
 ) -> list[DeploymentRequest]:
     """Generate ``m`` deployment requests with parameters in ``[low, high]``.
+    Ids are ``{prefix}1, {prefix}2, …`` — pass a distinct prefix when
+    several generated batches meet in one stream/session.
 
     Cost and latency upper bounds are the raw draws.  The quality *lower*
     bound is the draw minus ``quality_offset`` (default 0.25, i.e. quality
@@ -95,7 +98,7 @@ def generate_requests(
     params[:, 0] = np.clip(params[:, 0] - quality_offset, 0.0, 1.0)
     return [
         DeploymentRequest(
-            request_id=f"d{i + 1}",
+            request_id=f"{prefix}{i + 1}",
             params=TriParams(*row),
             k=k,
             task_type=task_type,

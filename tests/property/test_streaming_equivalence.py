@@ -1,0 +1,191 @@
+"""Differential tests: the vectorized streaming path must match the scalar one.
+
+``EngineSession.submit_many`` and the carried-aggregate
+``retry_deferred`` are gated the same way the engine refactor was: the
+scalar ``submit`` loop (and a scalar re-submission drain emulating the
+legacy retry) is the reference oracle, and the vectorized paths must be
+decision-for-decision *and* ledger-state identical — statuses, strategy
+names, reserved workforce (bitwise), counters, and deferred-queue order —
+across random workloads and random admit/revoke/complete/retry event
+sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.streaming import StreamStatus
+from repro.engine import RecommendationEngine
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def stream_worlds(draw):
+    """Random ensembles + arrival streams hitting every decision branch."""
+    n_strategies = draw(st.integers(min_value=1, max_value=5))
+    alpha = np.zeros((n_strategies, 3))
+    beta = np.zeros((n_strategies, 3))
+    for j in range(n_strategies):
+        alpha[j] = [0.0, draw(st.sampled_from([0.0, 0.5, 1.0])), 0.0]
+        beta[j] = [draw(unit), draw(st.sampled_from([0.0, 0.2])), draw(unit)]
+    ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+    m = draw(st.integers(min_value=1, max_value=10))
+    requests = [
+        DeploymentRequest(
+            f"d{i}",
+            TriParams(draw(unit), draw(unit), draw(unit)),
+            k=draw(st.integers(min_value=1, max_value=n_strategies + 1)),
+        )
+        for i in range(m)
+    ]
+    availability = draw(unit)
+    mode = draw(st.sampled_from(["paper", "strict"]))
+    aggregation = draw(st.sampled_from(["sum", "max"]))
+    return ensemble, requests, availability, mode, aggregation
+
+
+def _engine(ensemble, availability, mode, aggregation):
+    # Fresh engine (and cache) per session so neither side warms the other.
+    return RecommendationEngine(
+        ensemble, availability, aggregation=aggregation, workforce_mode=mode
+    )
+
+
+def _decision_key(decision):
+    # The canonical key: every decision-relevant field, ADPaR output
+    # (params, distance, strategy choice) included.
+    return decision.comparison_key()
+
+
+def _ledger_state(session):
+    return (
+        session.remaining,
+        session.admitted_count,
+        session.revoked_count,
+        session.completed_count,
+        {rid: d.workforce_reserved for rid, d in session.active.items()},
+        [r.request_id for r in session.deferred],
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream_worlds())
+def test_submit_many_matches_submit_loop(world):
+    ensemble, requests, availability, mode, aggregation = world
+    scalar = _engine(ensemble, availability, mode, aggregation).open_session()
+    batched = _engine(ensemble, availability, mode, aggregation).open_session()
+    expected = [scalar.submit(request) for request in requests]
+    got = batched.submit_many(requests)
+    assert list(map(_decision_key, got)) == list(map(_decision_key, expected))
+    assert _ledger_state(batched) == _ledger_state(scalar)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_worlds(), st.integers(min_value=1, max_value=4))
+def test_submit_many_burst_partition_is_invisible(world, burst):
+    """Any micro-batch partition of the stream yields the whole-stream run."""
+    ensemble, requests, availability, mode, aggregation = world
+    whole = _engine(ensemble, availability, mode, aggregation).open_session()
+    parts = _engine(ensemble, availability, mode, aggregation).open_session()
+    expected = whole.submit_many(requests)
+    got = []
+    for start in range(0, len(requests), burst):
+        got.extend(parts.submit_many(requests[start : start + burst]))
+    assert list(map(_decision_key, got)) == list(map(_decision_key, expected))
+    assert _ledger_state(parts) == _ledger_state(whole)
+
+
+def _scalar_retry(session):
+    """The legacy deferred drain: re-submit every queued request."""
+    return [session.submit(request) for request in list(session.deferred)]
+
+
+@st.composite
+def event_schedules(draw):
+    """Random admit/revoke/complete/retry scripts over a stream world."""
+    world = draw(stream_worlds())
+    _, requests, *_ = world
+    events = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("burst"),
+                    st.integers(min_value=0, max_value=max(len(requests) - 1, 0)),
+                    st.integers(min_value=1, max_value=4),
+                ),
+                st.tuples(st.just("revoke"), st.integers(0, 64), st.just(0)),
+                st.tuples(st.just("complete"), st.integers(0, 64), st.just(0)),
+                st.tuples(st.just("retry"), st.just(0), st.just(0)),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return world, events
+
+
+@settings(max_examples=60, deadline=None)
+@given(event_schedules())
+def test_random_event_sequences_stay_equivalent(schedule):
+    """Scalar and vectorized sessions agree event-for-event on any script."""
+    world, events = schedule
+    ensemble, requests, availability, mode, aggregation = world
+    scalar = _engine(ensemble, availability, mode, aggregation).open_session()
+    batched = _engine(ensemble, availability, mode, aggregation).open_session()
+    submitted = 0
+    for kind, index, size in events:
+        if kind == "burst":
+            burst = [
+                r.with_params(r.params)
+                for r in requests[index : index + size]
+            ]
+            burst = [
+                DeploymentRequest(
+                    f"{r.request_id}.{submitted + i}", r.params, k=r.k
+                )
+                for i, r in enumerate(burst)
+            ]
+            submitted += len(burst)
+            expected = [scalar.submit(request) for request in burst]
+            got = batched.submit_many(burst)
+            assert list(map(_decision_key, got)) == list(
+                map(_decision_key, expected)
+            )
+        elif kind in ("revoke", "complete"):
+            active = sorted(scalar.active)
+            if not active:
+                continue
+            rid = active[index % len(active)]
+            if kind == "revoke":
+                assert batched.revoke(rid) == scalar.revoke(rid)
+            else:
+                assert batched.complete(rid) == scalar.complete(rid)
+        else:
+            expected = _scalar_retry(scalar)
+            got = batched.retry_deferred()
+            if got:
+                assert list(map(_decision_key, got)) == list(
+                    map(_decision_key, expected)
+                )
+            else:
+                # The min-requirement early exit: legal only when the
+                # scalar drain could not admit anything either.
+                assert all(
+                    d.status is StreamStatus.DEFERRED for d in expected
+                )
+        assert _ledger_state(batched) == _ledger_state(scalar)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream_worlds())
+def test_submit_many_warm_cache_is_transparent(world):
+    """A warm engine cache never changes submit_many's decisions."""
+    ensemble, requests, availability, mode, aggregation = world
+    engine = _engine(ensemble, availability, mode, aggregation)
+    cold = engine.open_session().submit_many(requests)
+    warm = engine.open_session().submit_many(requests)
+    assert list(map(_decision_key, warm)) == list(map(_decision_key, cold))

@@ -61,6 +61,18 @@ class TestParser:
         assert args.norm == "l1"
         assert args.weights == [2.0, 1.0, 1.0]
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.arrivals == 1000
+        assert args.burst == 64
+        assert args.hold == 2
+        assert args.solver == "adpar-exact"
+
+    def test_stream_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--solver", "oracle"])
+
 
 class TestMain:
     def test_list_prints_every_experiment(self):
@@ -109,6 +121,34 @@ class TestMain:
         assert "solver=adpar-exact" in text
         assert "satisfied=" in text
         assert "cache:" in text
+
+    def test_stream_subcommand_reports_counts(self):
+        out = io.StringIO()
+        code = main(
+            ["stream", "--strategies", "25", "--arrivals", "120",
+             "--burst", "16", "--k", "2"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "stream |S|=25 arrivals=120" in text
+        assert "admitted=" in text
+        assert "throughput=" in text
+        assert "cache:" in text
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["stream", "--availability", "1.5"],
+            ["stream", "--arrivals", "0"],
+            ["stream", "--burst", "0"],
+            ["stream", "--hold", "0"],
+            ["stream", "--strategies", "0"],
+        ],
+    )
+    def test_stream_invalid_workload_fails_cleanly(self, argv, capsys):
+        assert main(argv, out=io.StringIO()) == 2
+        assert "repro stream: error:" in capsys.readouterr().err
 
     @pytest.mark.parametrize(
         "argv, label",

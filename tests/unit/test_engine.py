@@ -209,9 +209,10 @@ class TestSession:
         deferred = session.submit(self.request("b", 0.6))
         assert deferred.status is StreamStatus.DEFERRED
         assert [r.request_id for r in session.deferred] == ["b"]
-        # Nothing freed yet: retry keeps it deferred.
-        decisions = session.retry_deferred()
-        assert [d.status for d in decisions] == [StreamStatus.DEFERRED]
+        # Nothing freed yet: the min-requirement early exit skips the
+        # drain outright and the queue is untouched.
+        assert session.retry_deferred() == []
+        assert [r.request_id for r in session.deferred] == ["b"]
         session.complete("a")
         decisions = session.retry_deferred()
         assert [d.status for d in decisions] == [StreamStatus.ADMITTED]
@@ -251,3 +252,65 @@ class TestSession:
         session = small_engine.open_session()
         report = session.resolve_batch([self.request("a"), self.request("b")])
         assert report.satisfied_count == 2
+
+    def test_retry_uses_carried_aggregate(self, small_engine):
+        """A retry is pure ledger arithmetic: no model inversion at all."""
+        session = small_engine.open_session()
+        session.submit(self.request("a", 0.6))
+        session.submit(self.request("b", 0.6))
+        assert [e.need.requirement for e in session.deferred_entries] == [
+            pytest.approx(0.6)
+        ]
+
+        session._computer = None  # any aggregate call would explode
+        session.complete("a")
+        decisions = session.retry_deferred()
+        assert [d.status for d in decisions] == [StreamStatus.ADMITTED]
+        assert decisions[0].workforce_reserved == pytest.approx(0.6)
+
+    def test_retry_early_exit_is_a_no_op(self, small_engine):
+        session = small_engine.open_session()
+        session.submit(self.request("a", 0.6))
+        session.submit(self.request("b", 0.5))
+        session.submit(self.request("c", 0.6))
+        before = [r.request_id for r in session.deferred]
+        session._computer = None  # early exit must not touch the model either
+        assert session.retry_deferred() == []
+        assert [r.request_id for r in session.deferred] == before
+
+    def test_stale_params_resubmit_recomputes_aggregate(self, small_engine):
+        session = small_engine.open_session()
+        session.submit(self.request("a", 0.6))
+        assert session.submit(self.request("b", 0.7)).status is StreamStatus.DEFERRED
+        # Revised params replace the queue entry *and* its aggregate.
+        assert session.submit(self.request("b", 0.3)).status is StreamStatus.ADMITTED
+        assert session.deferred == []
+        assert session.active["b"].workforce_reserved == pytest.approx(0.3)
+
+    def test_submit_many_empty_burst(self, small_engine):
+        assert small_engine.open_session().submit_many([]) == []
+
+    def test_submit_many_counts_and_statuses_match_loop(self, small_engine):
+        requests = [
+            self.request("a", 0.4),
+            self.request("b", 0.5),
+            self.request("c", 0.4),  # exceeds remaining -> deferred
+            self.request("huge", cost=0.5, quality=0.95),  # ADPaR fallback
+            DeploymentRequest("k9", TriParams(0.5, 0.4, 0.9), k=9),  # infeasible
+        ]
+        loop = small_engine.open_session()
+        expected = [loop.submit(r) for r in requests]
+        batch = small_engine.open_session()
+        got = batch.submit_many(requests)
+        assert [d.status for d in got] == [d.status for d in expected]
+        assert batch.admitted_count == loop.admitted_count == 2
+        assert [r.request_id for r in batch.deferred] == ["c"]
+
+    def test_submit_many_duplicate_active_id_raises_mid_burst(self, small_engine):
+        session = small_engine.open_session()
+        with pytest.raises(ValueError, match="already active"):
+            session.submit_many(
+                [self.request("a", 0.3), self.request("b", 0.3), self.request("a", 0.2)]
+            )
+        # The walk is sequential: everything before the duplicate stuck.
+        assert sorted(session.active) == ["a", "b"]

@@ -91,3 +91,76 @@ class TestDP:
         ]
         dp = payoff_dynamic_program(modeled, requests, 0.7, resolution=16)
         assert dp.workforce_used <= 0.7 + 1e-9
+
+    def test_matches_scalar_reference_dp(self, modeled):
+        """The rolling NumPy updates equal a cell-by-cell Python DP exactly.
+
+        The reference below is the textbook O(m * resolution) loop with
+        the same up-rounding, epsilon tie-breaking, and backtrack rule —
+        the vectorized inner loop must reproduce its selection (not just
+        its value) on every random instance.
+        """
+        import math
+
+        def reference_dp(costs, values, capacity):
+            dp = [0.0] * (capacity + 1)
+            taken = [[False] * (capacity + 1) for _ in costs]
+            for i, (weight, value) in enumerate(zip(costs, values)):
+                if weight > capacity:
+                    continue
+                if weight == 0:
+                    dp = [cell + value for cell in dp]
+                    taken[i] = [True] * (capacity + 1)
+                    continue
+                new = dp[:]
+                for c in range(weight, capacity + 1):
+                    candidate = dp[c - weight] + value
+                    if candidate > dp[c] + 1e-9:
+                        new[c] = candidate
+                        taken[i][c] = True
+                dp = new
+            best_c = max(range(capacity + 1), key=lambda c: dp[c])
+            chosen = []
+            c = best_c
+            for i in range(len(costs) - 1, -1, -1):
+                if taken[i][c]:
+                    chosen.append(i)
+                    if costs[i] > 0:
+                        c -= costs[i]
+            return dp[best_c], sorted(chosen)
+
+        rng = np.random.default_rng(29)
+        resolution = 64
+        for trial in range(25):
+            m = int(rng.integers(1, 8))
+            requests = [
+                request(
+                    f"r{i}",
+                    round(float(rng.uniform(0.0, 0.9)), 3),
+                    payoff=round(float(rng.uniform(0.1, 1.0)), 3),
+                )
+                for i in range(m)
+            ]
+            availability = round(float(rng.uniform(0.2, 1.0)), 3)
+            dp = payoff_dynamic_program(
+                modeled, requests, availability, resolution=resolution
+            )
+            capacity = int(math.floor(availability * resolution + 1e-9))
+            candidates = [
+                r for r in requests if r.cost <= availability + 1e-9
+            ]
+            costs = [
+                min(
+                    int(math.ceil(r.cost * resolution - 1e-9)),
+                    capacity,
+                )
+                for r in candidates
+            ]
+            values = [r.effective_payoff() for r in candidates]
+            expected_value, expected_chosen = reference_dp(
+                costs, values, capacity
+            )
+            assert dp.objective_value == pytest.approx(expected_value, abs=1e-12)
+            assert sorted(dp.satisfied_ids) == sorted(
+                candidates[i].request_id for i in expected_chosen
+            )

@@ -91,6 +91,28 @@ class TestLifecycle:
         assert len(stream.active) == 1
 
 
+class TestShimPassthroughs:
+    def test_submit_many_matches_loop(self, modeled):
+        requests = [request(f"r{i}", 0.3) for i in range(5)]
+        loop = StreamingAggregator(modeled, availability=1.0)
+        expected = [loop.submit(r) for r in requests]
+        burst = StreamingAggregator(modeled, availability=1.0)
+        got = burst.submit_many(requests)
+        assert [d.status for d in got] == [d.status for d in expected]
+        assert burst.remaining == loop.remaining
+        assert burst.admitted_count == loop.admitted_count
+
+    def test_deferred_and_retry_passthrough(self, modeled):
+        stream = StreamingAggregator(modeled, availability=0.8)
+        stream.submit(request("a", 0.5))
+        assert stream.submit(request("b", 0.5)).status is StreamStatus.DEFERRED
+        assert [r.request_id for r in stream.deferred] == ["b"]
+        stream.complete("a")
+        decisions = stream.retry_deferred()
+        assert [d.status for d in decisions] == [StreamStatus.ADMITTED]
+        assert stream.deferred == []
+
+
 class TestStreamVsBatch:
     def test_stream_in_batch_order_matches_greedy_prefix(self, modeled):
         """Submitting in BatchStrat's sorted order reproduces its prefix."""
