@@ -1,0 +1,24 @@
+"""Shared helper: merge one bench section into a BENCH_*.json artifact.
+
+The streaming and service benches (and whatever bench lands next) record
+their headline numbers to a JSON file next to this module so CI can
+upload the perf trajectory per commit; this is the one read-merge-write
+implementation they share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def record(path: Path, section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` into the JSON file at ``path``."""
+    results = {}
+    if path.exists():
+        try:
+            results = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results[section] = payload
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

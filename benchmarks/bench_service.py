@@ -1,0 +1,196 @@
+"""Bench: the service API seam — dispatch overhead and serve-mode req/s.
+
+Two pins, recorded to ``BENCH_service.json`` next to this file so the
+perf trajectory is tracked across commits:
+
+* ``test_bench_dispatch_overhead`` resolves the same batch sequence
+  through a bare ``RecommendationEngine`` and through typed
+  ``EngineService.handle`` envelopes (fresh caches on both sides,
+  reports asserted identical) and pins in-process dispatch at
+  <= 1.2x the direct path — the service seam must stay a seam, not a
+  tax.
+* ``test_bench_serve_throughput`` stands up the stdlib HTTP server on
+  an ephemeral port, streams ``submit_batch`` envelopes at it (decisions
+  asserted identical to a directly driven session first), and reports
+  serve-mode requests/s and arrivals/s with a conservative CI-safe
+  floor.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+from bench_recording import record
+
+from repro.api import (
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    ResolveRequest,
+    make_server,
+)
+from repro.api.wire import API_VERSION, stream_decision_from_dict
+from repro.engine import RecommendationEngine
+from repro.utils.rng import spawn_rngs
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+N_STRATEGIES = 100
+BATCH = 20
+N_BATCHES = 30
+AVAILABILITY = 0.6
+AGGREGATION = "max"
+
+DISPATCH_CEILING = 1.2
+SERVE_FLOOR_RPS = 10.0
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def _workload(seed: int = 47):
+    rng_s, rng_r = spawn_rngs(seed, 2)
+    ensemble = generate_strategy_ensemble(N_STRATEGIES, "uniform", rng_s)
+    batches = [
+        generate_requests(BATCH, k=3, seed=rng_r, prefix=f"b{i}-")
+        for i in range(N_BATCHES)
+    ]
+    return ensemble, batches
+
+
+def _spec() -> EngineSpec:
+    return EngineSpec(availability=AVAILABILITY, aggregation=AGGREGATION)
+
+
+def _direct_vs_service() -> tuple[float, float]:
+    ensemble, batches = _workload()
+
+    engine = RecommendationEngine(ensemble, **_spec().engine_kwargs())
+    start = time.perf_counter()
+    direct = [engine.resolve(batch) for batch in batches]
+    direct_s = time.perf_counter() - start
+
+    service = EngineService()
+    ref = EnsembleRef.of(ensemble)
+    spec = _spec()
+    start = time.perf_counter()
+    served = [
+        service.handle(
+            ResolveRequest(ensemble=ref, requests=tuple(batch), spec=spec)
+        ).report
+        for batch in batches
+    ]
+    service_s = time.perf_counter() - start
+
+    assert served == direct, "service dispatch drifted from the engine"
+    return direct_s, service_s
+
+
+def test_bench_dispatch_overhead(benchmark):
+    direct_s, service_s = benchmark.pedantic(
+        _direct_vs_service, rounds=1, iterations=1
+    )
+    overhead = service_s / max(direct_s, 1e-9)
+    info = {
+        "n_strategies": N_STRATEGIES,
+        "batches": N_BATCHES,
+        "batch_size": BATCH,
+        "direct_s": round(direct_s, 4),
+        "service_s": round(service_s, 4),
+        "overhead_x": round(overhead, 3),
+        "ceiling_x": DISPATCH_CEILING,
+    }
+    benchmark.extra_info.update(info)
+    record(RESULTS_PATH, "dispatch_overhead", info)
+    assert overhead <= DISPATCH_CEILING, (
+        f"EngineService dispatch ({service_s:.3f}s) should cost <= "
+        f"{DISPATCH_CEILING}x direct engine calls ({direct_s:.3f}s), "
+        f"got {overhead:.2f}x"
+    )
+
+
+def _serve_throughput() -> dict:
+    ensemble, batches = _workload(seed=53)
+    spec = _spec()
+
+    # Reference decisions: one directly driven session over the same bursts.
+    session = RecommendationEngine(ensemble, **spec.engine_kwargs()).open_session()
+    expected = [
+        [d.comparison_key() for d in session.submit_many(batch)]
+        for batch in batches
+    ]
+
+    server = make_server(EngineService())
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        conn = HTTPConnection(host, port, timeout=60)
+        ensemble_wire = EnsembleRef.of(ensemble).to_dict()
+        spec_wire = spec.to_dict()
+
+        def submit(batch, session_id=None):
+            payload = {
+                "api_version": API_VERSION,
+                "type": "submit_batch",
+                "requests": [
+                    {
+                        "request_id": r.request_id,
+                        "params": {
+                            "quality": r.quality,
+                            "cost": r.cost,
+                            "latency": r.latency,
+                        },
+                        "k": r.k,
+                    }
+                    for r in batch
+                ],
+            }
+            if session_id is None:
+                payload["ensemble"] = ensemble_wire
+                payload["spec"] = spec_wire
+            else:
+                payload["session_id"] = session_id
+            conn.request("POST", f"/v{API_VERSION}", json.dumps(payload))
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200, body
+            return body
+
+        start = time.perf_counter()
+        first = submit(batches[0])
+        session_id = first["session_id"]
+        answers = [first]
+        for batch in batches[1:]:
+            answers.append(submit(batch, session_id))
+        elapsed = time.perf_counter() - start
+
+        served = [
+            [stream_decision_from_dict(d).comparison_key() for d in a["decisions"]]
+            for a in answers
+        ]
+        assert served == expected, "served decisions drifted from the session"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    return {
+        "requests": N_BATCHES,
+        "arrivals": N_BATCHES * BATCH,
+        "elapsed_s": round(elapsed, 4),
+        "req_per_s": round(N_BATCHES / max(elapsed, 1e-9), 1),
+        "arrivals_per_s": round(N_BATCHES * BATCH / max(elapsed, 1e-9), 1),
+        "floor_req_per_s": SERVE_FLOOR_RPS,
+    }
+
+
+def test_bench_serve_throughput(benchmark):
+    info = benchmark.pedantic(_serve_throughput, rounds=1, iterations=1)
+    benchmark.extra_info.update(info)
+    record(RESULTS_PATH, "serve_throughput", info)
+    assert info["req_per_s"] >= SERVE_FLOOR_RPS, (
+        f"serve mode answered {info['req_per_s']} req/s; the stdlib "
+        f"transport should sustain >= {SERVE_FLOOR_RPS} req/s on burst "
+        "traffic"
+    )

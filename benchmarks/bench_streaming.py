@@ -17,9 +17,10 @@ tracked across commits:
   shapes, so resubmission must skip model inversion entirely.
 """
 
-import json
 import time
 from pathlib import Path
+
+from bench_recording import record
 
 from repro.core.workforce import WorkforceComputer
 from repro.engine import RecommendationEngine
@@ -36,18 +37,6 @@ SUBMIT_MANY_FLOOR = 5.0
 MEMOIZED_FLOOR = 10.0
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_streaming.json"
-
-
-def _record(section: str, payload: dict) -> None:
-    """Merge one bench section into BENCH_streaming.json."""
-    results = {}
-    if RESULTS_PATH.exists():
-        try:
-            results = json.loads(RESULTS_PATH.read_text())
-        except json.JSONDecodeError:
-            results = {}
-    results[section] = payload
-    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def _workload(seed: int = 41):
@@ -104,7 +93,7 @@ def test_bench_submit_many_speedup(benchmark):
         "floor": SUBMIT_MANY_FLOOR,
     }
     benchmark.extra_info.update(info)
-    _record("submit_many", info)
+    record(RESULTS_PATH, "submit_many", info)
     assert speedup >= SUBMIT_MANY_FLOOR, (
         f"submit_many ({batch_s:.3f}s) should beat the per-request submit "
         f"loop ({scalar_s:.3f}s) by >= {SUBMIT_MANY_FLOOR}x, got {speedup:.1f}x"
@@ -146,7 +135,7 @@ def test_bench_memoized_resubmit(benchmark):
         "floor": MEMOIZED_FLOOR,
     }
     benchmark.extra_info.update(info)
-    _record("memoized_resubmit", info)
+    record(RESULTS_PATH, "memoized_resubmit", info)
     assert speedup >= MEMOIZED_FLOOR, (
         f"memoized resubmission ({warm_s:.3f}s) should beat cold "
         f"aggregation ({cold_s:.3f}s) by >= {MEMOIZED_FLOOR}x, got {speedup:.1f}x"

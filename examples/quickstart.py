@@ -2,13 +2,22 @@
 
 Walks the paper's running example (Table 1 / Example 2.1) end to end:
 three requesters submit deployment requests with quality/cost/latency
-thresholds, the RecommendationEngine satisfies what the workforce
+thresholds, the platform's EngineService satisfies what the workforce
 allows, and ADPaR recommends alternative parameters for the rest.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import RecommendationEngine, ResolutionStatus, StrategyEnsemble, TriParams, make_requests
+from repro import (
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    ResolutionStatus,
+    StrategyEnsemble,
+    TriParams,
+    make_requests,
+)
+from repro.api import ResolveRequest
 
 # --- 1. The candidate strategies (Table 1's s1..s4, estimated at W=0.8) ----
 strategies = StrategyEnsemble.from_params(
@@ -31,11 +40,18 @@ requests = make_requests(
 )
 
 # --- 3. Run the middle layer ----------------------------------------------
-# The engine is the one seam all traffic flows through: swap planners with
-# planner="payoff-dp", share caches across engines, or open a streaming
-# session with engine.open_session().
-engine = RecommendationEngine(strategies, availability=0.8, objective="throughput")
-report = engine.resolve(requests)
+# EngineService is the one public seam: a typed, versioned request in, a
+# typed response out.  The same envelope serializes losslessly to JSON
+# (request.to_dict()), which is exactly what `repro serve` answers over
+# HTTP; in-process callers just skip the transport.  Swap planners with
+# EngineSpec(planner="payoff-dp"), or stream via SubmitBatchRequest.
+service = EngineService()
+request = ResolveRequest(
+    ensemble=EnsembleRef.of(strategies),
+    requests=tuple(requests),
+    spec=EngineSpec(availability=0.8, objective="throughput"),
+)
+report = service.handle(request).report
 
 print(f"Worker availability (expected): {report.availability}")
 print(f"Satisfied {report.satisfied_count} of {len(requests)} requests\n")

@@ -1,17 +1,21 @@
 """Streaming deployment admission — the paper's §7 open problem.
 
-Requests arrive one at a time through an engine *session*; the platform
-admits what fits its worker availability, answers oversized requests with
-ADPaR alternatives instead of bare rejections, recycles workforce when
-campaigns complete or are revoked, and retries deferred requests once
-capacity frees.
+Requests arrive one at a time through a *session* opened on the
+platform's EngineService; the platform admits what fits its worker
+availability, answers oversized requests with ADPaR alternatives instead
+of bare rejections, recycles workforce when campaigns complete or are
+revoked, and retries deferred requests once capacity frees.  Sessions
+are addressed by opaque ids, so the same traffic works over
+`repro serve` — the typed envelopes used below are exactly what goes on
+the wire.
 
 Run:  python examples/streaming_platform.py
 """
 
 import numpy as np
 
-from repro import DeploymentRequest, RecommendationEngine, TriParams
+from repro import DeploymentRequest, EngineService, EngineSpec, TriParams
+from repro.api import RetryDeferredRequest, SessionOpRequest, SubmitBatchRequest
 from repro.core.streaming import StreamStatus
 from repro.workloads import generate_strategy_ensemble
 
@@ -19,10 +23,14 @@ SEED = 13
 AVAILABILITY = 0.6
 
 ensemble = generate_strategy_ensemble(2000, distribution="uniform", seed=SEED)
-engine = RecommendationEngine(
-    ensemble, AVAILABILITY, aggregation="max", workforce_mode="strict"
+service = EngineService()
+session_id = service.open_session(
+    ensemble,
+    EngineSpec(
+        availability=AVAILABILITY, aggregation="max", workforce_mode="strict"
+    ),
 )
-stream = engine.open_session()
+stream = service.session(session_id)  # in-process handle for scalar submits
 rng = np.random.default_rng(SEED + 1)
 
 print(f"Platform opens with availability W = {AVAILABILITY}\n")
@@ -54,15 +62,15 @@ for t in range(12):
     # Campaigns finish (or get cancelled) over time, freeing workforce.
     if active and rng.random() < 0.4:
         finished = active.pop(0)
-        if rng.random() < 0.3:
-            stream.revoke(finished)
-            print(f"      {finished} revoked; remaining={stream.remaining:.3f}")
-        else:
-            stream.complete(finished)
-            print(f"      {finished} completed; remaining={stream.remaining:.3f}")
+        op = "revoke" if rng.random() < 0.3 else "complete"
+        service.handle(
+            SessionOpRequest(op=op, session_id=session_id, request_ids=(finished,))
+        )
+        print(f"      {finished} {op}d; remaining={stream.remaining:.3f}")
 
 # Capacity freed along the way: give deferred requests another chance.
-for decision in stream.retry_deferred():
+retry = service.handle(RetryDeferredRequest(session_id=session_id))
+for decision in retry.decisions:
     print(
         f"retry {decision.request.request_id}: {decision.status.value}"
         f" remaining={stream.remaining:.3f}"
@@ -73,9 +81,10 @@ print(
     f"revoked={stream.revoked_count} utilization={stream.utilization():.1%}"
 )
 
-# High-traffic mode: a whole arrival burst in one vectorized call.  The
-# decisions are identical to submitting one at a time — the model
-# inversions and ADPaR fallbacks just run as two batch passes.
+# High-traffic mode: a whole arrival burst in one envelope (one HTTP
+# round trip under `repro serve`), riding the vectorized submit_many
+# path.  The decisions are identical to submitting one at a time — the
+# model inversions and ADPaR fallbacks just run as two batch passes.
 burst = [
     DeploymentRequest(
         request_id=f"burst-{i:03d}",
@@ -88,7 +97,9 @@ burst = [
     )
     for i in range(200)
 ]
-decisions = stream.submit_many(burst)
+decisions = service.handle(
+    SubmitBatchRequest(session_id=session_id, requests=tuple(burst))
+).decisions
 by_status: dict[str, int] = {}
 for decision in decisions:
     by_status[decision.status.value] = by_status.get(decision.status.value, 0) + 1

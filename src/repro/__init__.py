@@ -13,6 +13,10 @@ Public API highlights:
   :meth:`~repro.RecommendationEngine.recommend_alternatives`), a shared
   workforce/ADPaR cache, batch resolution, and streaming sessions
   (:meth:`~repro.RecommendationEngine.open_session`).
+* :class:`repro.EngineService` / :mod:`repro.api` — the versioned
+  service API over the engine: wire-format DTOs with lossless JSON
+  round-trip, pooled engines, opaque-id streaming sessions, typed error
+  envelopes, and a stdlib HTTP transport (``repro serve``).
 * :class:`repro.BatchStrat` — batch deployment recommendation
   (throughput exact, pay-off 1/2-approximate); the ``batch-greedy``
   backend.
@@ -55,7 +59,9 @@ from repro.engine import (
     default_registry,
     default_solver_registry,
 )
+from repro.api import EngineService, EngineSpec, EnsembleRef
 from repro.exceptions import (
+    ApiError,
     InfeasibleRequestError,
     ModelNotFittedError,
     ReproError,
@@ -87,6 +93,9 @@ __all__ = [
     "ResolutionStatus",
     "StratRec",
     "RecommendationEngine",
+    "EngineService",
+    "EngineSpec",
+    "EnsembleRef",
     "EngineSession",
     "EngineCache",
     "PlannerRegistry",
@@ -102,6 +111,7 @@ __all__ = [
     "ModelBank",
     "AvailabilityDistribution",
     "ReproError",
+    "ApiError",
     "InfeasibleRequestError",
     "ModelNotFittedError",
     "UnknownStrategyError",

@@ -1,0 +1,81 @@
+"""The versioned service API — the one public seam in front of the engine.
+
+Three layers, each importable on its own:
+
+* :mod:`repro.api.wire` — wire-format codecs (``to_dict``/``from_dict``
+  with lossless JSON round-trip) for every core payload type, plus
+  :class:`EnsembleRef` (ensembles inline or by content fingerprint) and
+  :class:`EngineSpec` (the engine configuration identity engines are
+  pooled by).  :data:`API_VERSION` stamps every envelope.
+* :mod:`repro.api.envelopes` — typed request/response envelopes
+  (``plan`` / ``resolve`` / ``alternatives`` / ``submit_batch`` /
+  ``retry_deferred`` / session ops / ``stats``) and the stable
+  error-code contract (:func:`error_response_for`).
+* :mod:`repro.api.service` — :class:`EngineService`, the stateless
+  dispatcher multiplexing pooled engines and opaque-id sessions across
+  tenants; :mod:`repro.api.http` serves it as JSON over stdlib
+  ``http.server`` (the ``repro serve`` subcommand).
+
+Decision-for-decision identity with driving the engine directly is
+pinned by ``tests/property/test_service_equivalence.py``.
+"""
+
+from repro.api.envelopes import (
+    AlternativesRequest,
+    AlternativesResponse,
+    ERROR_CODES,
+    ErrorResponse,
+    PlanRequest,
+    PlanResponse,
+    REQUEST_TYPES,
+    ResolveRequest,
+    ResolveResponse,
+    RetryDeferredRequest,
+    RetryDeferredResponse,
+    SessionOpRequest,
+    SessionOpResponse,
+    StatsRequest,
+    StatsResponse,
+    SubmitBatchRequest,
+    SubmitBatchResponse,
+    error_code_for,
+    error_response_for,
+    parse_request,
+    parse_response,
+)
+from repro.api.http import API_PATH, make_server, serve
+from repro.api.service import EngineService
+from repro.api.wire import API_VERSION, EngineSpec, EnsembleRef
+from repro.exceptions import ApiError
+
+__all__ = [
+    "API_PATH",
+    "API_VERSION",
+    "ApiError",
+    "AlternativesRequest",
+    "AlternativesResponse",
+    "ERROR_CODES",
+    "EngineService",
+    "EngineSpec",
+    "EnsembleRef",
+    "ErrorResponse",
+    "PlanRequest",
+    "PlanResponse",
+    "REQUEST_TYPES",
+    "ResolveRequest",
+    "ResolveResponse",
+    "RetryDeferredRequest",
+    "RetryDeferredResponse",
+    "SessionOpRequest",
+    "SessionOpResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "SubmitBatchRequest",
+    "SubmitBatchResponse",
+    "error_code_for",
+    "error_response_for",
+    "make_server",
+    "parse_request",
+    "parse_response",
+    "serve",
+]

@@ -1,0 +1,617 @@
+"""Versioned request/response envelopes and the typed error contract.
+
+Every envelope is a frozen dataclass with ``to_dict`` / ``from_dict``
+stamping/checking ``api_version`` (:data:`~repro.api.wire.API_VERSION`)
+and a stable ``type`` tag; :func:`parse_request` / :func:`parse_response`
+dispatch a raw JSON object back to the right class.  Failures anywhere in
+decoding raise :class:`~repro.exceptions.ApiError`, and
+:func:`error_response_for` maps the whole :mod:`repro.exceptions`
+hierarchy to stable machine-readable error codes so a transport never
+leaks a traceback.
+
+Request types (→ their responses):
+
+========================  ==========================================
+``plan``                  one planner pass (:class:`PlanResponse`)
+``resolve``               plan + ADPaR routing (:class:`ResolveResponse`)
+``alternatives``          batch ADPaR (:class:`AlternativesResponse`)
+``submit_batch``          streaming burst (:class:`SubmitBatchResponse`)
+``retry_deferred``        deferred-queue drain (:class:`RetryDeferredResponse`)
+``complete`` / ``revoke``  release reservations (:class:`SessionOpResponse`)
+``close_session``         drop a session handle (:class:`SessionOpResponse`)
+``stats``                 cache/pool counters (:class:`StatsResponse`)
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.wire import (
+    API_VERSION,
+    EngineSpec,
+    EnsembleRef,
+    as_float,
+    as_int,
+    as_list,
+    as_str,
+    cache_stats_from_dict,
+    cache_stats_to_dict,
+    check_api_version,
+    deployment_requests_from_list,
+    deployment_request_to_dict,
+    adpar_result_from_dict,
+    adpar_result_to_dict,
+    batch_outcome_from_dict,
+    batch_outcome_to_dict,
+    expect_mapping,
+    report_from_dict,
+    report_to_dict,
+    require,
+    stream_decision_from_dict,
+    stream_decision_to_dict,
+)
+from repro.exceptions import (
+    ApiError,
+    InfeasibleRequestError,
+    ModelNotFittedError,
+    ReproError,
+    UnknownPlannerError,
+    UnknownSolverError,
+    UnknownStrategyError,
+)
+
+# ------------------------------------------------------------- error codes
+#: Exception class → stable wire error code, most specific first.  An
+#: :class:`ApiError` overrides this table with its own ``code``.
+ERROR_CODES: "tuple[tuple[type, str], ...]" = (
+    (InfeasibleRequestError, "infeasible_request"),
+    (UnknownPlannerError, "unknown_planner"),
+    (UnknownSolverError, "unknown_solver"),
+    (UnknownStrategyError, "unknown_strategy"),
+    (ModelNotFittedError, "model_not_fitted"),
+    (ReproError, "engine_error"),
+    (ValueError, "invalid_argument"),
+    (TypeError, "invalid_argument"),
+    (KeyError, "invalid_argument"),
+)
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The stable error code one exception maps to (``internal`` if none)."""
+    if isinstance(exc, ApiError):
+        return exc.code
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
+
+
+def error_response_for(exc: BaseException) -> "ErrorResponse":
+    """Wrap any exception in the typed error envelope."""
+    message = str(exc) or type(exc).__name__
+    if isinstance(exc, KeyError) and not isinstance(exc, ReproError):
+        message = f"missing key {message}"
+    return ErrorResponse(code=error_code_for(exc), message=message)
+
+
+# ---------------------------------------------------------------- plumbing
+def _stamp(envelope_type: str, body: dict) -> dict:
+    return {"api_version": API_VERSION, "type": envelope_type, **body}
+
+
+def _check_envelope(cls, payload) -> dict:
+    expect_mapping(payload, cls.type)
+    check_api_version(payload, cls.type)
+    declared = require(payload, "type", cls.type)
+    if declared != cls.type:
+        raise ApiError(
+            f"expected a {cls.type!r} envelope, got {declared!r}",
+            code="malformed_payload",
+        )
+    return payload
+
+
+def _spec_from(payload, what: str) -> "EngineSpec | None":
+    spec = expect_mapping(payload, what).get("spec")
+    return None if spec is None else EngineSpec.from_dict(spec)
+
+
+def _ensemble_from(payload, what: str) -> "EnsembleRef | None":
+    ensemble = expect_mapping(payload, what).get("ensemble")
+    return None if ensemble is None else EnsembleRef.from_dict(ensemble)
+
+
+def _opt_str(payload, key: str) -> "str | None":
+    value = payload.get(key)
+    return None if value is None else as_str(value, key)
+
+
+# ---------------------------------------------------------------- requests
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planner pass over a batch — no ADPaR routing."""
+
+    type = "plan"
+    ensemble: EnsembleRef
+    requests: tuple
+    spec: "EngineSpec | None" = None
+    objective: "str | None" = None
+    planner: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "ensemble": self.ensemble.to_dict(),
+                "spec": None if self.spec is None else self.spec.to_dict(),
+                "requests": [
+                    deployment_request_to_dict(r) for r in self.requests
+                ],
+                "objective": self.objective,
+                "planner": self.planner,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "PlanRequest":
+        _check_envelope(cls, payload)
+        return cls(
+            ensemble=_require_ensemble(payload, cls.type),
+            requests=deployment_requests_from_list(
+                require(payload, "requests", cls.type), "requests"
+            ),
+            spec=_spec_from(payload, cls.type),
+            objective=_opt_str(payload, "objective"),
+            planner=_opt_str(payload, "planner"),
+        )
+
+
+@dataclass(frozen=True)
+class ResolveRequest:
+    """Serve a batch end-to-end: plan, then ADPaR for the rest."""
+
+    type = "resolve"
+    ensemble: EnsembleRef
+    requests: tuple
+    spec: "EngineSpec | None" = None
+    objective: "str | None" = None
+    planner: "str | None" = None
+    solver: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "ensemble": self.ensemble.to_dict(),
+                "spec": None if self.spec is None else self.spec.to_dict(),
+                "requests": [
+                    deployment_request_to_dict(r) for r in self.requests
+                ],
+                "objective": self.objective,
+                "planner": self.planner,
+                "solver": self.solver,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "ResolveRequest":
+        _check_envelope(cls, payload)
+        return cls(
+            ensemble=_require_ensemble(payload, cls.type),
+            requests=deployment_requests_from_list(
+                require(payload, "requests", cls.type), "requests"
+            ),
+            spec=_spec_from(payload, cls.type),
+            objective=_opt_str(payload, "objective"),
+            planner=_opt_str(payload, "planner"),
+            solver=_opt_str(payload, "solver"),
+        )
+
+
+@dataclass(frozen=True)
+class AlternativesRequest:
+    """Batch ADPaR: closest alternative parameters per request."""
+
+    type = "alternatives"
+    ensemble: EnsembleRef
+    requests: tuple
+    spec: "EngineSpec | None" = None
+    k: "int | None" = None
+    solver: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "ensemble": self.ensemble.to_dict(),
+                "spec": None if self.spec is None else self.spec.to_dict(),
+                "requests": [
+                    deployment_request_to_dict(r) for r in self.requests
+                ],
+                "k": self.k,
+                "solver": self.solver,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "AlternativesRequest":
+        _check_envelope(cls, payload)
+        k = payload.get("k")
+        return cls(
+            ensemble=_require_ensemble(payload, cls.type),
+            requests=deployment_requests_from_list(
+                require(payload, "requests", cls.type), "requests"
+            ),
+            spec=_spec_from(payload, cls.type),
+            k=None if k is None else as_int(k, "k"),
+            solver=_opt_str(payload, "solver"),
+        )
+
+
+@dataclass(frozen=True)
+class SubmitBatchRequest:
+    """One streaming arrival burst (``EngineSession.submit_many`` semantics).
+
+    Address an open session by id, or open one implicitly by sending
+    ``ensemble`` (+ optional ``spec``) with ``session_id=None`` — the
+    response echoes the id for follow-up bursts.
+    """
+
+    type = "submit_batch"
+    requests: tuple
+    session_id: "str | None" = None
+    ensemble: "EnsembleRef | None" = None
+    spec: "EngineSpec | None" = None
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "session_id": self.session_id,
+                "ensemble": (
+                    None if self.ensemble is None else self.ensemble.to_dict()
+                ),
+                "spec": None if self.spec is None else self.spec.to_dict(),
+                "requests": [
+                    deployment_request_to_dict(r) for r in self.requests
+                ],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "SubmitBatchRequest":
+        _check_envelope(cls, payload)
+        return cls(
+            requests=deployment_requests_from_list(
+                require(payload, "requests", cls.type), "requests"
+            ),
+            session_id=_opt_str(payload, "session_id"),
+            ensemble=_ensemble_from(payload, cls.type),
+            spec=_spec_from(payload, cls.type),
+        )
+
+
+@dataclass(frozen=True)
+class RetryDeferredRequest:
+    """Drain a session's deferred queue against freed capacity."""
+
+    type = "retry_deferred"
+    session_id: str
+
+    def to_dict(self) -> dict:
+        return _stamp(self.type, {"session_id": self.session_id})
+
+    @classmethod
+    def from_dict(cls, payload) -> "RetryDeferredRequest":
+        _check_envelope(cls, payload)
+        return cls(
+            session_id=as_str(
+                require(payload, "session_id", cls.type), "session_id"
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SessionOpRequest:
+    """Release reservations (``complete``/``revoke``) or close a session."""
+
+    op: str  # "complete" | "revoke" | "close_session"
+    session_id: str
+    request_ids: tuple = ()
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.op,
+            {
+                "session_id": self.session_id,
+                "request_ids": list(self.request_ids),
+            },
+        )
+
+    @classmethod
+    def from_dict_as(cls, op: str, payload) -> "SessionOpRequest":
+        expect_mapping(payload, op)
+        check_api_version(payload, op)
+        if require(payload, "type", op) != op:
+            raise ApiError(
+                f"expected a {op!r} envelope", code="malformed_payload"
+            )
+        return cls(
+            op=op,
+            session_id=as_str(
+                require(payload, "session_id", op), "session_id"
+            ),
+            request_ids=tuple(
+                as_str(v, "request_ids[]")
+                for v in as_list(payload.get("request_ids", []), "request_ids")
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Service-level counters: shared cache stats, pool and session sizes."""
+
+    type = "stats"
+
+    def to_dict(self) -> dict:
+        return _stamp(self.type, {})
+
+    @classmethod
+    def from_dict(cls, payload) -> "StatsRequest":
+        _check_envelope(cls, payload)
+        return cls()
+
+
+def _require_ensemble(payload, what: str) -> EnsembleRef:
+    return EnsembleRef.from_dict(require(payload, "ensemble", what))
+
+
+# --------------------------------------------------------------- responses
+@dataclass(frozen=True)
+class PlanResponse:
+    type = "plan_result"
+    outcome: object  # BatchOutcome
+
+    def to_dict(self) -> dict:
+        return _stamp(self.type, {"outcome": batch_outcome_to_dict(self.outcome)})
+
+    @classmethod
+    def from_dict(cls, payload) -> "PlanResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            outcome=batch_outcome_from_dict(require(payload, "outcome", cls.type))
+        )
+
+
+@dataclass(frozen=True)
+class ResolveResponse:
+    type = "resolve_result"
+    report: object  # AggregatorReport
+
+    def to_dict(self) -> dict:
+        return _stamp(self.type, {"report": report_to_dict(self.report)})
+
+    @classmethod
+    def from_dict(cls, payload) -> "ResolveResponse":
+        _check_envelope(cls, payload)
+        return cls(report=report_from_dict(require(payload, "report", cls.type)))
+
+
+@dataclass(frozen=True)
+class AlternativesResponse:
+    type = "alternatives_result"
+    results: tuple  # tuple[ADPaRResult, ...]
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {"results": [adpar_result_to_dict(r) for r in self.results]},
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "AlternativesResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            results=tuple(
+                adpar_result_from_dict(item)
+                for item in as_list(
+                    require(payload, "results", cls.type), "results"
+                )
+            )
+        )
+
+
+@dataclass(frozen=True)
+class _SessionDecisionsResponse:
+    """Shared wire shape: a session's fresh decisions plus ledger counters.
+
+    Subclasses differ only in their ``type`` tag (dataclass equality is
+    class-strict, so a submit result never compares equal to a retry
+    result even with identical fields).
+    """
+
+    session_id: str
+    decisions: tuple  # tuple[StreamDecision, ...]
+    remaining: float
+    deferred: int
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "session_id": self.session_id,
+                "decisions": [
+                    stream_decision_to_dict(d) for d in self.decisions
+                ],
+                "remaining": self.remaining,
+                "deferred": self.deferred,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "_SessionDecisionsResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            session_id=as_str(
+                require(payload, "session_id", cls.type), "session_id"
+            ),
+            decisions=tuple(
+                stream_decision_from_dict(item)
+                for item in as_list(
+                    require(payload, "decisions", cls.type), "decisions"
+                )
+            ),
+            remaining=as_float(require(payload, "remaining", cls.type), "remaining"),
+            deferred=as_int(require(payload, "deferred", cls.type), "deferred"),
+        )
+
+
+class SubmitBatchResponse(_SessionDecisionsResponse):
+    type = "submit_batch_result"
+
+
+class RetryDeferredResponse(_SessionDecisionsResponse):
+    type = "retry_deferred_result"
+
+
+@dataclass(frozen=True)
+class SessionOpResponse:
+    type = "session_op_result"
+    op: str
+    session_id: str
+    released: float = 0.0
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "op": self.op,
+                "session_id": self.session_id,
+                "released": self.released,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "SessionOpResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            op=as_str(require(payload, "op", cls.type), "op"),
+            session_id=as_str(
+                require(payload, "session_id", cls.type), "session_id"
+            ),
+            released=as_float(payload.get("released", 0.0), "released"),
+        )
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    type = "stats_result"
+    cache: object  # CacheStats
+    engines: int
+    sessions: int
+    ensembles: int
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type,
+            {
+                "cache": cache_stats_to_dict(self.cache),
+                "engines": self.engines,
+                "sessions": self.sessions,
+                "ensembles": self.ensembles,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "StatsResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            cache=cache_stats_from_dict(require(payload, "cache", cls.type)),
+            engines=as_int(require(payload, "engines", cls.type), "engines"),
+            sessions=as_int(require(payload, "sessions", cls.type), "sessions"),
+            ensembles=as_int(
+                require(payload, "ensembles", cls.type), "ensembles"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """The typed error envelope every failure maps to."""
+
+    type = "error"
+    code: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return _stamp(self.type, {"code": self.code, "message": self.message})
+
+    @classmethod
+    def from_dict(cls, payload) -> "ErrorResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            code=as_str(require(payload, "code", cls.type), "code"),
+            message=as_str(require(payload, "message", cls.type), "message"),
+        )
+
+
+# ---------------------------------------------------------------- dispatch
+_REQUEST_TYPES = {
+    PlanRequest.type: PlanRequest.from_dict,
+    ResolveRequest.type: ResolveRequest.from_dict,
+    AlternativesRequest.type: AlternativesRequest.from_dict,
+    SubmitBatchRequest.type: SubmitBatchRequest.from_dict,
+    RetryDeferredRequest.type: RetryDeferredRequest.from_dict,
+    "complete": lambda p: SessionOpRequest.from_dict_as("complete", p),
+    "revoke": lambda p: SessionOpRequest.from_dict_as("revoke", p),
+    "close_session": lambda p: SessionOpRequest.from_dict_as("close_session", p),
+    StatsRequest.type: StatsRequest.from_dict,
+}
+
+_RESPONSE_TYPES = {
+    cls.type: cls.from_dict
+    for cls in (
+        PlanResponse,
+        ResolveResponse,
+        AlternativesResponse,
+        SubmitBatchResponse,
+        RetryDeferredResponse,
+        SessionOpResponse,
+        StatsResponse,
+        ErrorResponse,
+    )
+}
+
+#: Every request envelope type the service understands, in wire order.
+REQUEST_TYPES = tuple(_REQUEST_TYPES)
+
+
+def parse_request(payload):
+    """Dispatch one raw JSON object to its typed request envelope."""
+    expect_mapping(payload, "request envelope")
+    check_api_version(payload, "request envelope")
+    envelope_type = require(payload, "type", "request envelope")
+    parser = _REQUEST_TYPES.get(envelope_type)
+    if parser is None:
+        raise ApiError(
+            f"unknown request type {envelope_type!r}; "
+            f"expected one of {sorted(_REQUEST_TYPES)}",
+            code="unknown_type",
+        )
+    return parser(payload)
+
+
+def parse_response(payload):
+    """Dispatch one raw JSON object to its typed response envelope."""
+    expect_mapping(payload, "response envelope")
+    check_api_version(payload, "response envelope")
+    envelope_type = require(payload, "type", "response envelope")
+    parser = _RESPONSE_TYPES.get(envelope_type)
+    if parser is None:
+        raise ApiError(
+            f"unknown response type {envelope_type!r}",
+            code="unknown_type",
+        )
+    return parser(payload)

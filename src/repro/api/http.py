@@ -1,0 +1,190 @@
+"""``repro serve`` — JSON-over-HTTP transport for :class:`EngineService`.
+
+Stdlib only (:mod:`http.server`): POST a request envelope to ``/v1`` (or
+to ``/v1/<type>`` with the ``type`` field implied by the path) and get
+the matching response envelope back.  Batch-friendly by construction —
+``submit_batch`` carries a whole arrival burst per round trip and rides
+the engine's vectorized ``submit_many`` path.  ``GET /v1/health`` answers
+a version probe.
+
+Error contract: every failure is the typed error envelope from
+:mod:`repro.api.envelopes`; :data:`HTTP_STATUS` maps its stable code to
+the status line (unknown handles → 404, ``internal`` → 500, any other
+client error → 400).  Tracebacks never cross the wire.
+
+The server is a :class:`ThreadingHTTPServer`; the service's engine pool
+and cache are shared across request threads, serialized by one lock —
+the vectorized NumPy passes dominate request cost, so a single-process
+server saturates before the lock does (``benchmarks/bench_service.py``
+reports req/s).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.envelopes import ErrorResponse
+from repro.api.service import EngineService
+from repro.api.wire import API_VERSION
+
+#: URL prefix this server mounts the versioned API under.
+API_PATH = f"/v{API_VERSION}"
+
+#: Stable error code → HTTP status: missing resources/handles are 404,
+#: ``internal`` is 500, anything absent is a 400 client error.  An
+#: unknown envelope *type* is deliberately 400 — the resource exists,
+#: the body is wrong (matching the README contract).
+HTTP_STATUS = {
+    "not_found": 404,
+    "unknown_session": 404,
+    "unknown_ensemble": 404,
+    "unknown_reservation": 404,
+    "internal": 500,
+}
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ApiRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request → one envelope through the service."""
+
+    server_version = f"repro-serve/{API_VERSION}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ GET
+    def do_GET(self):  # noqa: N802 — http.server API
+        if self.path.rstrip("/") in (API_PATH + "/health", API_PATH):
+            self._send_json(
+                200, {"status": "ok", "api_version": API_VERSION}
+            )
+            return
+        self._send_json(
+            404,
+            _error_body("not_found", f"no such path {self.path!r}"),
+        )
+
+    # ----------------------------------------------------------------- POST
+    def do_POST(self):  # noqa: N802 — http.server API
+        payload, error = self._read_payload()
+        if error is not None:
+            self._send_json(HTTP_STATUS.get(error.get("code"), 400), error)
+            return
+        with self.server.service_lock:
+            body = self.server.service.handle_dict(payload)
+        status = 200
+        if body.get("type") == "error":
+            status = HTTP_STATUS.get(body.get("code"), 400)
+        self._send_json(status, body)
+
+    def _read_payload(self):
+        """Decode the body; returns ``(payload, None)`` or ``(None, error)``.
+
+        On any decode error the connection is marked for close: the body
+        may be wholly or partly unread, and leaving it in the stream
+        would desync the next request on a keep-alive connection.
+        """
+        path = self.path.rstrip("/")
+        if path != API_PATH and not path.startswith(API_PATH + "/"):
+            self.close_connection = True
+            return None, _error_body(
+                "not_found", f"POST to {API_PATH} or {API_PATH}/<type>"
+            )
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            return None, _error_body("malformed_payload", "bad Content-Length")
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            return None, _error_body(
+                "malformed_payload",
+                f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
+            )
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return None, _error_body(
+                "malformed_payload", f"body is not valid JSON: {exc}"
+            )
+        # /v1/<type> implies the envelope type; a body naming a
+        # *different* type is rejected rather than silently rerouted (the
+        # URL is what proxies/ACLs see — it must not lie).
+        suffix = path[len(API_PATH) :].strip("/")
+        if suffix and isinstance(payload, dict):
+            implied = suffix.replace("-", "_")
+            declared = payload.setdefault("type", implied)
+            if declared != implied:
+                return None, _error_body(
+                    "malformed_payload",
+                    f"body type {declared!r} contradicts path "
+                    f"{API_PATH}/{suffix}",
+                )
+            payload.setdefault("api_version", API_VERSION)
+        return payload, None
+
+    # ------------------------------------------------------------- plumbing
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # Set by _read_payload when the body may be (partly) unread —
+            # tell the client the keep-alive connection ends here.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):  # noqa: A002 — http.server API
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+def _error_body(code: str, message: str) -> dict:
+    # One envelope shape, owned by envelopes.py — transports never
+    # hand-roll it.
+    return ErrorResponse(code=code, message=message).to_dict()
+
+
+def make_server(
+    service: "EngineService | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server fronting one service.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (tests and the bench harness do).
+    """
+    server = ThreadingHTTPServer((host, port), ApiRequestHandler)
+    server.service = service if service is not None else EngineService()
+    server.service_lock = threading.Lock()
+    server.verbose = verbose
+    return server
+
+
+def serve(
+    service: "EngineService | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = False,
+    ready=None,
+) -> None:
+    """Run the blocking serve loop (the ``repro serve`` subcommand).
+
+    ``ready``, when given, is called with the bound ``(host, port)`` just
+    before the loop starts — how tests and the CLI print the address
+    without racing the bind.
+    """
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    try:
+        if ready is not None:
+            ready(server.server_address)
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,447 @@
+"""`EngineService` — the stateless multiplexer in front of the engine.
+
+One service instance fronts any number of tenants: engines are pooled by
+(ensemble fingerprint, :meth:`~repro.api.wire.EngineSpec.pool_key`) over
+one shared :class:`~repro.engine.EngineCache`, ensembles upload once and
+are then addressed by content hash, and streaming sessions live behind
+opaque ids.  The dispatcher itself holds no per-request state — every
+envelope carries everything needed to route it, so two services over the
+same pools answer identically.
+
+Two calling conventions share one implementation:
+
+* **Typed** — build envelope dataclasses and call :meth:`handle` (or the
+  per-type methods); payloads stay in-memory objects, which is what the
+  CLI, the platform simulator and the examples use in-process.
+* **Wire** — feed raw JSON objects to :meth:`handle_dict`; decoding
+  errors and the whole :mod:`repro.exceptions` hierarchy come back as
+  typed error envelopes with stable codes, never tracebacks.  This is
+  the contract ``repro serve`` exposes over HTTP.
+
+Differential property tests pin both paths decision-for-decision
+identical to driving :class:`~repro.engine.RecommendationEngine` /
+:class:`~repro.engine.EngineSession` directly, including
+``submit_many`` burst semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.api.envelopes import (
+    AlternativesRequest,
+    AlternativesResponse,
+    PlanRequest,
+    PlanResponse,
+    ResolveRequest,
+    ResolveResponse,
+    RetryDeferredRequest,
+    RetryDeferredResponse,
+    SessionOpRequest,
+    SessionOpResponse,
+    StatsRequest,
+    StatsResponse,
+    SubmitBatchRequest,
+    SubmitBatchResponse,
+    error_response_for,
+    parse_request,
+)
+from repro.api.wire import EngineSpec, EnsembleRef
+from repro.core.strategy import StrategyEnsemble
+from repro.engine import (
+    EngineCache,
+    RecommendationEngine,
+    ensemble_fingerprint,
+)
+from repro.engine.session import EngineSession, drive_stream
+from repro.exceptions import ApiError
+
+
+@dataclass
+class _SessionHandle:
+    """One open streaming session plus the identity it was opened under."""
+
+    session_id: str
+    session: EngineSession
+    fingerprint: str
+    spec: EngineSpec
+
+
+class EngineService:
+    """Multiplexes engines and sessions across tenants behind one seam.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`EngineCache` every pooled engine reads and
+        writes; a private one is created when omitted.
+    registry, solver_registry:
+        Planner/solver registries forwarded to every engine built by the
+        pool (process-wide defaults when omitted).
+    default_spec:
+        Fallback :class:`EngineSpec` applied when a request omits its
+        ``spec`` — how ``repro serve`` turns CLI flags into the
+        server-side default configuration.  Without one, a spec-less
+        request is a typed ``missing_spec`` error.
+    max_engines:
+        Engine-pool bound (LRU eviction; engines are stateless, so
+        eviction only costs re-construction).
+    max_sessions:
+        Open-session bound; exceeding it is a typed ``session_limit``
+        error (close sessions to free slots) rather than silent eviction
+        of someone's live ledger.
+    max_ensembles:
+        Fingerprint-registry bound (LRU).  Inline uploads re-register on
+        every use, so only cold fingerprints age out; an evicted hash
+        answers ``unknown_ensemble`` until re-uploaded inline.  Keeps a
+        long-running server from pinning every ensemble it ever saw.
+    """
+
+    def __init__(
+        self,
+        cache: "EngineCache | None" = None,
+        registry=None,
+        solver_registry=None,
+        default_spec: "EngineSpec | None" = None,
+        max_engines: int = 64,
+        max_sessions: int = 1024,
+        max_ensembles: int = 128,
+    ):
+        self.cache = cache if cache is not None else EngineCache()
+        self._registry = registry
+        self._solver_registry = solver_registry
+        self.default_spec = default_spec
+        self._max_engines = max(1, int(max_engines))
+        self._max_sessions = max(1, int(max_sessions))
+        self._max_ensembles = max(1, int(max_ensembles))
+        self._engines: "OrderedDict[tuple, RecommendationEngine]" = OrderedDict()
+        self._ensembles: "OrderedDict[str, StrategyEnsemble]" = OrderedDict()
+        self._sessions: "OrderedDict[str, _SessionHandle]" = OrderedDict()
+        self._session_seq = itertools.count(1)
+
+    # ------------------------------------------------------------ ensembles
+    def register_ensemble(self, ensemble: StrategyEnsemble) -> str:
+        """Make an ensemble addressable by fingerprint; returns the hash."""
+        fingerprint = ensemble_fingerprint(ensemble)
+        if fingerprint in self._ensembles:
+            self._ensembles.move_to_end(fingerprint)
+        else:
+            self._ensembles[fingerprint] = ensemble
+            while len(self._ensembles) > self._max_ensembles:
+                self._ensembles.popitem(last=False)
+        return fingerprint
+
+    def _resolve_ensemble(self, ref: "EnsembleRef | None") -> StrategyEnsemble:
+        if ref is None:
+            raise ApiError(
+                "request carries neither an ensemble nor a session_id",
+                code="missing_ensemble",
+            )
+        if ref.ensemble is not None:
+            self.register_ensemble(ref.ensemble)
+            return ref.ensemble
+        ensemble = self._ensembles.get(ref.fingerprint)
+        if ensemble is None:
+            raise ApiError(
+                f"no ensemble registered under fingerprint "
+                f"{ref.fingerprint[:16]}…; upload it inline once first",
+                code="unknown_ensemble",
+            )
+        self._ensembles.move_to_end(ref.fingerprint)
+        return ensemble
+
+    def _resolve_spec(self, spec: "EngineSpec | None") -> EngineSpec:
+        spec = spec if spec is not None else self.default_spec
+        if spec is None:
+            raise ApiError(
+                "request carries no engine spec and the service has no "
+                "default",
+                code="missing_spec",
+            )
+        return spec
+
+    # ---------------------------------------------------------- engine pool
+    def engine_for(
+        self,
+        ensemble: "StrategyEnsemble | EnsembleRef | None",
+        spec: "EngineSpec | None" = None,
+    ) -> RecommendationEngine:
+        """The pooled engine for one (ensemble, spec) identity.
+
+        Engines are stateless facades, so any caller holding the same
+        identity shares one instance — and through it the service-wide
+        cache (workforce aggregates, ADPaR results, relaxation spaces).
+        """
+        if ensemble is None or isinstance(ensemble, EnsembleRef):
+            # None falls through to the typed missing_ensemble error.
+            ensemble = self._resolve_ensemble(ensemble)
+        else:
+            self.register_ensemble(ensemble)
+        spec = self._resolve_spec(spec)
+        key = (ensemble_fingerprint(ensemble),) + spec.pool_key()
+        engine = self._engines.get(key)
+        if engine is not None:
+            self._engines.move_to_end(key)
+            return engine
+        engine = RecommendationEngine(
+            ensemble,
+            cache=self.cache,
+            registry=self._registry,
+            solver_registry=self._solver_registry,
+            **spec.engine_kwargs(),
+        )
+        self._engines[key] = engine
+        while len(self._engines) > self._max_engines:
+            self._engines.popitem(last=False)
+        return engine
+
+    @property
+    def engine_count(self) -> int:
+        return len(self._engines)
+
+    # -------------------------------------------------------------- sessions
+    def open_session(
+        self,
+        ensemble: "StrategyEnsemble | EnsembleRef",
+        spec: "EngineSpec | None" = None,
+    ) -> str:
+        """Open a streaming session; returns its opaque id."""
+        if len(self._sessions) >= self._max_sessions:
+            raise ApiError(
+                f"session limit ({self._max_sessions}) reached; close "
+                "sessions to free slots",
+                code="session_limit",
+            )
+        engine = self.engine_for(ensemble, spec)
+        spec = self._resolve_spec(spec)
+        session_id = f"sess-{next(self._session_seq):06d}-{secrets.token_hex(4)}"
+        self._sessions[session_id] = _SessionHandle(
+            session_id=session_id,
+            session=engine.open_session(),
+            fingerprint=ensemble_fingerprint(engine.ensemble),
+            spec=spec,
+        )
+        return session_id
+
+    def session(self, session_id: str) -> EngineSession:
+        """The live :class:`EngineSession` behind one opaque id."""
+        return self._session_handle(session_id).session
+
+    def _session_handle(self, session_id: str) -> _SessionHandle:
+        handle = self._sessions.get(session_id)
+        if handle is None:
+            raise ApiError(
+                f"unknown session {session_id!r}", code="unknown_session"
+            )
+        return handle
+
+    def close_session(self, session_id: str) -> None:
+        self._session_handle(session_id)
+        del self._sessions[session_id]
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def drive(
+        self,
+        session_id: str,
+        requests,
+        burst_size: int = 64,
+        hold_bursts: int = 2,
+    ):
+        """Run the canonical burst/complete/retry loop over one session.
+
+        Same contract as :func:`repro.engine.session.drive_stream` — the
+        CLI ``stream`` subcommand and the platform simulator route their
+        cohort traffic through the service with this.
+        """
+        return drive_stream(
+            self.session(session_id),
+            requests,
+            burst_size=burst_size,
+            hold_bursts=hold_bursts,
+        )
+
+    # ------------------------------------------------------------ typed ops
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        engine = self.engine_for(request.ensemble, request.spec)
+        return PlanResponse(
+            outcome=engine.plan(
+                list(request.requests),
+                objective=request.objective,
+                planner=request.planner,
+            )
+        )
+
+    def resolve(self, request: ResolveRequest) -> ResolveResponse:
+        engine = self.engine_for(request.ensemble, request.spec)
+        return ResolveResponse(
+            report=engine.resolve(
+                list(request.requests),
+                objective=request.objective,
+                planner=request.planner,
+                solver=request.solver,
+            )
+        )
+
+    def alternatives(self, request: AlternativesRequest) -> AlternativesResponse:
+        engine = self.engine_for(request.ensemble, request.spec)
+        return AlternativesResponse(
+            results=tuple(
+                engine.recommend_alternatives(
+                    list(request.requests), k=request.k, solver=request.solver
+                )
+            )
+        )
+
+    def submit_batch(self, request: SubmitBatchRequest) -> SubmitBatchResponse:
+        # Stricter wire contract than the raw session: burst ids must be
+        # unique and not already active.  The session's submit_many
+        # raises *mid-walk* on a live duplicate, mutating the ledger
+        # before failing — but the error envelope cannot report partial
+        # admissions, so the service validates up front and either the
+        # whole burst applies or none of it does.
+        ids = [r.request_id for r in request.requests]
+        if len(set(ids)) != len(ids):
+            raise ApiError(
+                "submit_batch request ids must be unique within a burst",
+                code="invalid_argument",
+            )
+        if request.session_id is not None:
+            handle = self._session_handle(request.session_id)
+            if request.ensemble is not None or request.spec is not None:
+                raise ApiError(
+                    "submit_batch addresses a session_id; drop the "
+                    "ensemble/spec fields (sessions keep their identity)",
+                    code="ambiguous_target",
+                )
+            session_id = request.session_id
+            opened_here = False
+            active = handle.session.active
+            already = next((i for i in ids if i in active), None)
+            if already is not None:
+                raise ApiError(
+                    f"request {already!r} is already active in this session",
+                    code="invalid_argument",
+                )
+        else:
+            session_id = self.open_session(request.ensemble, request.spec)
+            handle = self._session_handle(session_id)
+            opened_here = True
+        try:
+            decisions = handle.session.submit_many(list(request.requests))
+        except Exception:
+            # Backstop for unexpected mid-burst failures: the error
+            # envelope cannot carry the implicit session's id, so an
+            # implicitly opened session must not outlive a failed burst —
+            # it would count against max_sessions unclosable.
+            if opened_here:
+                self.close_session(session_id)
+            raise
+        return SubmitBatchResponse(
+            session_id=session_id,
+            decisions=tuple(decisions),
+            remaining=handle.session.remaining,
+            deferred=len(handle.session.deferred),
+        )
+
+    def retry_deferred(
+        self, request: RetryDeferredRequest
+    ) -> RetryDeferredResponse:
+        session = self.session(request.session_id)
+        decisions = session.retry_deferred()
+        return RetryDeferredResponse(
+            session_id=request.session_id,
+            decisions=tuple(decisions),
+            remaining=session.remaining,
+            deferred=len(session.deferred),
+        )
+
+    def session_op(self, request: SessionOpRequest) -> SessionOpResponse:
+        if request.op not in ("complete", "revoke", "close_session"):
+            # The wire path can't get here (dispatch is by type tag), but
+            # handle() is public — a typo'd op must not silently revoke.
+            raise ApiError(
+                f"unknown session op {request.op!r}", code="invalid_argument"
+            )
+        if request.op == "close_session":
+            self.close_session(request.session_id)
+            return SessionOpResponse(
+                op=request.op, session_id=request.session_id
+            )
+        session = self.session(request.session_id)
+        if not request.request_ids:
+            raise ApiError(
+                f"{request.op} needs at least one request id",
+                code="invalid_argument",
+            )
+        # Validate every id up front so the op is atomic: either all
+        # reservations release or none do — a partial release the client
+        # only learns about through an error envelope would leave its
+        # ledger permanently out of step with the session's.
+        if len(set(request.request_ids)) != len(request.request_ids):
+            raise ApiError(
+                f"{request.op} request_ids must be unique",
+                code="invalid_argument",
+            )
+        active = session.active
+        for request_id in request.request_ids:
+            if request_id not in active:
+                raise ApiError(
+                    f"no active reservation for {request_id!r}",
+                    code="unknown_reservation",
+                )
+        release = session.complete if request.op == "complete" else session.revoke
+        released = 0.0
+        for request_id in request.request_ids:
+            released += release(request_id)
+        return SessionOpResponse(
+            op=request.op,
+            session_id=request.session_id,
+            released=released,
+        )
+
+    def stats(self, request: "StatsRequest | None" = None) -> StatsResponse:
+        return StatsResponse(
+            cache=self.cache.stats,
+            engines=len(self._engines),
+            sessions=len(self._sessions),
+            ensembles=len(self._ensembles),
+        )
+
+    # -------------------------------------------------------------- dispatch
+    def handle(self, request):
+        """Route one typed request envelope to its operation."""
+        handler = self._HANDLERS.get(type(request))
+        if handler is None:
+            raise ApiError(
+                f"unsupported request envelope {type(request).__name__}",
+                code="unknown_type",
+            )
+        return handler(self, request)
+
+    def handle_dict(self, payload) -> dict:
+        """The wire entry point: raw JSON object in, raw JSON object out.
+
+        Never raises for malformed/invalid traffic — decoding failures
+        and every :mod:`repro.exceptions` error come back as the typed
+        error envelope with a stable code.
+        """
+        try:
+            return self.handle(parse_request(payload)).to_dict()
+        except Exception as exc:  # noqa: BLE001 — wire boundary, never leak
+            return error_response_for(exc).to_dict()
+
+    _HANDLERS = {
+        PlanRequest: plan,
+        ResolveRequest: resolve,
+        AlternativesRequest: alternatives,
+        SubmitBatchRequest: submit_batch,
+        RetryDeferredRequest: retry_deferred,
+        SessionOpRequest: session_op,
+        StatsRequest: stats,
+    }

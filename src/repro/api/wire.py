@@ -1,0 +1,656 @@
+"""Wire-format codecs for every core payload type (API v1).
+
+One seam between the in-memory dataclasses and the JSON that crosses a
+process boundary.  Every codec is a ``*_to_dict`` / ``*_from_dict`` pair
+with three contracts:
+
+* **JSON-native output.**  ``to_dict`` emits only dict/list/str/num/bool/
+  None, so ``json.loads(json.dumps(to_dict(x)))`` is the identity on the
+  payload (Python floats survive JSON exactly via repr round-trip).
+* **Lossless round-trip.**  ``from_dict(to_dict(x)) == x`` for every
+  payload (property-tested in ``tests/property/test_wire_roundtrip.py``).
+  :class:`StrategyEnsemble` compares by content fingerprint via
+  :class:`EnsembleRef`.
+* **Typed failure.**  A malformed payload raises
+  :class:`~repro.exceptions.ApiError` (never a bare ``KeyError`` /
+  ``TypeError``), so transports can map it to a stable error envelope.
+
+Versioning: envelopes (``repro.api.envelopes``) stamp ``api_version``
+with :data:`API_VERSION`; payload codecs are version-free and evolve
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adpar import ADPaRResult
+from repro.core.aggregator import (
+    AggregatorReport,
+    RequestResolution,
+    ResolutionStatus,
+)
+from repro.core.batchstrat import BatchOutcome, StrategyRecommendation
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.streaming import StreamDecision, StreamStatus
+from repro.engine.cache import CacheStats, ensemble_fingerprint
+from repro.exceptions import ApiError
+
+#: The one wire version this tree speaks.  Bump on any incompatible
+#: payload change; ``check_api_version`` rejects everything else with a
+#: stable ``unsupported_version`` error code.
+API_VERSION = 1
+
+
+# ----------------------------------------------------------------- helpers
+def expect_mapping(payload, what: str) -> dict:
+    """The payload must be a JSON object; anything else is an ApiError."""
+    if not isinstance(payload, dict):
+        raise ApiError(
+            f"{what} must be a JSON object, got {type(payload).__name__}",
+            code="malformed_payload",
+        )
+    return payload
+
+
+def require(payload: dict, key: str, what: str):
+    """Fetch a required field, mapping absence to a typed error."""
+    expect_mapping(payload, what)
+    try:
+        return payload[key]
+    except KeyError:
+        raise ApiError(
+            f"{what} is missing required field {key!r}",
+            code="malformed_payload",
+        ) from None
+
+
+def as_float(value, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(
+            f"{what} must be a number, got {type(value).__name__}",
+            code="malformed_payload",
+        )
+    return float(value)
+
+
+def as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(
+            f"{what} must be an integer, got {type(value).__name__}",
+            code="malformed_payload",
+        )
+    return value
+
+
+def as_str(value, what: str) -> str:
+    if not isinstance(value, str):
+        raise ApiError(
+            f"{what} must be a string, got {type(value).__name__}",
+            code="malformed_payload",
+        )
+    return value
+
+
+def as_list(value, what: str) -> list:
+    if not isinstance(value, list):
+        raise ApiError(
+            f"{what} must be a list, got {type(value).__name__}",
+            code="malformed_payload",
+        )
+    return value
+
+
+def check_api_version(payload: dict, what: str = "envelope") -> None:
+    """Reject unversioned or wrong-version payloads with a stable code."""
+    version = require(payload, "api_version", what)
+    if version != API_VERSION:
+        raise ApiError(
+            f"{what} declares api_version={version!r}; "
+            f"this server speaks {API_VERSION}",
+            code="unsupported_version",
+        )
+
+
+def guard(what: str):
+    """Decorator: re-raise decoding slips inside ``fn`` as ApiError.
+
+    The codecs validate field-by-field, but constructors downstream
+    (``TriParams`` range checks, ``DeploymentRequest`` id checks) raise
+    ``ValueError`` on semantically invalid values — map those to the
+    typed envelope error too, so no wire payload can surface a raw
+    traceback.
+    """
+
+    def wrap(fn):
+        def inner(payload, *args, **kwargs):
+            try:
+                return fn(payload, *args, **kwargs)
+            except ApiError:
+                raise
+            except (ValueError, TypeError, KeyError) as exc:
+                raise ApiError(
+                    f"invalid {what} payload: {exc}", code="invalid_payload"
+                ) from exc
+
+        inner.__name__ = fn.__name__
+        inner.__doc__ = fn.__doc__
+        return inner
+
+    return wrap
+
+
+# --------------------------------------------------------------- TriParams
+def triparams_to_dict(params: TriParams) -> dict:
+    return {
+        "quality": params.quality,
+        "cost": params.cost,
+        "latency": params.latency,
+    }
+
+
+@guard("TriParams")
+def triparams_from_dict(payload) -> TriParams:
+    what = "TriParams"
+    return TriParams(
+        quality=as_float(require(payload, "quality", what), "quality"),
+        cost=as_float(require(payload, "cost", what), "cost"),
+        latency=as_float(require(payload, "latency", what), "latency"),
+    )
+
+
+# ------------------------------------------------------- DeploymentRequest
+def deployment_request_to_dict(request: DeploymentRequest) -> dict:
+    return {
+        "request_id": request.request_id,
+        "params": triparams_to_dict(request.params),
+        "k": request.k,
+        "task_type": request.task_type,
+        "payoff": request.payoff,
+    }
+
+
+@guard("DeploymentRequest")
+def deployment_request_from_dict(payload) -> DeploymentRequest:
+    what = "DeploymentRequest"
+    payoff = expect_mapping(payload, what).get("payoff")
+    return DeploymentRequest(
+        request_id=as_str(require(payload, "request_id", what), "request_id"),
+        params=triparams_from_dict(require(payload, "params", what)),
+        k=as_int(require(payload, "k", what), "k"),
+        task_type=as_str(
+            payload.get("task_type", "generic"), "task_type"
+        ),
+        payoff=None if payoff is None else as_float(payoff, "payoff"),
+    )
+
+
+def deployment_requests_from_list(payload, what: str) -> tuple:
+    return tuple(
+        deployment_request_from_dict(item)
+        for item in as_list(payload, what)
+    )
+
+
+# ------------------------------------------------------------ EnsembleRef
+@dataclass(frozen=True, eq=False)
+class EnsembleRef:
+    """A strategy ensemble on the wire: inline arrays or by fingerprint.
+
+    Inline form carries the full columnar model (``alpha``/``beta``/
+    ``names``) plus its content fingerprint; reference form carries the
+    fingerprint alone and resolves against ensembles the service has
+    already seen (clients upload once, then address by hash).  Equality
+    and hashing are by fingerprint, so round-tripped refs compare equal
+    whichever form they took.
+    """
+
+    fingerprint: str
+    ensemble: "StrategyEnsemble | None" = field(default=None, compare=False)
+
+    @classmethod
+    def of(cls, ensemble: StrategyEnsemble) -> "EnsembleRef":
+        """Inline ref for an in-memory ensemble."""
+        return cls(ensemble_fingerprint(ensemble), ensemble)
+
+    @classmethod
+    def by_fingerprint(cls, fingerprint: str) -> "EnsembleRef":
+        """Reference-only form; the service must already know the hash."""
+        return cls(fingerprint, None)
+
+    @property
+    def inline(self) -> bool:
+        return self.ensemble is not None
+
+    def __eq__(self, other):
+        if not isinstance(other, EnsembleRef):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self):
+        return hash(self.fingerprint)
+
+    def to_dict(self) -> dict:
+        if self.ensemble is None:
+            return {"fingerprint": self.fingerprint}
+        return {
+            "fingerprint": self.fingerprint,
+            "alpha": self.ensemble.alpha.tolist(),
+            "beta": self.ensemble.beta.tolist(),
+            "names": list(self.ensemble.names),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "EnsembleRef":
+        what = "EnsembleRef"
+        expect_mapping(payload, what)
+        if "alpha" not in payload and "beta" not in payload:
+            return cls.by_fingerprint(
+                as_str(require(payload, "fingerprint", what), "fingerprint")
+            )
+        alpha = as_list(require(payload, "alpha", what), "alpha")
+        beta = as_list(require(payload, "beta", what), "beta")
+        names = payload.get("names")
+        if names is not None:
+            names = [as_str(n, "names[]") for n in as_list(names, "names")]
+        try:
+            ensemble = StrategyEnsemble.from_arrays(
+                np.asarray(alpha, dtype=float),
+                np.asarray(beta, dtype=float),
+                names=names,
+            )
+        except (ValueError, TypeError) as exc:
+            raise ApiError(
+                f"invalid inline ensemble: {exc}", code="invalid_payload"
+            ) from exc
+        ref = cls.of(ensemble)
+        declared = payload.get("fingerprint")
+        if declared is not None and declared != ref.fingerprint:
+            raise ApiError(
+                "inline ensemble does not match its declared fingerprint "
+                f"({declared!r})",
+                code="fingerprint_mismatch",
+            )
+        return ref
+
+
+# -------------------------------------------------------------- EngineSpec
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything (besides the ensemble) that configures one engine.
+
+    The wire twin of :class:`~repro.engine.RecommendationEngine`'s
+    constructor arguments; :meth:`pool_key` is the flat hashable identity
+    :class:`~repro.api.EngineService` pools engines by, with planner /
+    solver options canonicalized so spelling never splits the pool.
+    Objectives are restricted to their string names on the wire.
+    """
+
+    availability: float
+    objective: str = "throughput"
+    aggregation: str = "sum"
+    workforce_mode: str = "paper"
+    eligibility: str = "pool"
+    planner: str = "batch-greedy"
+    planner_options: "dict | None" = None
+    solver: str = "adpar-exact"
+    solver_options: "dict | None" = None
+
+    def pool_key(self) -> tuple:
+        from repro.engine.solvers import solver_options_key
+
+        return (
+            float(self.availability),
+            self.objective,
+            self.aggregation,
+            self.workforce_mode,
+            self.eligibility,
+            self.planner,
+            solver_options_key(self.planner_options),
+            self.solver,
+            solver_options_key(self.solver_options),
+        )
+
+    def engine_kwargs(self) -> dict:
+        """Constructor kwargs for ``RecommendationEngine`` (sans ensemble)."""
+        return {
+            "availability": self.availability,
+            "objective": self.objective,
+            "aggregation": self.aggregation,
+            "workforce_mode": self.workforce_mode,
+            "eligibility": self.eligibility,
+            "planner": self.planner,
+            "planner_options": self.planner_options,
+            "solver": self.solver,
+            "solver_options": self.solver_options,
+        }
+
+    def to_dict(self) -> dict:
+        out = {
+            "availability": self.availability,
+            "objective": self.objective,
+            "aggregation": self.aggregation,
+            "workforce_mode": self.workforce_mode,
+            "eligibility": self.eligibility,
+            "planner": self.planner,
+            "solver": self.solver,
+        }
+        if self.planner_options is not None:
+            out["planner_options"] = _options_to_jsonable(self.planner_options)
+        if self.solver_options is not None:
+            out["solver_options"] = _options_to_jsonable(self.solver_options)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload) -> "EngineSpec":
+        what = "EngineSpec"
+        expect_mapping(payload, what)
+        defaults = cls(availability=0.0)
+        planner_options = payload.get("planner_options")
+        solver_options = payload.get("solver_options")
+        if planner_options is not None:
+            planner_options = _options_from_jsonable(
+                expect_mapping(planner_options, "planner_options")
+            )
+        if solver_options is not None:
+            solver_options = _options_from_jsonable(
+                expect_mapping(solver_options, "solver_options")
+            )
+        return cls(
+            availability=as_float(
+                require(payload, "availability", what), "availability"
+            ),
+            objective=as_str(
+                payload.get("objective", defaults.objective), "objective"
+            ),
+            aggregation=as_str(
+                payload.get("aggregation", defaults.aggregation), "aggregation"
+            ),
+            workforce_mode=as_str(
+                payload.get("workforce_mode", defaults.workforce_mode),
+                "workforce_mode",
+            ),
+            eligibility=as_str(
+                payload.get("eligibility", defaults.eligibility), "eligibility"
+            ),
+            planner=as_str(payload.get("planner", defaults.planner), "planner"),
+            planner_options=planner_options,
+            solver=as_str(payload.get("solver", defaults.solver), "solver"),
+            solver_options=solver_options,
+        )
+
+
+def _options_to_jsonable(options: dict) -> dict:
+    """Backend options with tuple values (e.g. ``weights``) as lists."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in options.items()
+    }
+
+
+def _options_from_jsonable(options: dict) -> dict:
+    """Inverse of :func:`_options_to_jsonable`: lists back to tuples."""
+    return {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in options.items()
+    }
+
+
+# -------------------------------------------------------------- ADPaRResult
+def adpar_result_to_dict(result: ADPaRResult) -> dict:
+    return {
+        "original": triparams_to_dict(result.original),
+        "alternative": triparams_to_dict(result.alternative),
+        "distance": result.distance,
+        "squared_distance": result.squared_distance,
+        "relaxation": list(result.relaxation),
+        "strategy_indices": list(result.strategy_indices),
+        "strategy_names": list(result.strategy_names),
+    }
+
+
+@guard("ADPaRResult")
+def adpar_result_from_dict(payload) -> ADPaRResult:
+    what = "ADPaRResult"
+    relaxation = as_list(require(payload, "relaxation", what), "relaxation")
+    if len(relaxation) != 3:
+        raise ApiError(
+            "relaxation must have exactly 3 coordinates",
+            code="malformed_payload",
+        )
+    return ADPaRResult(
+        original=triparams_from_dict(require(payload, "original", what)),
+        alternative=triparams_from_dict(require(payload, "alternative", what)),
+        distance=as_float(require(payload, "distance", what), "distance"),
+        squared_distance=as_float(
+            require(payload, "squared_distance", what), "squared_distance"
+        ),
+        relaxation=tuple(as_float(v, "relaxation[]") for v in relaxation),
+        strategy_indices=tuple(
+            as_int(v, "strategy_indices[]")
+            for v in as_list(
+                require(payload, "strategy_indices", what), "strategy_indices"
+            )
+        ),
+        strategy_names=tuple(
+            as_str(v, "strategy_names[]")
+            for v in as_list(
+                require(payload, "strategy_names", what), "strategy_names"
+            )
+        ),
+    )
+
+
+# -------------------------------------------------------- RequestResolution
+def resolution_to_dict(resolution: RequestResolution) -> dict:
+    return {
+        "request": deployment_request_to_dict(resolution.request),
+        "status": resolution.status.value,
+        "strategy_names": list(resolution.strategy_names),
+        "params": triparams_to_dict(resolution.params),
+        "distance": resolution.distance,
+        "adpar": (
+            None
+            if resolution.adpar is None
+            else adpar_result_to_dict(resolution.adpar)
+        ),
+    }
+
+
+@guard("RequestResolution")
+def resolution_from_dict(payload) -> RequestResolution:
+    what = "RequestResolution"
+    adpar = expect_mapping(payload, what).get("adpar")
+    return RequestResolution(
+        request=deployment_request_from_dict(require(payload, "request", what)),
+        status=_enum_from_value(
+            ResolutionStatus, require(payload, "status", what), "status"
+        ),
+        strategy_names=tuple(
+            as_str(v, "strategy_names[]")
+            for v in as_list(
+                require(payload, "strategy_names", what), "strategy_names"
+            )
+        ),
+        params=triparams_from_dict(require(payload, "params", what)),
+        distance=as_float(payload.get("distance", 0.0), "distance"),
+        adpar=None if adpar is None else adpar_result_from_dict(adpar),
+    )
+
+
+def _enum_from_value(enum_cls, value, what: str):
+    try:
+        return enum_cls(value)
+    except ValueError:
+        raise ApiError(
+            f"{what} must be one of "
+            f"{[member.value for member in enum_cls]}, got {value!r}",
+            code="malformed_payload",
+        ) from None
+
+
+# ------------------------------------------------------------- BatchOutcome
+def recommendation_to_dict(rec: StrategyRecommendation) -> dict:
+    return {
+        "request": deployment_request_to_dict(rec.request),
+        "strategy_names": list(rec.strategy_names),
+        "workforce": rec.workforce,
+    }
+
+
+@guard("StrategyRecommendation")
+def recommendation_from_dict(payload) -> StrategyRecommendation:
+    what = "StrategyRecommendation"
+    return StrategyRecommendation(
+        request=deployment_request_from_dict(require(payload, "request", what)),
+        strategy_names=tuple(
+            as_str(v, "strategy_names[]")
+            for v in as_list(
+                require(payload, "strategy_names", what), "strategy_names"
+            )
+        ),
+        workforce=as_float(require(payload, "workforce", what), "workforce"),
+    )
+
+
+def batch_outcome_to_dict(outcome: BatchOutcome) -> dict:
+    return {
+        "objective": outcome.objective,
+        "objective_value": outcome.objective_value,
+        "workforce_available": outcome.workforce_available,
+        "workforce_used": outcome.workforce_used,
+        "satisfied": [recommendation_to_dict(rec) for rec in outcome.satisfied],
+        "unsatisfied": [
+            deployment_request_to_dict(req) for req in outcome.unsatisfied
+        ],
+        "infeasible": [
+            deployment_request_to_dict(req) for req in outcome.infeasible
+        ],
+    }
+
+
+@guard("BatchOutcome")
+def batch_outcome_from_dict(payload) -> BatchOutcome:
+    what = "BatchOutcome"
+    return BatchOutcome(
+        objective=as_str(require(payload, "objective", what), "objective"),
+        objective_value=as_float(
+            require(payload, "objective_value", what), "objective_value"
+        ),
+        workforce_available=as_float(
+            require(payload, "workforce_available", what), "workforce_available"
+        ),
+        workforce_used=as_float(
+            require(payload, "workforce_used", what), "workforce_used"
+        ),
+        satisfied=tuple(
+            recommendation_from_dict(item)
+            for item in as_list(require(payload, "satisfied", what), "satisfied")
+        ),
+        unsatisfied=deployment_requests_from_list(
+            require(payload, "unsatisfied", what), "unsatisfied"
+        ),
+        infeasible=deployment_requests_from_list(
+            payload.get("infeasible", []), "infeasible"
+        ),
+    )
+
+
+# --------------------------------------------------------- AggregatorReport
+def report_to_dict(report: AggregatorReport) -> dict:
+    return {
+        "availability": report.availability,
+        "objective": report.objective,
+        "batch": batch_outcome_to_dict(report.batch),
+        "resolutions": [
+            resolution_to_dict(resolution) for resolution in report.resolutions
+        ],
+    }
+
+
+@guard("AggregatorReport")
+def report_from_dict(payload) -> AggregatorReport:
+    what = "AggregatorReport"
+    return AggregatorReport(
+        availability=as_float(
+            require(payload, "availability", what), "availability"
+        ),
+        objective=as_str(require(payload, "objective", what), "objective"),
+        batch=batch_outcome_from_dict(require(payload, "batch", what)),
+        resolutions=tuple(
+            resolution_from_dict(item)
+            for item in as_list(
+                require(payload, "resolutions", what), "resolutions"
+            )
+        ),
+    )
+
+
+# ----------------------------------------------------------- StreamDecision
+def stream_decision_to_dict(decision: StreamDecision) -> dict:
+    return {
+        "request": deployment_request_to_dict(decision.request),
+        "status": decision.status.value,
+        "strategy_names": list(decision.strategy_names),
+        "workforce_reserved": decision.workforce_reserved,
+        "alternative": (
+            None
+            if decision.alternative is None
+            else adpar_result_to_dict(decision.alternative)
+        ),
+    }
+
+
+@guard("StreamDecision")
+def stream_decision_from_dict(payload) -> StreamDecision:
+    what = "StreamDecision"
+    alternative = expect_mapping(payload, what).get("alternative")
+    return StreamDecision(
+        request=deployment_request_from_dict(require(payload, "request", what)),
+        status=_enum_from_value(
+            StreamStatus, require(payload, "status", what), "status"
+        ),
+        strategy_names=tuple(
+            as_str(v, "strategy_names[]")
+            for v in as_list(
+                require(payload, "strategy_names", what), "strategy_names"
+            )
+        ),
+        workforce_reserved=as_float(
+            require(payload, "workforce_reserved", what), "workforce_reserved"
+        ),
+        alternative=(
+            None if alternative is None else adpar_result_from_dict(alternative)
+        ),
+    )
+
+
+# --------------------------------------------------------------- CacheStats
+def cache_stats_to_dict(stats: CacheStats) -> dict:
+    return {
+        "workforce_hits": stats.workforce_hits,
+        "workforce_misses": stats.workforce_misses,
+        "adpar_hits": stats.adpar_hits,
+        "adpar_misses": stats.adpar_misses,
+    }
+
+
+@guard("CacheStats")
+def cache_stats_from_dict(payload) -> CacheStats:
+    what = "CacheStats"
+    return CacheStats(
+        workforce_hits=as_int(
+            require(payload, "workforce_hits", what), "workforce_hits"
+        ),
+        workforce_misses=as_int(
+            require(payload, "workforce_misses", what), "workforce_misses"
+        ),
+        adpar_hits=as_int(require(payload, "adpar_hits", what), "adpar_hits"),
+        adpar_misses=as_int(
+            require(payload, "adpar_misses", what), "adpar_misses"
+        ),
+    )

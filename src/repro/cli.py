@@ -8,13 +8,17 @@ Usage::
     python -m repro engine --planner payoff-dp   # resolve a synthetic batch
     python -m repro engine --solver adpar-weighted --norm l1 --weights 2 1 1
     python -m repro stream --arrivals 5000 --burst 128   # streaming admission
+    python -m repro serve --port 8000            # JSON-over-HTTP service
 
-``engine`` routes a synthetic workload through the
-:class:`~repro.engine.RecommendationEngine` with selectable planner and
-ADPaR solver backends — the same path the experiment runners use.
-``stream`` drives a synthetic arrival stream through an
-:class:`~repro.engine.EngineSession` in vectorized micro-bursts with
-completion waves and deferred-queue retries.
+All three traffic subcommands route through the versioned service layer
+(:class:`~repro.api.EngineService`): ``engine`` resolves a synthetic
+batch with selectable planner and ADPaR solver backends, ``stream``
+drives a synthetic arrival stream through a service session in
+vectorized micro-bursts with completion waves and deferred-queue
+retries, and ``serve`` exposes the same operations as JSON over stdlib
+HTTP (see the README's Service API section for the wire contract).  One
+shared :func:`engine_spec_from_args` turns the common backend flags into
+the :class:`~repro.api.EngineSpec` all of them hand the service.
 """
 
 from __future__ import annotations
@@ -23,12 +27,14 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.core.adpar_variants import NORMS
-from repro.engine import (
-    RecommendationEngine,
-    default_registry,
-    default_solver_registry,
+from repro.api import (
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    ResolveRequest,
 )
+from repro.core.adpar_variants import NORMS
+from repro.engine import default_registry, default_solver_registry
 
 from repro.experiments.fig11_availability import run_fig11
 from repro.experiments.fig12_linearity import run_fig12
@@ -90,6 +96,65 @@ EXPERIMENTS: "dict[str, tuple[str, Callable]]" = {
 }
 
 
+def add_backend_args(parser: argparse.ArgumentParser, solver_help: str) -> None:
+    """The planner/solver backend flags every traffic subcommand shares.
+
+    ``engine``, ``stream`` and ``serve`` all accept the same four flags;
+    :func:`engine_spec_from_args` is the one place they are parsed back
+    into an :class:`~repro.api.EngineSpec`.
+    """
+    parser.add_argument(
+        "--planner",
+        choices=default_registry().names(),
+        default="batch-greedy",
+        help="planner backend deciding which requests to satisfy",
+    )
+    parser.add_argument(
+        "--solver",
+        choices=default_solver_registry().names(),
+        default="adpar-exact",
+        help=solver_help,
+    )
+    parser.add_argument(
+        "--norm",
+        choices=NORMS,
+        default="l2",
+        help="distance norm for --solver adpar-weighted",
+    )
+    parser.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=None,
+        metavar=("WC", "WQ", "WL"),
+        help=(
+            "per-dimension weights for --solver adpar-weighted, in "
+            "unified-space order (cost, quality', latency)"
+        ),
+    )
+
+
+def engine_spec_from_args(args) -> EngineSpec:
+    """One :class:`~repro.api.EngineSpec` from the shared CLI flags.
+
+    Used by ``engine``, ``stream`` and ``serve`` alike, so the
+    flag → engine-configuration mapping exists exactly once.  Flags a
+    subcommand does not define fall back to the spec defaults.
+    """
+    solver_options = {"norm": args.norm}
+    if args.weights is not None:
+        solver_options["weights"] = tuple(args.weights)
+    return EngineSpec(
+        availability=args.availability,
+        objective=getattr(args, "objective", "throughput"),
+        aggregation=args.aggregation,
+        workforce_mode=args.workforce_mode,
+        planner=args.planner,
+        solver=args.solver,
+        solver_options=solver_options,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -107,37 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine = sub.add_parser(
         "engine",
-        help="resolve a synthetic workload through the recommendation engine",
+        help="resolve a synthetic workload through the service layer",
     )
-    engine.add_argument(
-        "--planner",
-        choices=default_registry().names(),
-        default="batch-greedy",
-        help="planner backend deciding which requests to satisfy",
-    )
-    engine.add_argument(
-        "--solver",
-        choices=default_solver_registry().names(),
-        default="adpar-exact",
-        help="ADPaR backend answering unsatisfiable requests",
-    )
-    engine.add_argument(
-        "--norm",
-        choices=NORMS,
-        default="l2",
-        help="distance norm for --solver adpar-weighted",
-    )
-    engine.add_argument(
-        "--weights",
-        type=float,
-        nargs=3,
-        default=None,
-        metavar=("WC", "WQ", "WL"),
-        help=(
-            "per-dimension weights for --solver adpar-weighted, in "
-            "unified-space order (cost, quality', latency)"
-        ),
-    )
+    add_backend_args(engine, "ADPaR backend answering unsatisfiable requests")
     engine.add_argument("--strategies", type=int, default=200, help="|S|")
     engine.add_argument("--requests", type=int, default=50, help="batch size m")
     engine.add_argument("--k", type=int, default=5, help="strategies per request")
@@ -159,13 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--seed", type=int, default=7)
     stream = sub.add_parser(
         "stream",
-        help="drive a synthetic arrival stream through an engine session",
+        help="drive a synthetic arrival stream through a service session",
     )
-    stream.add_argument(
-        "--solver",
-        choices=default_solver_registry().names(),
-        default="adpar-exact",
-        help="ADPaR backend answering requests that never fit as stated",
+    add_backend_args(
+        stream, "ADPaR backend answering requests that never fit as stated"
     )
     stream.add_argument("--strategies", type=int, default=30, help="|S|")
     stream.add_argument(
@@ -195,20 +229,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--workforce-mode", choices=("paper", "strict"), default="paper"
     )
     stream.add_argument("--seed", type=int, default=7)
+    serve = sub.add_parser(
+        "serve",
+        help="serve the engine as JSON over HTTP (the service API)",
+    )
+    add_backend_args(
+        serve, "default ADPaR backend for requests that omit a spec"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--availability",
+        type=float,
+        default=0.6,
+        help="default expected workforce W for requests that omit a spec",
+    )
+    serve.add_argument(
+        "--objective", choices=("throughput", "payoff"), default="throughput"
+    )
+    serve.add_argument("--aggregation", choices=("sum", "max"), default="max")
+    serve.add_argument(
+        "--workforce-mode", choices=("paper", "strict"), default="paper"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
     return parser
 
 
 def run_engine(args, out) -> int:
-    """The ``engine`` subcommand: synthetic workload through one backend."""
+    """The ``engine`` subcommand: synthetic workload through the service."""
     from repro.utils.rng import spawn_rngs
     from repro.workloads.generators import (
         generate_requests,
         generate_strategy_ensemble,
     )
 
-    solver_options = {"norm": args.norm}
-    if args.weights is not None:
-        solver_options["weights"] = tuple(args.weights)
+    service = EngineService()
     try:
         rng_s, rng_r = spawn_rngs(args.seed, 2)
         ensemble = generate_strategy_ensemble(
@@ -217,21 +274,18 @@ def run_engine(args, out) -> int:
         requests = generate_requests(
             args.requests, k=min(args.k, args.strategies), seed=rng_r
         )
-        engine = RecommendationEngine(
-            ensemble,
-            args.availability,
-            objective=args.objective,
-            aggregation=args.aggregation,
-            workforce_mode=args.workforce_mode,
-            planner=args.planner,
-            solver=args.solver,
-            solver_options=solver_options,
+        response = service.handle(
+            ResolveRequest(
+                ensemble=EnsembleRef.of(ensemble),
+                requests=tuple(requests),
+                spec=engine_spec_from_args(args),
+            )
         )
     except ValueError as exc:
         print(f"repro engine: error: {exc}", file=sys.stderr)
         return 2
-    report = engine.resolve(requests)
-    stats = engine.stats
+    report = response.report
+    stats = service.cache.stats
     print(
         f"planner={args.planner} solver={args.solver} |S|={args.strategies} "
         f"m={args.requests} k={args.k} W={args.availability} "
@@ -260,22 +314,23 @@ def run_engine(args, out) -> int:
 def run_stream(args, out) -> int:
     """The ``stream`` subcommand: a synthetic arrival stream, micro-batched.
 
-    Arrivals run through :func:`repro.engine.session.drive_stream` — the
-    same loop the platform simulator's ``stream_window`` uses: vectorized
-    ``submit_many`` bursts, completion waves after ``--hold`` bursts, and
-    deferred-queue retries (O(1) per entry — each entry carries its
-    precomputed aggregate).
+    Arrivals run through a service session driven by
+    :meth:`~repro.api.EngineService.drive` — the same loop the platform
+    simulator's ``stream_window`` uses: vectorized ``submit_many``
+    bursts, completion waves after ``--hold`` bursts, and deferred-queue
+    retries (O(1) per entry — each entry carries its precomputed
+    aggregate).
     """
     import time
 
     from repro.core.streaming import StreamStatus
-    from repro.engine.session import drive_stream
     from repro.utils.rng import spawn_rngs
     from repro.workloads.generators import (
         generate_requests,
         generate_strategy_ensemble,
     )
 
+    service = EngineService()
     try:
         if args.arrivals < 1:
             raise ValueError("--arrivals must be >= 1")
@@ -290,26 +345,20 @@ def run_stream(args, out) -> int:
         stream = generate_requests(
             args.arrivals, k=min(args.k, args.strategies), seed=rng_r
         )
-        engine = RecommendationEngine(
-            ensemble,
-            args.availability,
-            aggregation=args.aggregation,
-            workforce_mode=args.workforce_mode,
-            solver=args.solver,
-        )
+        session_id = service.open_session(ensemble, engine_spec_from_args(args))
     except ValueError as exc:
         print(f"repro stream: error: {exc}", file=sys.stderr)
         return 2
-    session = engine.open_session()
     start = time.perf_counter()
-    decisions, retried = drive_stream(
-        session, stream, burst_size=args.burst, hold_bursts=args.hold
+    decisions, retried = service.drive(
+        session_id, stream, burst_size=args.burst, hold_bursts=args.hold
     )
     elapsed = time.perf_counter() - start
+    session = service.session(session_id)
     counts = {status: 0 for status in StreamStatus}
     for decision in decisions:
         counts[decision.status] += 1
-    stats = engine.stats
+    stats = service.cache.stats
     print(
         f"stream |S|={args.strategies} arrivals={args.arrivals} "
         f"burst={args.burst} hold={args.hold} k={args.k} "
@@ -336,6 +385,53 @@ def run_stream(args, out) -> int:
     return 0
 
 
+def run_serve(args, out) -> int:
+    """The ``serve`` subcommand: the service API as JSON over HTTP.
+
+    Builds one :class:`~repro.api.EngineService` whose default
+    :class:`~repro.api.EngineSpec` comes from the same backend flags the
+    ``engine``/``stream`` subcommands take, then blocks in the stdlib
+    HTTP serve loop until interrupted.  See the README's Service API
+    section for the wire contract and a curl quickstart.
+    """
+    from repro.api import API_VERSION, serve
+    from repro.core.params import TriParams
+    from repro.core.strategy import StrategyEnsemble
+
+    try:
+        spec = engine_spec_from_args(args)
+        # Exercise the spec through a real engine construction (throwaway
+        # service) so a bad availability/weights config fails fast with
+        # exit 2 instead of poisoning every spec-less request later.
+        EngineService().engine_for(
+            StrategyEnsemble.from_params([TriParams(0.5, 0.5, 0.5)]), spec
+        )
+        service = EngineService(default_spec=spec)
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(address):
+        host, port = address[0], address[1]
+        print(
+            f"repro serve: api v{API_VERSION} on http://{host}:{port}/v{API_VERSION} "
+            f"(default spec: W={args.availability} planner={args.planner} "
+            f"solver={args.solver}); Ctrl-C to stop",
+            file=out,
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+
+    serve(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        ready=ready,
+    )
+    return 0
+
+
 def main(argv: "list[str] | None" = None, out=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -357,6 +453,8 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
         return run_engine(args, out)
     if args.command == "stream":
         return run_stream(args, out)
+    if args.command == "serve":
+        return run_serve(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, factory = EXPERIMENTS[name]

@@ -23,6 +23,23 @@ class UnknownStrategyError(ReproError, KeyError):
     """A strategy name was looked up that the catalog/model bank lacks."""
 
 
+class ApiError(ReproError):
+    """A malformed, unversioned, or otherwise invalid service-API payload.
+
+    Raised by the wire layer (:mod:`repro.api.wire`) when ``from_dict``
+    meets a payload it cannot decode — missing fields, wrong types,
+    unknown envelope type, unsupported ``api_version`` — and by
+    :class:`~repro.api.EngineService` for unknown session/ensemble
+    handles.  ``code`` is the stable machine-readable error code the
+    envelope carries on the wire (see ``repro.api.envelopes.ERROR_CODES``
+    for the full exception → code map).
+    """
+
+    def __init__(self, message: str, code: str = "bad_request"):
+        super().__init__(message)
+        self.code = code
+
+
 class UnknownPlannerError(ReproError, KeyError):
     """A planner backend name was requested that the registry lacks."""
 

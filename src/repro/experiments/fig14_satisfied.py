@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import RecommendationEngine
+from repro.api import EngineService, EngineSpec
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -38,6 +38,7 @@ def satisfaction_rate(
     availability: float,
     distribution: str,
     rng: np.random.Generator,
+    service: "EngineService | None" = None,
 ) -> float:
     """One measurement: fraction of the batch BatchStrat satisfies."""
     rng_s, rng_r = spawn_rngs(rng, 2)
@@ -46,7 +47,11 @@ def satisfaction_rate(
     # strict workforce mode: the literal max-with-cost-equality rule turns
     # budgets into workforce floors and drives satisfaction to ~0 regardless
     # of the sweep (documented in EXPERIMENTS.md).
-    engine = RecommendationEngine(ensemble, availability, workforce_mode="strict")
+    if service is None:
+        service = EngineService()
+    engine = service.engine_for(
+        ensemble, EngineSpec(availability=availability, workforce_mode="strict")
+    )
     outcome = engine.plan(requests, objective="throughput")
     return outcome.satisfaction_rate
 
@@ -56,6 +61,10 @@ def run_fig14(
 ) -> ExperimentResult:
     """Regenerate all four panels for both distributions."""
     sweeps = QUICK_SWEEPS if quick else SWEEPS
+    # One service for the whole run: engines are pooled per (ensemble,
+    # spec) and share its cache — decisions are unchanged (the cache is
+    # differential-tested transparent), construction cost is not.
+    service = EngineService()
     result = ExperimentResult(
         name="Figure 14: % satisfied requests before invoking ADPaR",
         description=(
@@ -85,6 +94,7 @@ def run_fig14(
                         config["availability"],
                         distribution,
                         rng,
+                        service=service,
                     )
                     for rng in rngs
                 ]

@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from repro.api import EngineService, EngineSpec
 from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
@@ -40,6 +41,7 @@ def _objectives(
     availability: float,
     objective: str,
     rng: np.random.Generator,
+    service: "EngineService | None" = None,
 ) -> tuple[float, float, float]:
     """(BruteForce, BatchStrat, BaselineG) objective values, one draw."""
     rng_s, rng_r = spawn_rngs(rng, 2)
@@ -48,10 +50,15 @@ def _objectives(
     # max-case aggregation (deploy one of the k recommended strategies,
     # Figure 3c) + strict workforce mode: the combination that reproduces
     # the paper's objective magnitudes at |S|=30 (see EXPERIMENTS.md).
-    # One engine, three planner backends: the workforce aggregates are
-    # computed once and shared through the engine cache.
-    engine = RecommendationEngine(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
+    # One pooled engine, three planner backends: the workforce aggregates
+    # are computed once and shared through the service cache.
+    if service is None:
+        service = EngineService()
+    engine = service.engine_for(
+        ensemble,
+        EngineSpec(
+            availability=availability, aggregation="max", workforce_mode="strict"
+        ),
     )
     brute = engine.plan(requests, objective, planner="batch-bruteforce")
     batch = engine.plan(requests, objective)
@@ -65,8 +72,11 @@ def sweep_objective(
     objective: str,
     repetitions: int,
     seed: int,
+    service: "EngineService | None" = None,
 ) -> dict:
     """Sweep one parameter; returns mean objective per algorithm."""
+    if service is None:
+        service = EngineService()
     out = {"x": list(values), "BruteForce": [], "BatchStrat": [], "BaselineG": []}
     for i, value in enumerate(values):
         config = dict(DEFAULTS)
@@ -81,6 +91,7 @@ def sweep_objective(
                     config["availability"],
                     objective,
                     rng,
+                    service=service,
                 )
                 for rng in rngs
             ]
@@ -147,12 +158,16 @@ def run_fig15(repetitions: int = 5, seed: int = 41) -> ExperimentResult:
         ),
     )
     exact_everywhere = True
+    # One service for every panel: pooled engines over one shared cache.
+    service = EngineService()
     for parameter, values, label in (
         ("k", SWEEP_VALUES, "k"),
         ("m", M_SWEEP, "m"),
         ("n_strategies", SWEEP_VALUES, "|S|"),
     ):
-        data = sweep_objective(parameter, values, "throughput", repetitions, seed)
+        data = sweep_objective(
+            parameter, values, "throughput", repetitions, seed, service=service
+        )
         result.data[parameter] = data
         result.add_table(
             format_series(

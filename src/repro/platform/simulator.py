@@ -81,12 +81,72 @@ class StreamWindowReport:
     utilization: float
 
 
-class PlatformSimulator:
-    """Simulates worker participation for deployments on the platform."""
+#: RecommendationEngine kwargs that map 1:1 onto an EngineSpec — batches
+#: built from exactly these route through the shared EngineService pool.
+_SPEC_KWARGS = frozenset(
+    (
+        "objective",
+        "aggregation",
+        "workforce_mode",
+        "eligibility",
+        "planner",
+        "planner_options",
+        "solver",
+        "solver_options",
+    )
+)
 
-    def __init__(self, pool: WorkerPool, seed: "int | np.random.Generator | None" = None):
+
+class PlatformSimulator:
+    """Simulates worker participation for deployments on the platform.
+
+    ``service`` is the :class:`~repro.api.EngineService` the closed-loop
+    helpers (:meth:`resolve_batch`, :meth:`stream_window`) route their
+    recommendation traffic through — engines are pooled per (ensemble,
+    configuration) and share the service cache across windows, so
+    repeated deployments against the same ensemble skip model inversion.
+    A private service is created lazily when omitted.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        seed: "int | np.random.Generator | None" = None,
+        service=None,
+    ):
         self.pool = pool
         self._rng = ensure_rng(seed)
+        self._service = service
+
+    @property
+    def service(self):
+        """The lazily created service behind the closed-loop helpers."""
+        if self._service is None:
+            from repro.api import EngineService
+
+            self._service = EngineService()
+        return self._service
+
+    def _engine_for(self, ensemble, availability, engine_factory, engine_kwargs):
+        """An engine at the observed availability — pooled when possible.
+
+        A custom ``engine_factory`` or engine kwargs outside the
+        :class:`~repro.api.EngineSpec` surface (``cache=``, custom
+        registries) fall back to direct construction, preserving the
+        legacy contract exactly.
+        """
+        if engine_factory is not None or not _SPEC_KWARGS.issuperset(engine_kwargs):
+            from repro.engine import RecommendationEngine
+
+            factory = (
+                engine_factory if engine_factory is not None else RecommendationEngine
+            )
+            return factory(ensemble, availability, **engine_kwargs)
+        from repro.api import EngineSpec
+
+        return self.service.engine_for(
+            ensemble, EngineSpec(availability=availability, **engine_kwargs)
+        )
 
     def run_window(
         self,
@@ -173,18 +233,20 @@ class PlatformSimulator:
 
         This is the closed loop of Figure 1: the platform layer measures
         ``x'/x`` from a live window and feeds it to the recommendation
-        engine, instead of every caller hand-wiring the two.  Returns
+        engine — through the simulator's :class:`~repro.api.EngineService`
+        pool — instead of every caller hand-wiring the two.  Returns
         ``(observation, report)``; ``engine_kwargs`` (objective, planner,
-        cache, ...) go to the engine, and ``engine_factory`` swaps the
-        engine class entirely (tests, instrumented engines).
+        ...) become the engine's :class:`~repro.api.EngineSpec`, and
+        ``engine_factory`` (or kwargs outside the spec surface, e.g.
+        ``cache=``) bypasses the service for a directly constructed
+        engine (tests, instrumented engines).
         """
-        from repro.engine import RecommendationEngine
-
         observation = self.run_window(
             window, task_type, strategy_name=strategy_name
         )
-        factory = engine_factory if engine_factory is not None else RecommendationEngine
-        engine = factory(ensemble, observation.availability, **engine_kwargs)
+        engine = self._engine_for(
+            ensemble, observation.availability, engine_factory, engine_kwargs
+        )
         return observation, engine.resolve(requests)
 
     def stream_window(
@@ -211,7 +273,6 @@ class PlatformSimulator:
         one at a time — only the per-arrival cost changes.
         """
         from repro.core.streaming import StreamStatus
-        from repro.engine import RecommendationEngine
         from repro.engine.session import drive_stream
 
         if burst_size < 1:
@@ -219,8 +280,9 @@ class PlatformSimulator:
         if hold_bursts < 1:
             raise ValueError("hold_bursts must be >= 1")
         observation = self.run_window(window, task_type, strategy_name=strategy_name)
-        factory = engine_factory if engine_factory is not None else RecommendationEngine
-        engine = factory(ensemble, observation.availability, **engine_kwargs)
+        engine = self._engine_for(
+            ensemble, observation.availability, engine_factory, engine_kwargs
+        )
         session = engine.open_session()
         decisions, retried = drive_stream(
             session, requests, burst_size=burst_size, hold_bursts=hold_bursts

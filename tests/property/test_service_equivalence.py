@@ -1,0 +1,226 @@
+"""Differential tests: `EngineService` must equal driving the engine directly.
+
+The service is a dispatcher, not an algorithm — so for random worlds and
+random schedules, every operation must be decision-for-decision
+identical to constructing a :class:`RecommendationEngine` /
+:class:`EngineSession` by hand:
+
+* ``plan``/``resolve``/``alternatives`` against ``engine.plan`` /
+  ``engine.resolve`` / ``engine.recommend_alternatives``,
+* ``submit_batch`` against the scalar ``session.submit`` loop (the
+  ``submit_many`` burst semantics ride along: the session path *is* the
+  burst path), interleaved with ``complete``/``revoke``/``retry_deferred``
+  on random schedules,
+* and once more through the **wire**: the same traffic serialized with
+  ``handle_dict`` (request and response through real JSON text) must
+  reproduce the in-memory decisions field-for-field, pinning the codecs
+  against drift the round-trip tests alone cannot see.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    PlanRequest,
+    ResolveRequest,
+    RetryDeferredRequest,
+    SessionOpRequest,
+    SubmitBatchRequest,
+    parse_response,
+)
+from repro.core.params import TriParams
+from repro.core.request import DeploymentRequest
+from repro.core.strategy import StrategyEnsemble
+from repro.core.streaming import StreamStatus
+from repro.engine import RecommendationEngine
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def service_worlds(draw):
+    """Random ensembles + requests hitting every decision branch."""
+    n_strategies = draw(st.integers(min_value=1, max_value=5))
+    alpha = np.zeros((n_strategies, 3))
+    beta = np.zeros((n_strategies, 3))
+    for j in range(n_strategies):
+        alpha[j] = [0.0, draw(st.sampled_from([0.0, 0.5, 1.0])), 0.0]
+        beta[j] = [draw(unit), draw(st.sampled_from([0.0, 0.2])), draw(unit)]
+    ensemble = StrategyEnsemble.from_arrays(alpha, beta)
+    m = draw(st.integers(min_value=1, max_value=8))
+    requests = tuple(
+        DeploymentRequest(
+            f"d{i}",
+            TriParams(draw(unit), draw(unit), draw(unit)),
+            k=draw(st.integers(min_value=1, max_value=n_strategies + 1)),
+        )
+        for i in range(m)
+    )
+    spec = EngineSpec(
+        availability=draw(unit),
+        objective=draw(st.sampled_from(["throughput", "payoff"])),
+        aggregation=draw(st.sampled_from(["sum", "max"])),
+        workforce_mode=draw(st.sampled_from(["paper", "strict"])),
+    )
+    return ensemble, requests, spec
+
+
+def _direct_engine(ensemble, spec):
+    # Fresh engine and private cache: the reference side must not share
+    # state with the service under test.
+    return RecommendationEngine(ensemble, **spec.engine_kwargs())
+
+
+@settings(max_examples=40, deadline=None)
+@given(service_worlds())
+def test_plan_and_resolve_match_direct_engine(world):
+    ensemble, requests, spec = world
+    direct = _direct_engine(ensemble, spec)
+    service = EngineService()
+    ref = EnsembleRef.of(ensemble)
+
+    plan = service.handle(
+        PlanRequest(ensemble=ref, requests=requests, spec=spec)
+    )
+    assert plan.outcome == direct.plan(list(requests))
+
+    resolve = service.handle(
+        ResolveRequest(ensemble=ref, requests=requests, spec=spec)
+    )
+    assert resolve.report == direct.resolve(list(requests))
+
+
+@settings(max_examples=40, deadline=None)
+@given(service_worlds())
+def test_alternatives_match_direct_engine(world):
+    ensemble, requests, spec = world
+    # Clamp k to feasible so both sides return (infeasibility equivalence
+    # is covered by the resolve test, where it maps to INFEASIBLE rows).
+    requests = tuple(
+        DeploymentRequest(r.request_id, r.params, k=min(r.k, len(ensemble)))
+        for r in requests
+    )
+    direct = _direct_engine(ensemble, spec)
+    service = EngineService()
+
+    from repro.api import AlternativesRequest
+
+    response = service.handle(
+        AlternativesRequest(
+            ensemble=EnsembleRef.of(ensemble), requests=requests, spec=spec
+        )
+    )
+    assert list(response.results) == direct.recommend_alternatives(
+        list(requests)
+    )
+
+
+def _decision_keys(decisions):
+    return [d.comparison_key() for d in decisions]
+
+
+@settings(max_examples=40, deadline=None)
+@given(service_worlds(), st.randoms(use_true_random=False))
+def test_session_schedule_matches_direct_session(world, schedule_rng):
+    """Random submit/complete/revoke/retry schedules, service vs direct."""
+    ensemble, requests, spec = world
+    direct_session = _direct_engine(ensemble, spec).open_session()
+    service = EngineService()
+    session_id = service.open_session(ensemble, spec)
+
+    # Burst through the service (submit_many semantics) vs the *scalar*
+    # submit loop on the direct session: the burst equivalence proven in
+    # test_streaming_equivalence composes with service dispatch.
+    response = service.handle(
+        SubmitBatchRequest(session_id=session_id, requests=requests)
+    )
+    expected = [direct_session.submit(r) for r in requests]
+    assert _decision_keys(response.decisions) == _decision_keys(expected)
+    assert response.remaining == direct_session.remaining
+    assert response.deferred == len(direct_session.deferred)
+
+    # Random release schedule over the admitted ids, retrying after each.
+    admitted = [
+        d.request.request_id
+        for d in expected
+        if d.status is StreamStatus.ADMITTED
+    ]
+    schedule_rng.shuffle(admitted)
+    for i, request_id in enumerate(admitted):
+        op = "complete" if schedule_rng.random() < 0.5 else "revoke"
+        service.handle(
+            SessionOpRequest(
+                op=op, session_id=session_id, request_ids=(request_id,)
+            )
+        )
+        if op == "complete":
+            direct_session.complete(request_id)
+        else:
+            direct_session.revoke(request_id)
+        retried = service.handle(RetryDeferredRequest(session_id=session_id))
+        assert _decision_keys(retried.decisions) == _decision_keys(
+            direct_session.retry_deferred()
+        )
+
+    session = service.session(session_id)
+    assert session.remaining == direct_session.remaining
+    assert session.admitted_count == direct_session.admitted_count
+    assert session.revoked_count == direct_session.revoked_count
+    assert session.completed_count == direct_session.completed_count
+    assert [r.request_id for r in session.deferred] == [
+        r.request_id for r in direct_session.deferred
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(service_worlds())
+def test_wire_path_reproduces_in_memory_decisions(world):
+    """handle_dict over real JSON text == the direct engine, field for field."""
+    ensemble, requests, spec = world
+    direct = _direct_engine(ensemble, spec)
+    service = EngineService()
+
+    envelope = ResolveRequest(
+        ensemble=EnsembleRef.of(ensemble), requests=requests, spec=spec
+    )
+    raw = json.loads(json.dumps(envelope.to_dict()))
+    response = parse_response(json.loads(json.dumps(service.handle_dict(raw))))
+    assert response.report == direct.resolve(list(requests))
+
+    burst = SubmitBatchRequest(
+        requests=requests, ensemble=EnsembleRef.of(ensemble), spec=spec
+    )
+    raw = json.loads(json.dumps(burst.to_dict()))
+    response = parse_response(json.loads(json.dumps(service.handle_dict(raw))))
+    direct_session = _direct_engine(ensemble, spec).open_session()
+    expected = [direct_session.submit(r) for r in requests]
+    assert _decision_keys(response.decisions) == _decision_keys(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(service_worlds())
+def test_fingerprint_reference_form_matches_inline(world):
+    """Upload once inline, then address by hash: identical answers."""
+    ensemble, requests, spec = world
+    service = EngineService()
+    inline = service.handle(
+        ResolveRequest(
+            ensemble=EnsembleRef.of(ensemble), requests=requests, spec=spec
+        )
+    )
+    by_hash = service.handle(
+        ResolveRequest(
+            ensemble=EnsembleRef.by_fingerprint(
+                service.register_ensemble(ensemble)
+            ),
+            requests=requests,
+            spec=spec,
+        )
+    )
+    assert by_hash.report == inline.report

@@ -1,0 +1,484 @@
+"""Unit tests: service-API error contract, engine pooling, sessions."""
+
+import pytest
+
+from repro.api import (
+    API_VERSION,
+    AlternativesRequest,
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    PlanRequest,
+    ResolveRequest,
+    RetryDeferredRequest,
+    SessionOpRequest,
+    StatsRequest,
+    SubmitBatchRequest,
+    error_code_for,
+    parse_request,
+)
+from repro.api.wire import (
+    deployment_request_from_dict,
+    triparams_from_dict,
+)
+from repro.core.params import TriParams
+from repro.core.request import make_requests
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import (
+    ApiError,
+    InfeasibleRequestError,
+    UnknownPlannerError,
+    UnknownSolverError,
+)
+
+
+def paper_ensemble() -> StrategyEnsemble:
+    return StrategyEnsemble.from_params(
+        [
+            TriParams(0.50, 0.25, 0.28),
+            TriParams(0.75, 0.33, 0.28),
+            TriParams(0.80, 0.50, 0.14),
+            TriParams(0.88, 0.58, 0.14),
+        ]
+    )
+
+
+def paper_requests():
+    return tuple(
+        make_requests(
+            [(0.4, 0.17, 0.28), (0.8, 0.20, 0.28), (0.7, 0.83, 0.28)], k=3
+        )
+    )
+
+
+def resolve_payload(**overrides) -> dict:
+    payload = ResolveRequest(
+        ensemble=EnsembleRef.of(paper_ensemble()),
+        requests=paper_requests(),
+        spec=EngineSpec(availability=0.8),
+    ).to_dict()
+    payload.update(overrides)
+    return payload
+
+
+class TestWireErrors:
+    def test_missing_field_is_api_error_not_keyerror(self):
+        with pytest.raises(ApiError) as excinfo:
+            triparams_from_dict({"quality": 0.5, "cost": 0.5})
+        assert excinfo.value.code == "malformed_payload"
+        assert "latency" in str(excinfo.value)
+
+    def test_wrong_type_is_api_error_not_typeerror(self):
+        with pytest.raises(ApiError):
+            triparams_from_dict({"quality": "high", "cost": 0.5, "latency": 0.5})
+        with pytest.raises(ApiError):
+            triparams_from_dict("not a mapping")
+
+    def test_semantically_invalid_value_is_api_error(self):
+        # quality=2.0 passes the type check but fails TriParams' range
+        # validation — must still surface as the typed error.
+        with pytest.raises(ApiError) as excinfo:
+            triparams_from_dict({"quality": 2.0, "cost": 0.5, "latency": 0.5})
+        assert excinfo.value.code == "invalid_payload"
+
+    def test_empty_request_id_is_api_error(self):
+        with pytest.raises(ApiError):
+            deployment_request_from_dict(
+                {
+                    "request_id": "",
+                    "params": {"quality": 0.5, "cost": 0.5, "latency": 0.5},
+                    "k": 1,
+                }
+            )
+
+    def test_missing_version_rejected(self):
+        payload = resolve_payload()
+        del payload["api_version"]
+        with pytest.raises(ApiError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == "malformed_payload"
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_request(resolve_payload(api_version=API_VERSION + 1))
+        assert excinfo.value.code == "unsupported_version"
+
+    def test_unknown_envelope_type_rejected(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_request(resolve_payload(type="frobnicate"))
+        assert excinfo.value.code == "unknown_type"
+
+    def test_fingerprint_mismatch_rejected(self):
+        payload = resolve_payload()
+        payload["ensemble"]["fingerprint"] = "0" * 64
+        with pytest.raises(ApiError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == "fingerprint_mismatch"
+
+
+class TestEngineSpecEdgeRoundTrips:
+    """Shapes the randomized round-trip suite does not generate."""
+
+    def test_empty_option_dicts_survive(self):
+        spec = EngineSpec(
+            availability=0.5, planner_options={}, solver_options={}
+        )
+        assert EngineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_tuple_valued_planner_options_survive(self):
+        spec = EngineSpec(availability=0.5, planner_options={"w": (1.0, 2.0)})
+        back = EngineSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.pool_key() == spec.pool_key()
+
+
+class TestErrorEnvelopes:
+    """handle_dict never raises: stable codes out, tracebacks never."""
+
+    def test_malformed_payload_maps_to_envelope(self):
+        service = EngineService()
+        out = service.handle_dict({"api_version": API_VERSION})
+        assert out["type"] == "error"
+        assert out["code"] == "malformed_payload"
+        assert out["api_version"] == API_VERSION
+
+    def test_non_mapping_payload_maps_to_envelope(self):
+        out = EngineService().handle_dict([1, 2, 3])
+        assert (out["type"], out["code"]) == ("error", "malformed_payload")
+
+    def test_unknown_planner_maps_to_stable_code(self):
+        payload = resolve_payload()
+        payload["spec"]["planner"] = "quantum-annealer"
+        out = EngineService().handle_dict(payload)
+        assert (out["type"], out["code"]) == ("error", "unknown_planner")
+        assert "quantum-annealer" in out["message"]
+
+    def test_unknown_solver_maps_to_stable_code(self):
+        payload = resolve_payload()
+        payload["spec"]["solver"] = "oracle"
+        out = EngineService().handle_dict(payload)
+        assert (out["type"], out["code"]) == ("error", "unknown_solver")
+
+    def test_invalid_availability_maps_to_invalid_argument(self):
+        payload = resolve_payload()
+        payload["spec"]["availability"] = 7.5
+        out = EngineService().handle_dict(payload)
+        assert (out["type"], out["code"]) == ("error", "invalid_argument")
+
+    def test_infeasible_alternatives_map_to_stable_code(self):
+        service = EngineService()
+        out = service.handle_dict(
+            AlternativesRequest(
+                ensemble=EnsembleRef.of(paper_ensemble()),
+                requests=paper_requests(),
+                spec=EngineSpec(availability=0.8),
+                k=99,
+            ).to_dict()
+        )
+        assert (out["type"], out["code"]) == ("error", "infeasible_request")
+
+    def test_unknown_session_maps_to_stable_code(self):
+        out = EngineService().handle_dict(
+            RetryDeferredRequest(session_id="sess-nope").to_dict()
+        )
+        assert (out["type"], out["code"]) == ("error", "unknown_session")
+
+    def test_exception_code_table(self):
+        assert error_code_for(InfeasibleRequestError("x")) == "infeasible_request"
+        assert error_code_for(UnknownPlannerError("x")) == "unknown_planner"
+        assert error_code_for(UnknownSolverError("x")) == "unknown_solver"
+        assert error_code_for(ValueError("x")) == "invalid_argument"
+        assert error_code_for(ApiError("x", code="custom")) == "custom"
+        assert error_code_for(RuntimeError("x")) == "internal"
+
+
+class TestEnginePool:
+    def test_same_identity_reuses_engine(self):
+        service = EngineService()
+        ensemble = paper_ensemble()
+        spec = EngineSpec(availability=0.8)
+        first = service.engine_for(ensemble, spec)
+        again = service.engine_for(ensemble, EngineSpec(availability=0.8))
+        assert again is first
+        assert service.engine_count == 1
+
+    def test_content_identical_ensembles_share_engines(self):
+        service = EngineService()
+        spec = EngineSpec(availability=0.8)
+        first = service.engine_for(paper_ensemble(), spec)
+        again = service.engine_for(paper_ensemble(), spec)  # new object
+        assert again is first
+
+    def test_different_spec_gets_distinct_engine(self):
+        service = EngineService()
+        ensemble = paper_ensemble()
+        a = service.engine_for(ensemble, EngineSpec(availability=0.8))
+        b = service.engine_for(
+            ensemble, EngineSpec(availability=0.8, aggregation="max")
+        )
+        assert a is not b
+        assert service.engine_count == 2
+
+    def test_pool_is_lru_bounded(self):
+        service = EngineService(max_engines=2)
+        ensemble = paper_ensemble()
+        for availability in (0.1, 0.2, 0.3):
+            service.engine_for(ensemble, EngineSpec(availability=availability))
+        assert service.engine_count == 2
+
+    def test_engines_share_service_cache(self):
+        service = EngineService()
+        ensemble = paper_ensemble()
+        a = service.engine_for(ensemble, EngineSpec(availability=0.8))
+        b = service.engine_for(
+            ensemble, EngineSpec(availability=0.8, objective="payoff")
+        )
+        assert a.cache is service.cache
+        assert b.cache is service.cache
+
+    def test_missing_spec_without_default_is_typed_error(self):
+        service = EngineService()
+        with pytest.raises(ApiError) as excinfo:
+            service.engine_for(paper_ensemble(), None)
+        assert excinfo.value.code == "missing_spec"
+
+    def test_default_spec_fills_in(self):
+        service = EngineService(default_spec=EngineSpec(availability=0.8))
+        engine = service.engine_for(paper_ensemble(), None)
+        assert engine.availability == 0.8
+
+    def test_ensemble_registry_is_lru_bounded(self):
+        # A long-running server must not pin every ensemble it ever saw.
+        service = EngineService(max_ensembles=2)
+        spec = EngineSpec(availability=0.5)
+        fingerprints = []
+        for i in range(3):
+            ensemble = StrategyEnsemble.from_params(
+                [TriParams(0.5, 0.5, 0.5)], names=[f"s-{i}"]
+            )
+            fingerprints.append(service.register_ensemble(ensemble))
+        # Oldest fingerprint aged out; the two recent ones still resolve.
+        with pytest.raises(ApiError) as excinfo:
+            service.engine_for(
+                EnsembleRef.by_fingerprint(fingerprints[0]), spec
+            )
+        assert excinfo.value.code == "unknown_ensemble"
+        service.engine_for(EnsembleRef.by_fingerprint(fingerprints[-1]), spec)
+
+    def test_unknown_fingerprint_is_typed_error(self):
+        service = EngineService()
+        with pytest.raises(ApiError) as excinfo:
+            service.engine_for(
+                EnsembleRef.by_fingerprint("f" * 64),
+                EngineSpec(availability=0.8),
+            )
+        assert excinfo.value.code == "unknown_ensemble"
+
+
+class TestSessions:
+    def test_opaque_ids_are_unique(self):
+        service = EngineService()
+        ensemble = paper_ensemble()
+        spec = EngineSpec(availability=0.8)
+        ids = {service.open_session(ensemble, spec) for _ in range(10)}
+        assert len(ids) == 10
+        assert service.session_count == 10
+
+    def test_submit_batch_opens_session_implicitly(self):
+        service = EngineService()
+        response = service.submit_batch(
+            SubmitBatchRequest(
+                requests=paper_requests(),
+                ensemble=EnsembleRef.of(paper_ensemble()),
+                spec=EngineSpec(availability=0.8),
+            )
+        )
+        assert service.session_count == 1
+        follow_up = service.submit_batch(
+            SubmitBatchRequest(
+                requests=tuple(
+                    make_requests([(0.5, 0.9, 0.9)], k=1, prefix="extra-")
+                ),
+                session_id=response.session_id,
+            )
+        )
+        assert follow_up.session_id == response.session_id
+        assert service.session_count == 1
+
+    def test_submit_batch_without_target_is_typed_error(self):
+        # Neither session_id nor ensemble: a client error, never a 500.
+        out = EngineService(
+            default_spec=EngineSpec(availability=0.8)
+        ).handle_dict(SubmitBatchRequest(requests=paper_requests()).to_dict())
+        assert (out["type"], out["code"]) == ("error", "missing_ensemble")
+
+    def test_failed_implicit_open_does_not_leak_session(self):
+        # A burst with a duplicate id is rejected before any session is
+        # opened — a failed implicit open must never leave behind a
+        # session whose id the client was never told (unclosable, counts
+        # against max_sessions).
+        service = EngineService()
+        duplicate = paper_requests() + paper_requests()[2:]
+        out = service.handle_dict(
+            SubmitBatchRequest(
+                requests=duplicate,
+                ensemble=EnsembleRef.of(paper_ensemble()),
+                spec=EngineSpec(availability=0.8),
+            ).to_dict()
+        )
+        assert (out["type"], out["code"]) == ("error", "invalid_argument")
+        assert service.session_count == 0
+
+    def test_submit_batch_with_active_id_rejected_atomically(self):
+        # A burst naming an already-active id would fail *mid-walk* in
+        # submit_many, mutating the ledger before the error; the service
+        # must reject it up front with the session untouched.
+        service = EngineService()
+        first = service.submit_batch(
+            SubmitBatchRequest(
+                requests=paper_requests(),
+                ensemble=EnsembleRef.of(paper_ensemble()),
+                spec=EngineSpec(availability=0.8),
+            )
+        )
+        session = service.session(first.session_id)
+        active_id = next(iter(session.active))
+        before = dict(session.active)
+        fresh = make_requests([(0.5, 0.9, 0.9)], k=1, prefix="fresh-")
+        retry = fresh + [r for r in paper_requests() if r.request_id == active_id]
+        with pytest.raises(ApiError) as excinfo:
+            service.submit_batch(
+                SubmitBatchRequest(
+                    requests=tuple(retry), session_id=first.session_id
+                )
+            )
+        assert excinfo.value.code == "invalid_argument"
+        assert dict(session.active) == before  # nothing applied
+
+    def test_session_op_rejects_unknown_op(self):
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        with pytest.raises(ApiError) as excinfo:
+            service.session_op(
+                SessionOpRequest(
+                    op="completed", session_id=session_id, request_ids=("x",)
+                )
+            )
+        assert excinfo.value.code == "invalid_argument"
+
+    def test_submit_batch_rejects_session_id_plus_ensemble(self):
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        with pytest.raises(ApiError) as excinfo:
+            service.submit_batch(
+                SubmitBatchRequest(
+                    requests=paper_requests(),
+                    session_id=session_id,
+                    ensemble=EnsembleRef.of(paper_ensemble()),
+                )
+            )
+        assert excinfo.value.code == "ambiguous_target"
+
+    def test_close_session_frees_slot(self):
+        service = EngineService(max_sessions=1)
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        with pytest.raises(ApiError) as excinfo:
+            service.open_session(paper_ensemble(), EngineSpec(availability=0.8))
+        assert excinfo.value.code == "session_limit"
+        service.close_session(session_id)
+        service.open_session(paper_ensemble(), EngineSpec(availability=0.8))
+
+    def test_complete_unknown_reservation_is_typed_error(self):
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        with pytest.raises(ApiError) as excinfo:
+            service.session_op(
+                SessionOpRequest(
+                    op="complete", session_id=session_id, request_ids=("ghost",)
+                )
+            )
+        assert excinfo.value.code == "unknown_reservation"
+
+    def test_session_op_is_atomic_on_unknown_ids(self):
+        # ["real", "ghost"] must release *nothing*: a partial release the
+        # client only sees as an error would desync its ledger for good.
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        session = service.session(session_id)
+        admitted = [
+            d.request.request_id
+            for d in session.submit_many(list(paper_requests()))
+            if d.status.value == "admitted"
+        ]
+        assert admitted
+        before = dict(session.active)
+        with pytest.raises(ApiError) as excinfo:
+            service.session_op(
+                SessionOpRequest(
+                    op="complete",
+                    session_id=session_id,
+                    request_ids=(admitted[0], "ghost"),
+                )
+            )
+        assert excinfo.value.code == "unknown_reservation"
+        assert dict(session.active) == before
+        assert session.completed_count == 0
+
+    def test_session_op_rejects_duplicate_ids(self):
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        session = service.session(session_id)
+        admitted = [
+            d.request.request_id
+            for d in session.submit_many(list(paper_requests()))
+            if d.status.value == "admitted"
+        ]
+        with pytest.raises(ApiError) as excinfo:
+            service.session_op(
+                SessionOpRequest(
+                    op="complete",
+                    session_id=session_id,
+                    request_ids=(admitted[0], admitted[0]),
+                )
+            )
+        assert excinfo.value.code == "invalid_argument"
+
+    def test_session_op_requires_request_ids(self):
+        service = EngineService()
+        session_id = service.open_session(
+            paper_ensemble(), EngineSpec(availability=0.8)
+        )
+        with pytest.raises(ApiError):
+            service.session_op(
+                SessionOpRequest(op="complete", session_id=session_id)
+            )
+
+
+class TestStats:
+    def test_stats_reports_pool_and_cache(self):
+        service = EngineService()
+        service.handle(
+            PlanRequest(
+                ensemble=EnsembleRef.of(paper_ensemble()),
+                requests=paper_requests(),
+                spec=EngineSpec(availability=0.8),
+            )
+        )
+        stats = service.handle(StatsRequest())
+        assert stats.engines == 1
+        assert stats.ensembles == 1
+        assert stats.sessions == 0
+        assert stats.cache.misses > 0
+        assert stats.cache is service.cache.stats

@@ -73,6 +73,68 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stream", "--solver", "oracle"])
 
+    def test_stream_shares_backend_flags(self):
+        # The shared add_backend_args block gives stream the full set.
+        args = build_parser().parse_args(
+            ["stream", "--planner", "payoff-dp", "--solver", "adpar-weighted",
+             "--norm", "l1", "--weights", "2", "1", "1"]
+        )
+        assert args.planner == "payoff-dp"
+        assert args.norm == "l1"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.planner == "batch-greedy"
+        assert args.solver == "adpar-exact"
+        assert args.availability == 0.6
+
+    def test_serve_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--solver", "oracle"])
+
+
+class TestEngineSpecFromArgs:
+    """The one flag → EngineSpec mapping all traffic subcommands share."""
+
+    def test_engine_flags_map_to_spec(self):
+        from repro.cli import engine_spec_from_args
+
+        args = build_parser().parse_args(
+            ["engine", "--planner", "payoff-dp", "--solver", "adpar-weighted",
+             "--norm", "l1", "--weights", "2", "1", "1",
+             "--availability", "0.7", "--objective", "payoff"]
+        )
+        spec = engine_spec_from_args(args)
+        assert spec.planner == "payoff-dp"
+        assert spec.solver == "adpar-weighted"
+        assert spec.solver_options == {"norm": "l1", "weights": (2.0, 1.0, 1.0)}
+        assert spec.availability == 0.7
+        assert spec.objective == "payoff"
+        assert spec.aggregation == "max"
+
+    def test_stream_flags_map_to_same_spec_shape(self):
+        from repro.cli import engine_spec_from_args
+
+        args = build_parser().parse_args(["stream", "--availability", "0.5"])
+        spec = engine_spec_from_args(args)
+        # stream has no --objective flag: the helper falls back.
+        assert spec.objective == "throughput"
+        assert spec.availability == 0.5
+        assert spec.solver_options == {"norm": "l2"}
+
+    def test_serve_flags_map_to_default_spec(self):
+        from repro.cli import engine_spec_from_args
+
+        args = build_parser().parse_args(
+            ["serve", "--availability", "0.9", "--workforce-mode", "strict"]
+        )
+        spec = engine_spec_from_args(args)
+        assert spec.availability == 0.9
+        assert spec.workforce_mode == "strict"
+
 
 class TestMain:
     def test_list_prints_every_experiment(self):
