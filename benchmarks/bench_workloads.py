@@ -1,0 +1,167 @@
+"""Bench: the declarative workload platform — spec materialization + simulate.
+
+Two pins, recorded to ``BENCH_workloads.json`` next to this file so the
+perf trajectory is tracked across commits:
+
+* ``test_bench_spec_materialization`` measures ``ScenarioSpec.build``
+  throughput (strategies/s over a 10k-strategy family) and pins the
+  declarative path at <= 1.2x the raw generator calls — the spec layer
+  must stay a description, not a tax.
+* ``test_bench_simulate_throughput`` drives repeated ``simulate``
+  envelopes through one ``EngineService`` (in-process and over the
+  stdlib HTTP server) and reports requests/s; the server-side workload
+  cache must make repeat simulations of one family measurably cheaper
+  than cold ones.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+from bench_recording import record
+
+from repro.api import EngineService, SimulateRequest, make_server
+from repro.api.wire import API_VERSION
+from repro.utils.rng import spawn_rngs
+from repro.workloads import default_scenario_registry
+from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+
+MATERIALIZE_N = 10_000
+MATERIALIZE_ROUNDS = 5
+MATERIALIZE_CEILING = 1.2
+
+SIM_ROUNDS = 40
+SERVE_SIM_FLOOR_RPS = 5.0
+WARM_SPEEDUP_FLOOR = 1.5
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_workloads.json"
+
+
+def _materialization() -> tuple[float, float]:
+    spec = default_scenario_registry().create(
+        "paper-batch", n_strategies=MATERIALIZE_N
+    )
+
+    start = time.perf_counter()
+    for _ in range(MATERIALIZE_ROUNDS):
+        ensemble, requests = spec.build()
+    spec_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(MATERIALIZE_ROUNDS):
+        rng_s, rng_r = spawn_rngs(spec.seed, 2)
+        raw_ensemble = generate_strategy_ensemble(MATERIALIZE_N, "uniform", rng_s)
+        raw_requests = generate_requests(
+            spec.requests.m_requests, spec.requests.k, rng_r
+        )
+    raw_s = time.perf_counter() - start
+
+    assert (ensemble.alpha == raw_ensemble.alpha).all()
+    assert [r.params.as_tuple() for r in requests] == [
+        r.params.as_tuple() for r in raw_requests
+    ]
+    return spec_s, raw_s
+
+
+def test_bench_spec_materialization(benchmark):
+    spec_s, raw_s = benchmark.pedantic(_materialization, rounds=1, iterations=1)
+    overhead = spec_s / max(raw_s, 1e-9)
+    info = {
+        "n_strategies": MATERIALIZE_N,
+        "rounds": MATERIALIZE_ROUNDS,
+        "spec_s": round(spec_s, 4),
+        "raw_s": round(raw_s, 4),
+        "overhead_x": round(overhead, 3),
+        "ceiling_x": MATERIALIZE_CEILING,
+        "strategies_per_s": round(
+            MATERIALIZE_N * MATERIALIZE_ROUNDS / max(spec_s, 1e-9)
+        ),
+    }
+    benchmark.extra_info.update(info)
+    record(RESULTS_PATH, "spec_materialization", info)
+    assert overhead <= MATERIALIZE_CEILING, (
+        f"ScenarioSpec.build ({spec_s:.3f}s) should cost <= "
+        f"{MATERIALIZE_CEILING}x the raw generators ({raw_s:.3f}s), "
+        f"got {overhead:.2f}x"
+    )
+
+
+def _simulate_inprocess() -> dict:
+    service = EngineService()
+    request = SimulateRequest(
+        name="paper-batch-small", overrides={"m_requests": 10}
+    )
+
+    start = time.perf_counter()
+    cold = service.handle(request)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(SIM_ROUNDS):
+        warm = service.handle(request)
+    warm_s = (time.perf_counter() - start) / SIM_ROUNDS
+
+    assert warm.report.fingerprint == cold.report.fingerprint
+    assert service.stats().workloads == 1  # one cached materialization
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup_x": cold_s / max(warm_s, 1e-9),
+        "inprocess_rps": 1.0 / max(warm_s, 1e-9),
+    }
+
+
+def _simulate_over_http() -> dict:
+    server = make_server(EngineService())
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        conn = HTTPConnection(host, port, timeout=60)
+        payload = json.dumps(
+            {"name": "paper-batch-small", "overrides": {"m_requests": 10}}
+        )
+        start = time.perf_counter()
+        for _ in range(SIM_ROUNDS):
+            conn.request("POST", f"/v{API_VERSION}/simulate", payload)
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200, body
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    return {"serve_rps": SIM_ROUNDS / max(elapsed, 1e-9)}
+
+
+def _simulate_throughput() -> dict:
+    inproc = _simulate_inprocess()
+    http = _simulate_over_http()
+    return {
+        "rounds": SIM_ROUNDS,
+        "cold_s": round(inproc["cold_s"], 4),
+        "warm_s": round(inproc["warm_s"], 5),
+        "warm_speedup_x": round(inproc["warm_speedup_x"], 2),
+        "inprocess_rps": round(inproc["inprocess_rps"], 1),
+        "serve_rps": round(http["serve_rps"], 1),
+        "floor_serve_rps": SERVE_SIM_FLOOR_RPS,
+        "floor_warm_speedup_x": WARM_SPEEDUP_FLOOR,
+    }
+
+
+def test_bench_simulate_throughput(benchmark):
+    info = benchmark.pedantic(_simulate_throughput, rounds=1, iterations=1)
+    benchmark.extra_info.update(info)
+    record(RESULTS_PATH, "simulate_throughput", info)
+    assert info["serve_rps"] >= SERVE_SIM_FLOOR_RPS, (
+        f"serve-mode simulate answered {info['serve_rps']} req/s; should "
+        f"sustain >= {SERVE_SIM_FLOOR_RPS}"
+    )
+    assert info["warm_speedup_x"] >= WARM_SPEEDUP_FLOOR, (
+        "the workload cache should make repeat simulations >= "
+        f"{WARM_SPEEDUP_FLOOR}x faster than the cold build, got "
+        f"{info['warm_speedup_x']}x"
+    )

@@ -9,13 +9,13 @@ Run:  python examples/alternative_parameters.py
 
 from repro import ADPaRExact, StrategyEnsemble
 from repro.baselines import OneDimBaseline, RTreeBaseline, adpar_brute_force
-from repro.workloads import generate_adpar_points
+from repro.workloads import EnsembleSpec
 from repro.workloads.generators import hard_request_for
 
 SEED = 4
 K = 5
 
-points = generate_adpar_points(25, distribution="uniform", seed=SEED)
+points = EnsembleSpec(n_strategies=25, distribution="uniform").build_points(SEED)
 request = hard_request_for(points, seed=SEED + 1)
 ensemble = StrategyEnsemble.from_params(points)
 

@@ -10,13 +10,15 @@ Run:  python examples/platform_triage.py
 
 from repro import BatchStrat
 from repro.baselines import BaselineG
-from repro.workloads import generate_requests, generate_strategy_ensemble
+from repro.workloads import EnsembleSpec, RequestBatchSpec
 
 SEED = 99
 AVAILABILITY = 0.5
 
-ensemble = generate_strategy_ensemble(5000, distribution="uniform", seed=SEED)
-requests = generate_requests(40, k=5, seed=SEED + 1)
+# Declarative workload specs: the same objects a `repro serve` client
+# would put on the wire in a `simulate` envelope.
+ensemble = EnsembleSpec(n_strategies=5000, distribution="uniform").build(SEED)
+requests = RequestBatchSpec(m_requests=40, k=5).build(SEED + 1)
 
 for objective in ("throughput", "payoff"):
     solver = BatchStrat(

@@ -17,12 +17,12 @@ import numpy as np
 from repro import DeploymentRequest, EngineService, EngineSpec, TriParams
 from repro.api import RetryDeferredRequest, SessionOpRequest, SubmitBatchRequest
 from repro.core.streaming import StreamStatus
-from repro.workloads import generate_strategy_ensemble
+from repro.workloads import EnsembleSpec
 
 SEED = 13
 AVAILABILITY = 0.6
 
-ensemble = generate_strategy_ensemble(2000, distribution="uniform", seed=SEED)
+ensemble = EnsembleSpec(n_strategies=2000, distribution="uniform").build(SEED)
 service = EngineService()
 session_id = service.open_session(
     ensemble,

@@ -34,6 +34,8 @@ from repro.api.envelopes import (
     RetryDeferredResponse,
     SessionOpRequest,
     SessionOpResponse,
+    SimulateRequest,
+    SimulateResponse,
     StatsRequest,
     StatsResponse,
     SubmitBatchRequest,
@@ -68,6 +70,8 @@ __all__ = [
     "RetryDeferredResponse",
     "SessionOpRequest",
     "SessionOpResponse",
+    "SimulateRequest",
+    "SimulateResponse",
     "StatsRequest",
     "StatsResponse",
     "SubmitBatchRequest",

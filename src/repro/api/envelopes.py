@@ -19,6 +19,7 @@ Request types (→ their responses):
 ``retry_deferred``        deferred-queue drain (:class:`RetryDeferredResponse`)
 ``complete`` / ``revoke``  release reservations (:class:`SessionOpResponse`)
 ``close_session``         drop a session handle (:class:`SessionOpResponse`)
+``simulate``              run a declarative scenario (:class:`SimulateResponse`)
 ``stats``                 cache/pool counters (:class:`StatsResponse`)
 ========================  ==========================================
 """
@@ -48,15 +49,22 @@ from repro.api.wire import (
     report_from_dict,
     report_to_dict,
     require,
+    scenario_spec_from_dict,
+    scenario_spec_to_dict,
+    simulation_report_from_dict,
+    simulation_report_to_dict,
     stream_decision_from_dict,
     stream_decision_to_dict,
+    options_from_jsonable,
 )
 from repro.exceptions import (
     ApiError,
     InfeasibleRequestError,
+    InvalidSpecError,
     ModelNotFittedError,
     ReproError,
     UnknownPlannerError,
+    UnknownScenarioError,
     UnknownSolverError,
     UnknownStrategyError,
 )
@@ -68,7 +76,9 @@ ERROR_CODES: "tuple[tuple[type, str], ...]" = (
     (InfeasibleRequestError, "infeasible_request"),
     (UnknownPlannerError, "unknown_planner"),
     (UnknownSolverError, "unknown_solver"),
+    (UnknownScenarioError, "unknown_scenario"),
     (UnknownStrategyError, "unknown_strategy"),
+    (InvalidSpecError, "invalid_spec"),
     (ModelNotFittedError, "model_not_fitted"),
     (ReproError, "engine_error"),
     (ValueError, "invalid_argument"),
@@ -350,6 +360,73 @@ class SessionOpRequest:
 
 
 @dataclass(frozen=True)
+class SimulateRequest:
+    """Run one declarative workload scenario server-side.
+
+    Either an inline :class:`~repro.workloads.spec.ScenarioSpec`
+    (``scenario``) or a registry family name (``name``) with optional
+    sweep ``overrides`` (applied through ``ScenarioSpec.with_``, so
+    unknown fields answer the stable ``invalid_spec`` code).  The server
+    materializes the ensemble itself — a client never ships 10k
+    strategies inline — and registers it by content hash, so follow-up
+    ``plan``/``resolve`` calls can address it by fingerprint.
+    """
+
+    type = "simulate"
+    scenario: "object | None" = None  # ScenarioSpec
+    name: "str | None" = None
+    overrides: "dict | None" = None
+
+    def __post_init__(self):
+        if (self.scenario is None) == (self.name is None):
+            raise ApiError(
+                "simulate needs exactly one of 'scenario' (inline spec) "
+                "or 'name' (registry family)",
+                code="invalid_argument",
+            )
+        if self.overrides is not None and self.scenario is not None:
+            raise ApiError(
+                "overrides only apply to a named scenario; fold them into "
+                "the inline spec instead",
+                code="invalid_argument",
+            )
+
+    def to_dict(self) -> dict:
+        body: dict = {}
+        if self.scenario is not None:
+            body["scenario"] = scenario_spec_to_dict(self.scenario)
+        if self.name is not None:
+            body["name"] = self.name
+        if self.overrides:
+            body["overrides"] = dict(self.overrides)
+        return _stamp(self.type, body)
+
+    @classmethod
+    def from_dict(cls, payload) -> "SimulateRequest":
+        _check_envelope(cls, payload)
+        scenario = payload.get("scenario")
+        overrides = payload.get("overrides")
+        if overrides is not None:
+            overrides = {
+                as_str(key, "overrides key"): (
+                    options_from_jsonable(expect_mapping(value, key))
+                    if key in ("planner_options", "solver_options")
+                    else value
+                )
+                for key, value in expect_mapping(
+                    overrides, "overrides"
+                ).items()
+            }
+        return cls(
+            scenario=(
+                None if scenario is None else scenario_spec_from_dict(scenario)
+            ),
+            name=_opt_str(payload, "name"),
+            overrides=overrides or None,
+        )
+
+
+@dataclass(frozen=True)
 class StatsRequest:
     """Service-level counters: shared cache stats, pool and session sizes."""
 
@@ -506,12 +583,53 @@ class SessionOpResponse:
 
 
 @dataclass(frozen=True)
+class SimulateResponse:
+    type = "simulate_result"
+    report: object  # SimulationReport
+
+    def to_dict(self) -> dict:
+        return _stamp(
+            self.type, {"report": simulation_report_to_dict(self.report)}
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "SimulateResponse":
+        _check_envelope(cls, payload)
+        return cls(
+            report=simulation_report_from_dict(
+                require(payload, "report", cls.type)
+            )
+        )
+
+
+@dataclass(frozen=True)
 class StatsResponse:
+    """Service counters: cache hit rates, pool occupancy, and limits.
+
+    ``occupancy`` is the shared cache's per-section entry/capacity map
+    (:meth:`~repro.engine.cache.EngineCache.occupancy`); ``workloads``
+    counts materialized scenario specs held by the content-hash workload
+    cache.  ``hit_rate`` is *derived* from the cache counters (emitted on
+    the wire for convenience, never decoded back — it cannot drift from
+    the counters it summarizes).  The limit fields and ``occupancy``
+    decode with zero defaults so pre-extension payloads still parse.
+    """
+
     type = "stats_result"
     cache: object  # CacheStats
     engines: int
     sessions: int
     ensembles: int
+    workloads: int = 0
+    max_engines: int = 0
+    max_sessions: int = 0
+    max_ensembles: int = 0
+    occupancy: "dict | None" = None
+
+    @property
+    def hit_rate(self) -> float:
+        """Shared-cache hit rate, derived from the carried counters."""
+        return self.cache.hit_rate()
 
     def to_dict(self) -> dict:
         return _stamp(
@@ -521,12 +639,21 @@ class StatsResponse:
                 "engines": self.engines,
                 "sessions": self.sessions,
                 "ensembles": self.ensembles,
+                "workloads": self.workloads,
+                "max_engines": self.max_engines,
+                "max_sessions": self.max_sessions,
+                "max_ensembles": self.max_ensembles,
+                "hit_rate": self.hit_rate,
+                "occupancy": self.occupancy,
             },
         )
 
     @classmethod
     def from_dict(cls, payload) -> "StatsResponse":
         _check_envelope(cls, payload)
+        occupancy = payload.get("occupancy")
+        if occupancy is not None:
+            expect_mapping(occupancy, "occupancy")
         return cls(
             cache=cache_stats_from_dict(require(payload, "cache", cls.type)),
             engines=as_int(require(payload, "engines", cls.type), "engines"),
@@ -534,6 +661,13 @@ class StatsResponse:
             ensembles=as_int(
                 require(payload, "ensembles", cls.type), "ensembles"
             ),
+            workloads=as_int(payload.get("workloads", 0), "workloads"),
+            max_engines=as_int(payload.get("max_engines", 0), "max_engines"),
+            max_sessions=as_int(payload.get("max_sessions", 0), "max_sessions"),
+            max_ensembles=as_int(
+                payload.get("max_ensembles", 0), "max_ensembles"
+            ),
+            occupancy=occupancy,
         )
 
 
@@ -567,6 +701,7 @@ _REQUEST_TYPES = {
     "complete": lambda p: SessionOpRequest.from_dict_as("complete", p),
     "revoke": lambda p: SessionOpRequest.from_dict_as("revoke", p),
     "close_session": lambda p: SessionOpRequest.from_dict_as("close_session", p),
+    SimulateRequest.type: SimulateRequest.from_dict,
     StatsRequest.type: StatsRequest.from_dict,
 }
 
@@ -579,6 +714,7 @@ _RESPONSE_TYPES = {
         SubmitBatchResponse,
         RetryDeferredResponse,
         SessionOpResponse,
+        SimulateResponse,
         StatsResponse,
         ErrorResponse,
     )

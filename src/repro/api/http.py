@@ -41,6 +41,7 @@ HTTP_STATUS = {
     "unknown_session": 404,
     "unknown_ensemble": 404,
     "unknown_reservation": 404,
+    "unknown_scenario": 404,
     "internal": 500,
 }
 

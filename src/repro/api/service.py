@@ -27,9 +27,10 @@ identical to driving :class:`~repro.engine.RecommendationEngine` /
 from __future__ import annotations
 
 import itertools
+import json
 import secrets
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.api.envelopes import (
     AlternativesRequest,
@@ -42,6 +43,8 @@ from repro.api.envelopes import (
     RetryDeferredResponse,
     SessionOpRequest,
     SessionOpResponse,
+    SimulateRequest,
+    SimulateResponse,
     StatsRequest,
     StatsResponse,
     SubmitBatchRequest,
@@ -49,7 +52,12 @@ from repro.api.envelopes import (
     error_response_for,
     parse_request,
 )
-from repro.api.wire import EngineSpec, EnsembleRef
+from repro.api.wire import (
+    EngineSpec,
+    EnsembleRef,
+    ensemble_spec_to_dict,
+    request_batch_spec_to_dict,
+)
 from repro.core.strategy import StrategyEnsemble
 from repro.engine import (
     EngineCache,
@@ -58,6 +66,12 @@ from repro.engine import (
 )
 from repro.engine.session import EngineSession, drive_stream
 from repro.exceptions import ApiError
+from repro.workloads.registry import (
+    ScenarioRegistry,
+    default_scenario_registry,
+)
+from repro.workloads.simulation import simulate_scenario
+from repro.workloads.spec import ScenarioSpec
 
 
 @dataclass
@@ -98,6 +112,21 @@ class EngineService:
         every use, so only cold fingerprints age out; an evicted hash
         answers ``unknown_ensemble`` until re-uploaded inline.  Keeps a
         long-running server from pinning every ensemble it ever saw.
+    scenario_registry:
+        The :class:`~repro.workloads.registry.ScenarioRegistry` named
+        ``simulate`` requests resolve against (the process-wide catalog
+        when omitted).
+    max_workloads:
+        Bound on the materialized-workload cache (LRU): one entry per
+        distinct (ensemble spec, requests spec, seed) identity, holding
+        the built payload and the content hash of the built ensemble so
+        repeat simulations skip materialization entirely.
+    max_spec_strategies, max_spec_requests:
+        Materialization bounds for ``simulate``: a ~100-byte spec makes
+        the *server* allocate the workload it names, so an uncapped
+        ``n_strategies``/``m_requests`` is an amplification vector (the
+        inline-upload path is naturally bounded by the request body).
+        Oversized specs answer the typed ``workload_too_large`` error.
     """
 
     def __init__(
@@ -109,6 +138,10 @@ class EngineService:
         max_engines: int = 64,
         max_sessions: int = 1024,
         max_ensembles: int = 128,
+        scenario_registry: "ScenarioRegistry | None" = None,
+        max_workloads: int = 64,
+        max_spec_strategies: int = 1_000_000,
+        max_spec_requests: int = 100_000,
     ):
         self.cache = cache if cache is not None else EngineCache()
         self._registry = registry
@@ -117,9 +150,14 @@ class EngineService:
         self._max_engines = max(1, int(max_engines))
         self._max_sessions = max(1, int(max_sessions))
         self._max_ensembles = max(1, int(max_ensembles))
+        self._scenario_registry = scenario_registry
+        self._max_workloads = max(1, int(max_workloads))
+        self._max_spec_strategies = max(1, int(max_spec_strategies))
+        self._max_spec_requests = max(1, int(max_spec_requests))
         self._engines: "OrderedDict[tuple, RecommendationEngine]" = OrderedDict()
         self._ensembles: "OrderedDict[str, StrategyEnsemble]" = OrderedDict()
         self._sessions: "OrderedDict[str, _SessionHandle]" = OrderedDict()
+        self._workloads: "OrderedDict[str, tuple[str, object]]" = OrderedDict()
         self._session_seq = itertools.count(1)
 
     # ------------------------------------------------------------ ensembles
@@ -405,12 +443,110 @@ class EngineService:
             released=released,
         )
 
+    # -------------------------------------------------------------- simulate
+    @property
+    def scenario_registry(self) -> ScenarioRegistry:
+        """The registry named ``simulate`` requests resolve against."""
+        if self._scenario_registry is None:
+            self._scenario_registry = default_scenario_registry()
+        return self._scenario_registry
+
+    def _resolve_scenario(self, request: SimulateRequest) -> ScenarioSpec:
+        if request.scenario is not None:
+            spec = request.scenario
+        else:
+            spec = self.scenario_registry.create(
+                request.name, **(request.overrides or {})
+            )
+        if spec.engine is None:
+            # Fall back to the server default spec (repro serve flags),
+            # or answer the typed missing_spec error.
+            spec = replace(spec, engine=self._resolve_spec(None))
+        if spec.ensemble.n_strategies > self._max_spec_strategies:
+            raise ApiError(
+                f"scenario names {spec.ensemble.n_strategies} strategies; "
+                f"this service materializes at most "
+                f"{self._max_spec_strategies}",
+                code="workload_too_large",
+            )
+        if spec.kind != "adpar" and (
+            spec.requests.m_requests > self._max_spec_requests
+        ):
+            raise ApiError(
+                f"scenario names {spec.requests.m_requests} requests; "
+                f"this service materializes at most "
+                f"{self._max_spec_requests}",
+                code="workload_too_large",
+            )
+        return spec
+
+    def _workload_key(self, spec: ScenarioSpec) -> str:
+        # Only the fields that feed ScenarioSpec.build — arrival ordering
+        # and engine knobs are applied at drive time, so two scenarios
+        # differing only there share one materialized workload.
+        return json.dumps(
+            {
+                "kind": spec.kind,
+                "seed": spec.seed,
+                "tightness": spec.tightness,
+                "ensemble": ensemble_spec_to_dict(spec.ensemble),
+                "requests": request_batch_spec_to_dict(spec.requests),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def materialize(self, spec: ScenarioSpec):
+        """Build (or recall) a scenario's workload; returns ``(ensemble, payload)``.
+
+        Materialized ensembles enter the content-hash registry exactly
+        like inline uploads, so follow-up ``plan``/``resolve``/
+        ``submit_batch`` traffic can address them by fingerprint; the
+        workload cache keys on the build-relevant spec fields and keeps
+        the payload (requests or the ADPaR hard request) alongside the
+        hash.
+        """
+        key = self._workload_key(spec)
+        hit = self._workloads.get(key)
+        if hit is not None:
+            fingerprint, payload = hit
+            ensemble = self._ensembles.get(fingerprint)
+            if ensemble is not None:
+                self._workloads.move_to_end(key)
+                self._ensembles.move_to_end(fingerprint)
+                return ensemble, payload
+        ensemble, payload = spec.build()
+        fingerprint = self.register_ensemble(ensemble)
+        self._workloads[key] = (fingerprint, payload)
+        # Assignment keeps a stale entry's old LRU slot; a rebuild is a
+        # use, so mark it most-recently-used like the hit path does.
+        self._workloads.move_to_end(key)
+        while len(self._workloads) > self._max_workloads:
+            self._workloads.popitem(last=False)
+        return ensemble, payload
+
+    def simulate(self, request: SimulateRequest) -> SimulateResponse:
+        """Materialize a declarative scenario server-side and drive it."""
+        spec = self._resolve_scenario(request)
+        ensemble, payload = self.materialize(spec)
+        engine = self.engine_for(ensemble, spec.engine)
+        return SimulateResponse(
+            report=simulate_scenario(
+                engine, spec, ensemble=ensemble, payload=payload
+            )
+        )
+
     def stats(self, request: "StatsRequest | None" = None) -> StatsResponse:
         return StatsResponse(
             cache=self.cache.stats,
             engines=len(self._engines),
             sessions=len(self._sessions),
             ensembles=len(self._ensembles),
+            workloads=len(self._workloads),
+            max_engines=self._max_engines,
+            max_sessions=self._max_sessions,
+            max_ensembles=self._max_ensembles,
+            occupancy=self.cache.occupancy(),
         )
 
     # -------------------------------------------------------------- dispatch
@@ -443,5 +579,6 @@ class EngineService:
         SubmitBatchRequest: submit_batch,
         RetryDeferredRequest: retry_deferred,
         SessionOpRequest: session_op,
+        SimulateRequest: simulate,
         StatsRequest: stats,
     }

@@ -38,7 +38,14 @@ from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.core.streaming import StreamDecision, StreamStatus
 from repro.engine.cache import CacheStats, ensemble_fingerprint
-from repro.exceptions import ApiError
+from repro.exceptions import ApiError, InvalidSpecError
+from repro.workloads.simulation import SimulationReport
+from repro.workloads.spec import (
+    ArrivalSpec,
+    EnsembleSpec,
+    RequestBatchSpec,
+    ScenarioSpec,
+)
 
 #: The one wire version this tree speaks.  Bump on any incompatible
 #: payload change; ``check_api_version`` rejects everything else with a
@@ -132,6 +139,10 @@ def guard(what: str):
                 return fn(payload, *args, **kwargs)
             except ApiError:
                 raise
+            except InvalidSpecError as exc:
+                raise ApiError(
+                    f"invalid {what} payload: {exc}", code="invalid_spec"
+                ) from exc
             except (ValueError, TypeError, KeyError) as exc:
                 raise ApiError(
                     f"invalid {what} payload: {exc}", code="invalid_payload"
@@ -353,11 +364,11 @@ class EngineSpec:
         planner_options = payload.get("planner_options")
         solver_options = payload.get("solver_options")
         if planner_options is not None:
-            planner_options = _options_from_jsonable(
+            planner_options = options_from_jsonable(
                 expect_mapping(planner_options, "planner_options")
             )
         if solver_options is not None:
-            solver_options = _options_from_jsonable(
+            solver_options = options_from_jsonable(
                 expect_mapping(solver_options, "solver_options")
             )
         return cls(
@@ -392,12 +403,18 @@ def _options_to_jsonable(options: dict) -> dict:
     }
 
 
-def _options_from_jsonable(options: dict) -> dict:
-    """Inverse of :func:`_options_to_jsonable`: lists back to tuples."""
+def options_from_jsonable(options: dict) -> dict:
+    """Inverse of :func:`_options_to_jsonable`: lists back to tuples.
+
+    Public because envelope decoding (``SimulateRequest`` overrides)
+    normalizes backend options through it too.
+    """
     return {
         key: tuple(value) if isinstance(value, list) else value
         for key, value in options.items()
     }
+
+
 
 
 # -------------------------------------------------------------- ADPaRResult
@@ -652,5 +669,209 @@ def cache_stats_from_dict(payload) -> CacheStats:
         adpar_hits=as_int(require(payload, "adpar_hits", what), "adpar_hits"),
         adpar_misses=as_int(
             require(payload, "adpar_misses", what), "adpar_misses"
+        ),
+    )
+
+
+# ----------------------------------------------------------- WorkloadSpecs
+def ensemble_spec_to_dict(spec: EnsembleSpec) -> dict:
+    out = {
+        "n_strategies": spec.n_strategies,
+        "distribution": spec.distribution,
+    }
+    options = spec.options_dict()
+    if options is not None:
+        out["options"] = options
+    return out
+
+
+@guard("EnsembleSpec")
+def ensemble_spec_from_dict(payload) -> EnsembleSpec:
+    what = "EnsembleSpec"
+    expect_mapping(payload, what)
+    options = payload.get("options")
+    if options is not None:
+        expect_mapping(options, "options")
+    return EnsembleSpec(
+        n_strategies=as_int(
+            require(payload, "n_strategies", what), "n_strategies"
+        ),
+        distribution=as_str(
+            payload.get("distribution", "uniform"), "distribution"
+        ),
+        options="" if options is None else options,
+    )
+
+
+def request_batch_spec_to_dict(spec: RequestBatchSpec) -> dict:
+    return {
+        "m_requests": spec.m_requests,
+        "k": spec.k,
+        "low": spec.low,
+        "high": spec.high,
+        "task_type": spec.task_type,
+        "quality_offset": spec.quality_offset,
+        "prefix": spec.prefix,
+    }
+
+
+@guard("RequestBatchSpec")
+def request_batch_spec_from_dict(payload) -> RequestBatchSpec:
+    what = "RequestBatchSpec"
+    expect_mapping(payload, what)
+    defaults = RequestBatchSpec()
+    return RequestBatchSpec(
+        m_requests=as_int(require(payload, "m_requests", what), "m_requests"),
+        k=as_int(require(payload, "k", what), "k"),
+        low=as_float(payload.get("low", defaults.low), "low"),
+        high=as_float(payload.get("high", defaults.high), "high"),
+        task_type=as_str(
+            payload.get("task_type", defaults.task_type), "task_type"
+        ),
+        quality_offset=as_float(
+            payload.get("quality_offset", defaults.quality_offset),
+            "quality_offset",
+        ),
+        prefix=as_str(payload.get("prefix", defaults.prefix), "prefix"),
+    )
+
+
+def arrival_spec_to_dict(spec: ArrivalSpec) -> dict:
+    return {
+        "process": spec.process,
+        "burst_size": spec.burst_size,
+        "hold_bursts": spec.hold_bursts,
+        "spike_every": spec.spike_every,
+        "spike_factor": spec.spike_factor,
+        "period_bursts": spec.period_bursts,
+        "amplitude": spec.amplitude,
+    }
+
+
+@guard("ArrivalSpec")
+def arrival_spec_from_dict(payload) -> ArrivalSpec:
+    what = "ArrivalSpec"
+    expect_mapping(payload, what)
+    defaults = ArrivalSpec()
+    return ArrivalSpec(
+        process=as_str(payload.get("process", defaults.process), "process"),
+        burst_size=as_int(
+            payload.get("burst_size", defaults.burst_size), "burst_size"
+        ),
+        hold_bursts=as_int(
+            payload.get("hold_bursts", defaults.hold_bursts), "hold_bursts"
+        ),
+        spike_every=as_int(
+            payload.get("spike_every", defaults.spike_every), "spike_every"
+        ),
+        spike_factor=as_float(
+            payload.get("spike_factor", defaults.spike_factor), "spike_factor"
+        ),
+        period_bursts=as_int(
+            payload.get("period_bursts", defaults.period_bursts),
+            "period_bursts",
+        ),
+        amplitude=as_float(
+            payload.get("amplitude", defaults.amplitude), "amplitude"
+        ),
+    )
+
+
+def scenario_spec_to_dict(spec: ScenarioSpec) -> dict:
+    return {
+        "kind": spec.kind,
+        "name": spec.name,
+        "description": spec.description,
+        "seed": spec.seed,
+        "tightness": spec.tightness,
+        "ensemble": ensemble_spec_to_dict(spec.ensemble),
+        "requests": request_batch_spec_to_dict(spec.requests),
+        "arrival": (
+            None if spec.arrival is None else arrival_spec_to_dict(spec.arrival)
+        ),
+        "engine": None if spec.engine is None else spec.engine.to_dict(),
+    }
+
+
+@guard("ScenarioSpec")
+def scenario_spec_from_dict(payload) -> ScenarioSpec:
+    what = "ScenarioSpec"
+    expect_mapping(payload, what)
+    defaults = ScenarioSpec()
+    arrival = payload.get("arrival")
+    engine = payload.get("engine")
+    return ScenarioSpec(
+        kind=as_str(require(payload, "kind", what), "kind"),
+        name=as_str(payload.get("name", ""), "name"),
+        description=as_str(payload.get("description", ""), "description"),
+        seed=as_int(payload.get("seed", defaults.seed), "seed"),
+        tightness=as_float(
+            payload.get("tightness", defaults.tightness), "tightness"
+        ),
+        ensemble=ensemble_spec_from_dict(require(payload, "ensemble", what)),
+        requests=request_batch_spec_from_dict(
+            require(payload, "requests", what)
+        ),
+        arrival=None if arrival is None else arrival_spec_from_dict(arrival),
+        engine=None if engine is None else EngineSpec.from_dict(engine),
+    )
+
+
+# --------------------------------------------------------- SimulationReport
+def simulation_report_to_dict(report: SimulationReport) -> dict:
+    return {
+        "scenario": scenario_spec_to_dict(report.scenario),
+        "kind": report.kind,
+        "fingerprint": report.fingerprint,
+        "n_strategies": report.n_strategies,
+        "arrivals": report.arrivals,
+        "elapsed_s": report.elapsed_s,
+        "satisfied": report.satisfied,
+        "alternative": report.alternative,
+        "infeasible": report.infeasible,
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "retried": report.retried,
+        "still_deferred": report.still_deferred,
+        "objective_value": report.objective_value,
+        "workforce_available": report.workforce_available,
+        "workforce_used": report.workforce_used,
+        "utilization": report.utilization,
+        "mean_distance": report.mean_distance,
+    }
+
+
+@guard("SimulationReport")
+def simulation_report_from_dict(payload) -> SimulationReport:
+    what = "SimulationReport"
+    expect_mapping(payload, what)
+    return SimulationReport(
+        scenario=scenario_spec_from_dict(require(payload, "scenario", what)),
+        kind=as_str(require(payload, "kind", what), "kind"),
+        fingerprint=as_str(require(payload, "fingerprint", what), "fingerprint"),
+        n_strategies=as_int(
+            require(payload, "n_strategies", what), "n_strategies"
+        ),
+        arrivals=as_int(require(payload, "arrivals", what), "arrivals"),
+        elapsed_s=as_float(require(payload, "elapsed_s", what), "elapsed_s"),
+        satisfied=as_int(payload.get("satisfied", 0), "satisfied"),
+        alternative=as_int(payload.get("alternative", 0), "alternative"),
+        infeasible=as_int(payload.get("infeasible", 0), "infeasible"),
+        admitted=as_int(payload.get("admitted", 0), "admitted"),
+        completed=as_int(payload.get("completed", 0), "completed"),
+        retried=as_int(payload.get("retried", 0), "retried"),
+        still_deferred=as_int(payload.get("still_deferred", 0), "still_deferred"),
+        objective_value=as_float(
+            payload.get("objective_value", 0.0), "objective_value"
+        ),
+        workforce_available=as_float(
+            payload.get("workforce_available", 0.0), "workforce_available"
+        ),
+        workforce_used=as_float(
+            payload.get("workforce_used", 0.0), "workforce_used"
+        ),
+        utilization=as_float(payload.get("utilization", 0.0), "utilization"),
+        mean_distance=as_float(
+            payload.get("mean_distance", 0.0), "mean_distance"
         ),
     )

@@ -8,6 +8,8 @@ Usage::
     python -m repro engine --planner payoff-dp   # resolve a synthetic batch
     python -m repro engine --solver adpar-weighted --norm l1 --weights 2 1 1
     python -m repro stream --arrivals 5000 --burst 128   # streaming admission
+    python -m repro simulate flash-crowd --set m_requests=2000  # scenario catalog
+    python -m repro simulate --list              # enumerate scenario families
     python -m repro serve --port 8000            # JSON-over-HTTP service
 
 All three traffic subcommands route through the versioned service layer
@@ -32,9 +34,11 @@ from repro.api import (
     EngineSpec,
     EnsembleRef,
     ResolveRequest,
+    SimulateRequest,
 )
 from repro.core.adpar_variants import NORMS
 from repro.engine import default_registry, default_solver_registry
+from repro.workloads.generators import distribution_names
 
 from repro.experiments.fig11_availability import run_fig11
 from repro.experiments.fig12_linearity import run_fig12
@@ -94,6 +98,15 @@ EXPERIMENTS: "dict[str, tuple[str, Callable]]" = {
         lambda quick: run_fig18_adpar(quick=quick),
     ),
 }
+
+
+def _flag_distributions() -> "tuple[str, ...]":
+    """Distributions usable from a bare CLI flag.
+
+    ``mixture`` needs a components option the engine/stream subcommands
+    have no flag for — reach it via ``repro simulate`` spec overrides.
+    """
+    return tuple(n for n in distribution_names() if n != "mixture")
 
 
 def add_backend_args(parser: argparse.ArgumentParser, solver_help: str) -> None:
@@ -185,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", choices=("throughput", "payoff"), default="throughput"
     )
     engine.add_argument(
-        "--distribution", choices=("uniform", "normal"), default="uniform"
+        "--distribution", choices=_flag_distributions(), default="uniform"
     )
     # max-case default (deploy one of the k): the sum-case needs k times
     # the workforce and rarely fits small demo pools (cf. Figures 15/16).
@@ -222,13 +235,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--availability", type=float, default=0.9, help="expected workforce W"
     )
     stream.add_argument(
-        "--distribution", choices=("uniform", "normal"), default="uniform"
+        "--distribution", choices=_flag_distributions(), default="uniform"
     )
     stream.add_argument("--aggregation", choices=("sum", "max"), default="max")
     stream.add_argument(
         "--workforce-mode", choices=("paper", "strict"), default="paper"
     )
     stream.add_argument("--seed", type=int, default=7)
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a named workload scenario through the service simulator",
+    )
+    simulate.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario family name (see --list)",
+    )
+    simulate.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="enumerate the scenario catalog and exit",
+    )
+    simulate.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help=(
+            "spec override (repeatable), e.g. --set n_strategies=500 "
+            "--set availability=0.3; values parse as JSON, falling back "
+            "to strings"
+        ),
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the raw simulate_result envelope instead of the summary",
+    )
     serve = sub.add_parser(
         "serve",
         help="serve the engine as JSON over HTTP (the service API)",
@@ -385,6 +435,68 @@ def run_stream(args, out) -> int:
     return 0
 
 
+def _parse_override(item: str) -> tuple[str, object]:
+    """One ``KEY=VALUE`` flag → a spec override; values parse as JSON."""
+    import json
+
+    key, sep, raw = item.partition("=")
+    if not key or not sep:
+        raise ValueError(f"--set expects KEY=VALUE, got {item!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings (e.g. --set distribution=normal)
+    return key, value
+
+
+def run_simulate(args, out) -> int:
+    """The ``simulate`` subcommand: one catalog scenario through the service.
+
+    Exactly the ``simulate`` envelope ``repro serve`` exposes — the CLI
+    builds a :class:`~repro.api.SimulateRequest` naming the family plus
+    ``--set`` overrides and prints the structured report.
+    """
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.workloads import default_scenario_registry
+
+    registry = default_scenario_registry()
+    if args.list_scenarios:
+        width = max(len(name) for name in registry.names())
+        for name in registry.names():
+            spec = registry.get(name)
+            print(
+                f"{name.ljust(width)}  [{spec.kind}] {spec.description}",
+                file=out,
+            )
+        return 0
+    if args.scenario is None:
+        print(
+            "repro simulate: error: name a scenario or pass --list",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        overrides = dict(_parse_override(item) for item in args.overrides)
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        response = EngineService().handle(
+            SimulateRequest(name=args.scenario, overrides=overrides or None)
+        )
+    except (ReproError, ValueError) as exc:
+        # KeyError-derived errors (unknown scenario) str() to a quoted
+        # repr; unwrap the original message.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro simulate: error: {message}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(response.to_dict(), indent=2), file=out)
+    else:
+        print(response.report.summary(), file=out)
+    return 0
+
+
 def run_serve(args, out) -> int:
     """The ``serve`` subcommand: the service API as JSON over HTTP.
 
@@ -453,6 +565,8 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
         return run_engine(args, out)
     if args.command == "stream":
         return run_stream(args, out)
+    if args.command == "simulate":
+        return run_simulate(args, out)
     if args.command == "serve":
         return run_serve(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

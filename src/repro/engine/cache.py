@@ -344,6 +344,22 @@ class EngineCache:
         return results
 
     # ----------------------------------------------------------------- sizes
+    def occupancy(self) -> "dict[str, dict[str, int]]":
+        """Entries and capacity per cache section (the ``stats`` wire view).
+
+        JSON-native by construction, so the service can embed it in the
+        ``stats`` response without a bespoke codec.
+        """
+        return {
+            name: {"entries": len(lru), "capacity": lru.max_entries}
+            for name, lru in (
+                ("workforce", self._workforce),
+                ("adpar_results", self._adpar_results),
+                ("adpar_solvers", self._adpar_solvers),
+                ("spaces", self._spaces),
+            )
+        }
+
     def __len__(self) -> int:
         return len(self._workforce) + len(self._adpar_results)
 

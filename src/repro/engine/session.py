@@ -308,6 +308,7 @@ def drive_stream(
     requests: "list[DeploymentRequest]",
     burst_size: int = 64,
     hold_bursts: int = 2,
+    schedule: "list[int] | None" = None,
 ) -> "tuple[list[StreamDecision], int]":
     """Run the canonical high-traffic admission loop over one session.
 
@@ -325,11 +326,31 @@ def drive_stream(
     (burst answers interleaved with retry answers, so
     ``len(decisions) == len(requests) + retried``) and the number of
     retry decisions among them.
+
+    ``schedule`` overrides the constant ``burst_size`` with explicit
+    per-burst sizes (the declarative
+    :meth:`~repro.workloads.spec.ArrivalSpec.schedule` contract: flash
+    crowds, diurnal load curves); it must cover every request.
     """
     if burst_size < 1:
         raise ValueError("burst_size must be >= 1")
     if hold_bursts < 1:
         raise ValueError("hold_bursts must be >= 1")
+    if schedule is None:
+        bounds = list(range(0, len(requests), burst_size)) + [len(requests)]
+    else:
+        bounds = [0]
+        for size in schedule:
+            if size < 1:
+                raise ValueError("schedule entries must be >= 1")
+            bounds.append(min(bounds[-1] + size, len(requests)))
+            if bounds[-1] == len(requests):
+                break
+        if bounds[-1] < len(requests):
+            raise ValueError(
+                f"schedule covers {bounds[-1]} arrivals but "
+                f"{len(requests)} were provided"
+            )
     decisions: list[StreamDecision] = []
     retried = 0
 
@@ -348,8 +369,8 @@ def drive_stream(
         return retries
 
     cohorts: "deque[list[str]]" = deque()
-    for start in range(0, len(requests), burst_size):
-        batch = session.submit_many(list(requests[start : start + burst_size]))
+    for start, stop in zip(bounds, bounds[1:]):
+        batch = session.submit_many(list(requests[start:stop]))
         decisions.extend(batch)
         cohorts.append(admitted_ids(batch))
         if len(cohorts) > hold_bursts:

@@ -17,14 +17,24 @@ import time
 
 import numpy as np
 
-from repro.api import EngineService, EngineSpec
+from repro.api import EngineService
 from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
-from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+from repro.workloads import default_scenario_registry
 
-DEFAULTS = {"n_strategies": 30, "m": 5, "k": 10, "availability": 0.5}
+#: The registry family the fig15/fig16 sweeps derive from — the
+#: brute-force-tractable batch setup (max-case aggregation, strict
+#: workforce) lives in the catalog, not here.
+_BASE_SCENARIO = "paper-batch-small"
+_PAPER = default_scenario_registry().get(_BASE_SCENARIO)
+DEFAULTS = {
+    "n_strategies": _PAPER.ensemble.n_strategies,
+    "m": _PAPER.requests.m_requests,
+    "k": _PAPER.requests.k,
+    "availability": _PAPER.engine.availability,
+}
 SWEEP_VALUES = (10, 20, 30)
 #: m is capped below the paper's 30 because exhaustive enumeration over 30
 #: requests (2^30 subsets) is not tractable on any testbed; the shape
@@ -44,22 +54,25 @@ def _objectives(
     service: "EngineService | None" = None,
 ) -> tuple[float, float, float]:
     """(BruteForce, BatchStrat, BaselineG) objective values, one draw."""
-    rng_s, rng_r = spawn_rngs(rng, 2)
-    ensemble = generate_strategy_ensemble(n_strategies, "uniform", rng_s)
-    requests = generate_requests(m, k=min(k, n_strategies), seed=rng_r)
     # max-case aggregation (deploy one of the k recommended strategies,
     # Figure 3c) + strict workforce mode: the combination that reproduces
-    # the paper's objective magnitudes at |S|=30 (see EXPERIMENTS.md).
+    # the paper's objective magnitudes at |S|=30 (see EXPERIMENTS.md) —
+    # carried by the paper-batch-small scenario family.
+    scenario = default_scenario_registry().create(
+        _BASE_SCENARIO,
+        n_strategies=n_strategies,
+        m_requests=m,
+        k=min(k, n_strategies),
+        availability=availability,
+    )
+    rng_s, rng_r = spawn_rngs(rng, 2)
+    ensemble = scenario.ensemble.build(rng_s)
+    requests = scenario.requests.build(rng_r)
     # One pooled engine, three planner backends: the workforce aggregates
     # are computed once and shared through the service cache.
     if service is None:
         service = EngineService()
-    engine = service.engine_for(
-        ensemble,
-        EngineSpec(
-            availability=availability, aggregation="max", workforce_mode="strict"
-        ),
-    )
+    engine = service.engine_for(ensemble, scenario.engine)
     brute = engine.plan(requests, objective, planner="batch-bruteforce")
     batch = engine.plan(requests, objective)
     greedy = engine.plan(requests, objective, planner="baseline-greedy")
@@ -118,14 +131,17 @@ def stream_throughput_panel(
         "speedup": [],
         "decisions_identical": True,
     }
-    rng_s, rng_r = spawn_rngs(seed, 2)
-    ensemble = generate_strategy_ensemble(
-        DEFAULTS["n_strategies"], "uniform", rng_s
+    scenario = default_scenario_registry().create(
+        "steady-stream",
+        n_strategies=DEFAULTS["n_strategies"],
+        k=DEFAULTS["k"],
     )
+    rng_s, rng_r = spawn_rngs(seed, 2)
+    ensemble = scenario.ensemble.build(rng_s)
     for arrivals in arrivals_sweep:
-        stream = generate_requests(
-            arrivals, k=DEFAULTS["k"], seed=rng_r, prefix=f"s{arrivals}-"
-        )
+        stream = scenario.requests.with_(
+            m_requests=arrivals, prefix=f"s{arrivals}-"
+        ).build(rng_r)
         scalar_session = RecommendationEngine(
             ensemble, DEFAULTS["availability"]
         ).open_session()

@@ -10,24 +10,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import RecommendationEngine
-from repro.experiments.fig15_throughput import DEFAULTS, M_SWEEP, SWEEP_VALUES
+from repro.experiments.fig15_throughput import (
+    DEFAULTS,
+    M_SWEEP,
+    SWEEP_VALUES,
+    _BASE_SCENARIO,
+)
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
-from repro.workloads.generators import generate_requests, generate_strategy_ensemble
+from repro.workloads import default_scenario_registry
 
 
 def _payoffs(
     n_strategies: int, m: int, k: int, availability: float, rng: np.random.Generator
 ) -> tuple[float, float, float]:
     """(BruteForce, BatchStrat, BaselineG) pay-off values, one draw."""
-    rng_s, rng_r = spawn_rngs(rng, 2)
-    ensemble = generate_strategy_ensemble(n_strategies, "uniform", rng_s)
-    requests = generate_requests(m, k=min(k, n_strategies), seed=rng_r)
-    # One engine, three backends over the same batch (cf. fig15).
-    engine = RecommendationEngine(
-        ensemble, availability, aggregation="max", workforce_mode="strict"
+    scenario = default_scenario_registry().create(
+        _BASE_SCENARIO,
+        n_strategies=n_strategies,
+        m_requests=m,
+        k=min(k, n_strategies),
+        availability=availability,
     )
+    rng_s, rng_r = spawn_rngs(rng, 2)
+    ensemble = scenario.ensemble.build(rng_s)
+    requests = scenario.requests.build(rng_r)
+    # One engine, three backends over the same batch (cf. fig15).
+    engine = RecommendationEngine(ensemble, **scenario.engine.engine_kwargs())
     brute = engine.plan(requests, "payoff", planner="batch-bruteforce")
     batch = engine.plan(requests, "payoff")
     greedy = engine.plan(requests, "payoff", planner="baseline-greedy")

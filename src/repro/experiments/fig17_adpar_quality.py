@@ -21,7 +21,11 @@ from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
-from repro.workloads.generators import generate_adpar_points, hard_request_for
+from repro.workloads import default_scenario_registry
+from repro.workloads.generators import hard_request_for
+
+#: The ADPaR quality sweeps derive from the paper's catalog family.
+_BASE_SCENARIO = "paper-adpar"
 
 S_SWEEP = (200, 400, 600, 800, 1000)
 S_SWEEP_BF = (10, 20, 30)
@@ -38,9 +42,10 @@ def _distances(
     constructed once per ensemble (no per-request R-tree rebuilds) and
     all of them share one relaxation space per ensemble.
     """
+    scenario = default_scenario_registry().create(_BASE_SCENARIO, n_strategies=n)
     rng_pts, rng_req = spawn_rngs(rng, 2)
-    points = generate_adpar_points(n, "uniform", rng_pts)
-    request = hard_request_for(points, rng_req)
+    points = scenario.ensemble.build_points(rng_pts)
+    request = hard_request_for(points, rng_req, tightness=scenario.tightness)
     ensemble = StrategyEnsemble.from_params(points)
     engine = RecommendationEngine(ensemble, availability=1.0)
     exact = engine.recommend_alternative(request, k).distance

@@ -25,12 +25,8 @@ from repro.engine import RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
-from repro.workloads.generators import (
-    generate_adpar_points,
-    generate_requests,
-    generate_strategy_ensemble,
-    hard_request_for,
-)
+from repro.workloads import default_scenario_registry
+from repro.workloads.generators import hard_request_for
 
 BATCH_M_SWEEP = (200, 400, 600, 800, 1000)
 BRUTE_M_SWEEP = (8, 12, 16, 20)
@@ -56,20 +52,21 @@ def run_fig18_batch(seed: int = 61) -> ExperimentResult:
             f"W={_BATCH_DEFAULTS['availability']}; runtime in seconds."
         ),
     )
+    # The brute-force-tractable batch family at the panel's W=0.75; the
+    # per-m request batches derive from its request spec.
+    scenario = default_scenario_registry().create(
+        "paper-batch-small",
+        n_strategies=_BATCH_DEFAULTS["n_strategies"],
+        k=_BATCH_DEFAULTS["k"],
+        availability=_BATCH_DEFAULTS["availability"],
+    )
     rng_s, rng_r = spawn_rngs(seed, 2)
-    ensemble = generate_strategy_ensemble(
-        _BATCH_DEFAULTS["n_strategies"], "uniform", rng_s
-    )
-    engine = RecommendationEngine(
-        ensemble,
-        _BATCH_DEFAULTS["availability"],
-        aggregation="max",
-        workforce_mode="strict",
-    )
+    ensemble = scenario.ensemble.build(rng_s)
+    engine = RecommendationEngine(ensemble, **scenario.engine.engine_kwargs())
 
     batch_times = []
     for m in BATCH_M_SWEEP:
-        requests = generate_requests(m, k=_BATCH_DEFAULTS["k"], seed=rng_r)
+        requests = scenario.requests.with_(m_requests=m).build(rng_r)
         batch_times.append(_time(lambda: engine.plan(requests, "throughput")))
     result.data["batchstrat"] = {"m": list(BATCH_M_SWEEP), "seconds": batch_times}
     result.add_table(
@@ -81,7 +78,7 @@ def run_fig18_batch(seed: int = 61) -> ExperimentResult:
 
     brute_times = []
     for m in BRUTE_M_SWEEP:
-        requests = generate_requests(m, k=_BATCH_DEFAULTS["k"], seed=rng_r)
+        requests = scenario.requests.with_(m_requests=m).build(rng_r)
         brute_times.append(
             _time(lambda: engine.plan(requests, "throughput", planner="batch-bruteforce"))
         )
@@ -112,12 +109,13 @@ def run_fig18_adpar(seed: int = 67, quick: bool = False) -> ExperimentResult:
         if not quick
         else "Runtime in seconds (quick mode: reduced sizes).",
     )
+    base = default_scenario_registry().get("paper-adpar")
     rng_pts, rng_req = spawn_rngs(seed, 2)
 
     s_times = []
     for n in s_sweep:
-        points = generate_adpar_points(n, "uniform", rng_pts)
-        request = hard_request_for(points, rng_req)
+        points = base.with_(n_strategies=n).ensemble.build_points(rng_pts)
+        request = hard_request_for(points, rng_req, tightness=base.tightness)
         solver = RecommendationEngine(
             StrategyEnsemble.from_params(points), availability=1.0
         )
@@ -131,8 +129,8 @@ def run_fig18_adpar(seed: int = 67, quick: bool = False) -> ExperimentResult:
     )
 
     n_for_k = 2000 if quick else 10_000
-    points = generate_adpar_points(n_for_k, "uniform", rng_pts)
-    request = hard_request_for(points, rng_req)
+    points = base.with_(n_strategies=n_for_k).ensemble.build_points(rng_pts)
+    request = hard_request_for(points, rng_req, tightness=base.tightness)
     ensemble = StrategyEnsemble.from_params(points)
     solver = RecommendationEngine(ensemble, availability=1.0)
     k_times = [
@@ -157,7 +155,8 @@ def run_fig18_adpar(seed: int = 67, quick: bool = False) -> ExperimentResult:
     # routes through the registry's vectorized batch path.
     batch_size = 4 if quick else 8
     batch_requests = [
-        hard_request_for(points, rng_req) for _ in range(batch_size)
+        hard_request_for(points, rng_req, tightness=base.tightness)
+        for _ in range(batch_size)
     ]
     reference = ADPaRExact(ensemble)
     t_scalar = _time(

@@ -259,6 +259,7 @@ class PlatformSimulator:
         burst_size: int = 32,
         hold_bursts: int = 2,
         engine_factory=None,
+        schedule=None,
         **engine_kwargs,
     ) -> "StreamWindowReport":
         """Deploy a window, then stream arriving requests through a session.
@@ -285,7 +286,11 @@ class PlatformSimulator:
         )
         session = engine.open_session()
         decisions, retried = drive_stream(
-            session, requests, burst_size=burst_size, hold_bursts=hold_bursts
+            session,
+            requests,
+            burst_size=burst_size,
+            hold_bursts=hold_bursts,
+            schedule=schedule,
         )
         by_status = {status: 0 for status in StreamStatus}
         for decision in decisions:
@@ -301,6 +306,66 @@ class PlatformSimulator:
             infeasible=by_status[StreamStatus.INFEASIBLE],
             still_deferred=len(session.deferred),
             utilization=session.utilization(),
+        )
+
+    def run_scenario(
+        self,
+        scenario,
+        window: DeploymentWindow,
+        task_type: str = "translation",
+        strategy_name: str = "SEQ-IND-CRO",
+    ):
+        """Run one declarative scenario against a live deployment window.
+
+        The service-level closed loop: the platform measures ``x'/x``
+        from the window, the scenario — a
+        :class:`~repro.workloads.spec.ScenarioSpec` or a
+        :class:`~repro.workloads.registry.ScenarioRegistry` family name —
+        materializes its workload, and the traffic runs at the *observed*
+        availability (the scenario's own ``availability`` knob is
+        superseded by the measurement; every other engine knob applies).
+        ``batch`` scenarios return ``(observation, AggregatorReport)``
+        via :meth:`resolve_batch`; ``stream`` scenarios return a
+        :class:`StreamWindowReport` via :meth:`stream_window`, honouring
+        the arrival process's burst schedule and ordering.
+        """
+        from repro.workloads import default_scenario_registry
+
+        if isinstance(scenario, str):
+            scenario = default_scenario_registry().get(scenario)
+        if scenario.kind == "adpar":
+            raise ValueError(
+                "adpar scenarios have no platform counterpart; use "
+                "EngineService.simulate"
+            )
+        ensemble, requests = scenario.build()
+        engine_kwargs = {}
+        if scenario.engine is not None:
+            engine_kwargs = {
+                key: value
+                for key, value in scenario.engine.engine_kwargs().items()
+                if key != "availability" and value is not None
+            }
+        if scenario.kind == "stream":
+            ordered, arrival, schedule = scenario.arrival_plan(requests)
+            return self.stream_window(
+                ensemble,
+                ordered,
+                window,
+                task_type=task_type,
+                strategy_name=strategy_name,
+                burst_size=arrival.burst_size,
+                hold_bursts=arrival.hold_bursts,
+                schedule=schedule,
+                **engine_kwargs,
+            )
+        return self.resolve_batch(
+            ensemble,
+            requests,
+            window,
+            task_type=task_type,
+            strategy_name=strategy_name,
+            **engine_kwargs,
         )
 
     def observe_availability(

@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -22,25 +22,159 @@ from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.utils.rng import ensure_rng
 
+#: The paper's two dimension-value distributions (§5.2.2).  The full set
+#: of registered samplers — including the beyond-the-paper families — is
+#: :func:`distribution_names`.
 DISTRIBUTIONS = ("uniform", "normal")
+
+#: A sampler draws dimension values for ``size`` cells from ``options``.
+#: Values outside ``[0, 1]`` must be clipped by the sampler itself.
+DistributionSampler = Callable[
+    [np.random.Generator, tuple, dict], np.ndarray
+]
+
+
+def _sample_uniform(rng: np.random.Generator, size: tuple, options: dict) -> np.ndarray:
+    return rng.uniform(
+        float(options.get("low", 0.5)), float(options.get("high", 1.0)), size=size
+    )
+
+
+def _sample_normal(rng: np.random.Generator, size: tuple, options: dict) -> np.ndarray:
+    return np.clip(
+        rng.normal(
+            float(options.get("mean", 0.75)),
+            float(options.get("std", 0.1)),
+            size=size,
+        ),
+        0.0,
+        1.0,
+    )
+
+
+def _sample_heavy_tail(
+    rng: np.random.Generator, size: tuple, options: dict
+) -> np.ndarray:
+    """Pareto-tailed dimension values: most strategies mediocre, few elite.
+
+    ``floor + scale · Pareto(tail)`` clipped into ``[0, 1]`` — the clip
+    piles the (heavy) upper tail onto a mass of near-perfect strategies,
+    the regime uniform/normal workloads never produce.
+    """
+    floor = float(options.get("floor", 0.5))
+    scale = float(options.get("scale", 0.12))
+    tail = float(options.get("tail", 1.8))
+    if tail <= 0 or scale <= 0:
+        raise ValueError("heavy-tail options require tail > 0 and scale > 0")
+    return np.clip(floor + scale * rng.pareto(tail, size=size), 0.0, 1.0)
+
+
+def _sample_mixture(
+    rng: np.random.Generator, size: tuple, options: dict
+) -> np.ndarray:
+    """A weighted mixture of registered distributions.
+
+    ``options["components"]`` is a sequence of ``(name, weight)`` or
+    ``(name, weight, sub_options)`` entries.  The component is chosen
+    per *row* (first axis): a strategy drawn from the elite component is
+    elite in every dimension, which is what a "30% elite strategies"
+    mixture means — per-cell mixing would make an all-elite row
+    exponentially rare.
+    """
+    components = options.get("components")
+    if not components:
+        raise ValueError("mixture distribution requires non-empty 'components'")
+    names, weights, sub_options = [], [], []
+    for component in components:
+        if len(component) not in (2, 3):
+            raise ValueError(
+                "each mixture component must be (name, weight[, options])"
+            )
+        names.append(component[0])
+        weights.append(float(component[1]))
+        sub_options.append(dict(component[2]) if len(component) == 3 else {})
+        if names[-1] == "mixture":
+            raise ValueError("mixture components cannot nest mixtures")
+    probabilities = np.asarray(weights, dtype=float)
+    if (probabilities < 0).any() or probabilities.sum() <= 0:
+        raise ValueError("mixture weights must be >= 0 and sum to > 0")
+    probabilities = probabilities / probabilities.sum()
+    rows = int(size[0]) if size else 1
+    rest = tuple(size[1:])
+    choice = rng.choice(len(names), size=rows, p=probabilities)
+    out = np.empty((rows,) + rest)
+    for index, name in enumerate(names):
+        mask = choice == index
+        count = int(mask.sum())
+        if count:
+            out[mask] = _dimension_values(
+                rng, (count,) + rest, name, sub_options[index]
+            )
+    return out.reshape(size)
+
+
+_SAMPLERS: "dict[str, DistributionSampler]" = {}
+_SAMPLER_DESCRIPTIONS: dict[str, str] = {}
+
+
+def register_distribution(
+    name: str,
+    sampler: DistributionSampler,
+    description: str = "",
+    replace: bool = False,
+) -> None:
+    """Register a pluggable dimension-value sampler under ``name``."""
+    if not name:
+        raise ValueError("distribution name must be non-empty")
+    if name in _SAMPLERS and not replace:
+        raise ValueError(f"distribution {name!r} is already registered")
+    _SAMPLERS[name] = sampler
+    _SAMPLER_DESCRIPTIONS[name] = description
+
+
+def distribution_names() -> "tuple[str, ...]":
+    """Every registered distribution name, sorted."""
+    return tuple(sorted(_SAMPLERS))
+
+
+register_distribution(
+    "uniform", _sample_uniform, "uniform on [0.5, 1] (§5.2.2 default)"
+)
+register_distribution(
+    "normal", _sample_normal, "normal(0.75, 0.1) clipped into [0, 1] (§5.2.2)"
+)
+register_distribution(
+    "heavy-tail",
+    _sample_heavy_tail,
+    "Pareto-tailed values clipped into [0, 1]; a few elite strategies",
+)
+register_distribution(
+    "mixture",
+    _sample_mixture,
+    "weighted mixture of registered distributions (options['components'])",
+)
 
 
 def _dimension_values(
-    rng: np.random.Generator, size: tuple, distribution: str
+    rng: np.random.Generator,
+    size: tuple,
+    distribution: str,
+    options: "dict | None" = None,
 ) -> np.ndarray:
-    if distribution == "uniform":
-        return rng.uniform(0.5, 1.0, size=size)
-    if distribution == "normal":
-        return np.clip(rng.normal(0.75, 0.1, size=size), 0.0, 1.0)
-    raise ValueError(
-        f"distribution must be one of {DISTRIBUTIONS}, got {distribution!r}"
-    )
+    sampler = _SAMPLERS.get(distribution)
+    if sampler is None:
+        raise ValueError(
+            f"distribution must be one of {distribution_names()}, "
+            f"got {distribution!r}"
+        )
+    return sampler(rng, size, dict(options or {}))
 
 
 def generate_strategy_ensemble(
     n: int,
     distribution: str = "uniform",
     seed: "int | np.random.Generator | None" = None,
+    options: "dict | None" = None,
 ) -> StrategyEnsemble:
     """Generate ``n`` synthetic strategy profiles with linear models.
 
@@ -51,7 +185,7 @@ def generate_strategy_ensemble(
     if n < 1:
         raise ValueError("n must be >= 1")
     rng = ensure_rng(seed)
-    values = _dimension_values(rng, (n, 3), distribution)  # (quality, cost, latency)
+    values = _dimension_values(rng, (n, 3), distribution, options)  # (q, c, l)
     sensitivity = rng.uniform(0.5, 1.0, size=(n, 3))
     alpha = np.empty((n, 3))
     beta = np.empty((n, 3))
@@ -111,6 +245,7 @@ def generate_adpar_points(
     n: int,
     distribution: str = "uniform",
     seed: "int | np.random.Generator | None" = None,
+    options: "dict | None" = None,
 ) -> list[TriParams]:
     """Fixed strategy parameter triples for ADPaR experiments.
 
@@ -120,7 +255,7 @@ def generate_adpar_points(
     if n < 1:
         raise ValueError("n must be >= 1")
     rng = ensure_rng(seed)
-    values = _dimension_values(rng, (n, 3), distribution)
+    values = _dimension_values(rng, (n, 3), distribution, options)
     return [TriParams(*row) for row in values]
 
 

@@ -1,30 +1,38 @@
-"""Named experiment scenarios with the paper's default parameters.
+"""Legacy named scenarios — thin shims over the declarative spec layer.
 
 §5.2.2: batch experiments default to ``|S| = 10000, m = 10, k = 10,
 W = 0.5`` (quality sweeps) and ``|S| = 30, m = 5, k = 10, W = 0.5`` when
 brute force must participate; ADPaR defaults to ``|S| = 200, k = 5``
 (``|S| = 20, k = 5`` with brute force).
+
+:class:`BatchScenario` and :class:`ADPaRScenario` keep their seed-era
+fields and bit-for-bit build outputs (differential-tested), but delegate
+materialization to :class:`~repro.workloads.spec.ScenarioSpec` — the
+frozen, JSON-serializable workload API new code should use directly (see
+:mod:`repro.workloads.registry` for the named catalog).  Their ``with_``
+sweep helpers now reject unknown field names with the typed
+:class:`~repro.exceptions.InvalidSpecError` instead of a bare
+``TypeError``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.core.params import TriParams
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
-from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.workloads.generators import (
-    generate_adpar_points,
-    generate_requests,
-    generate_strategy_ensemble,
-    hard_request_for,
+from repro.workloads.spec import (
+    EnsembleSpec,
+    RequestBatchSpec,
+    ScenarioSpec,
+    replace_spec,
 )
 
 
 @dataclass(frozen=True)
 class BatchScenario:
-    """One batch-deployment experiment configuration."""
+    """One batch-deployment experiment configuration (legacy shim)."""
 
     n_strategies: int = 10_000
     m_requests: int = 10
@@ -33,23 +41,32 @@ class BatchScenario:
     distribution: str = "uniform"
     seed: int = 7
 
+    def to_spec(self) -> ScenarioSpec:
+        """The equivalent declarative :class:`ScenarioSpec`."""
+        from repro.api.wire import EngineSpec
+
+        return ScenarioSpec(
+            kind="batch",
+            ensemble=EnsembleSpec(
+                n_strategies=self.n_strategies, distribution=self.distribution
+            ),
+            requests=RequestBatchSpec(m_requests=self.m_requests, k=self.k),
+            engine=EngineSpec(availability=self.availability),
+            seed=self.seed,
+        )
+
     def build(self) -> tuple[StrategyEnsemble, list[DeploymentRequest]]:
         """Materialize the ensemble and request batch."""
-        rng_strategies, rng_requests = spawn_rngs(self.seed, 2)
-        ensemble = generate_strategy_ensemble(
-            self.n_strategies, self.distribution, rng_strategies
-        )
-        requests = generate_requests(self.m_requests, self.k, rng_requests)
-        return ensemble, requests
+        return self.to_spec().build()
 
     def with_(self, **overrides) -> "BatchScenario":
-        """Copy with overrides (sweep helper)."""
-        return replace(self, **overrides)
+        """Copy with overrides (sweep helper); unknown fields are typed errors."""
+        return replace_spec(self, **overrides)
 
 
 @dataclass(frozen=True)
 class ADPaRScenario:
-    """One ADPaR experiment configuration."""
+    """One ADPaR experiment configuration (legacy shim)."""
 
     n_strategies: int = 200
     k: int = 5
@@ -57,17 +74,28 @@ class ADPaRScenario:
     seed: int = 11
     tightness: float = 0.15
 
+    def to_spec(self) -> ScenarioSpec:
+        """The equivalent declarative :class:`ScenarioSpec`."""
+        from repro.api.wire import EngineSpec
+
+        return ScenarioSpec(
+            kind="adpar",
+            ensemble=EnsembleSpec(
+                n_strategies=self.n_strategies, distribution=self.distribution
+            ),
+            requests=RequestBatchSpec(m_requests=1, k=self.k),
+            engine=EngineSpec(availability=1.0),
+            seed=self.seed,
+            tightness=self.tightness,
+        )
+
     def build(self) -> tuple[StrategyEnsemble, TriParams]:
         """Materialize the strategy points and a hard request."""
-        rng_points, rng_request = spawn_rngs(self.seed, 2)
-        points = generate_adpar_points(self.n_strategies, self.distribution, rng_points)
-        request = hard_request_for(points, rng_request, tightness=self.tightness)
-        ensemble = StrategyEnsemble.from_params(points)
-        return ensemble, request
+        return self.to_spec().build()
 
     def with_(self, **overrides) -> "ADPaRScenario":
-        """Copy with overrides (sweep helper)."""
-        return replace(self, **overrides)
+        """Copy with overrides (sweep helper); unknown fields are typed errors."""
+        return replace_spec(self, **overrides)
 
 
 def default_batch_scenario(brute_force: bool = False) -> BatchScenario:

@@ -261,6 +261,79 @@ def test_keep_alive_survives_valid_traffic_and_closes_on_desync(client):
     json.loads(response.read())
 
 
+def test_simulate_batch_scenario_over_http(client):
+    """POST /v1/simulate: a named batch family materializes server-side
+    and the report matches driving the engine directly."""
+    from repro.engine import RecommendationEngine
+    from repro.workloads import default_scenario_registry
+
+    status, body = post(
+        client,
+        f"/v{API_VERSION}/simulate",
+        {"name": "paper-batch-small", "overrides": {"m_requests": 4}},
+    )
+    assert (status, body["type"]) == (200, "simulate_result")
+    report = body["report"]
+    assert report["kind"] == "batch"
+    assert report["arrivals"] == 4
+    spec = default_scenario_registry().create("paper-batch-small", m_requests=4)
+    ensemble, requests = spec.build()
+    direct = RecommendationEngine(
+        ensemble, **spec.engine.engine_kwargs()
+    ).resolve(requests)
+    assert report["satisfied"] == direct.satisfied_count
+    assert report["alternative"] == direct.alternative_count
+    assert report["objective_value"] == direct.batch.objective_value
+    # The server-side ensemble is now addressable by fingerprint alone —
+    # the whole point of materializing specs behind the wire.
+    status, resolve = post(
+        client,
+        f"/v{API_VERSION}/resolve",
+        {
+            "ensemble": {"fingerprint": report["fingerprint"]},
+            "spec": spec.engine.to_dict(),
+            "requests": request_dicts(),
+        },
+    )
+    assert (status, resolve["type"]) == (200, "resolve_result")
+
+
+def test_simulate_stream_scenario_over_http(client):
+    """POST /v1/simulate for a streaming family: arrival process honoured,
+    counters consistent, spec echo round-trips."""
+    from repro.api.wire import simulation_report_from_dict
+
+    status, body = post(
+        client,
+        f"/v{API_VERSION}/simulate",
+        {"name": "flash-crowd", "overrides": {"m_requests": 150}},
+    )
+    assert (status, body["type"]) == (200, "simulate_result")
+    report = simulation_report_from_dict(body["report"])
+    assert report.kind == "stream"
+    assert report.arrivals == 150
+    assert report.admitted == report.completed
+    assert report.scenario.name == "flash-crowd"
+    assert report.scenario.arrival.process == "burst"
+    assert report.scenario.requests.m_requests == 150
+
+
+def test_simulate_error_codes_over_http(client):
+    status, body = post(
+        client, f"/v{API_VERSION}/simulate", {"name": "no-such-family"}
+    )
+    assert status == 404
+    assert body["code"] == "unknown_scenario"
+
+    status, body = post(
+        client,
+        f"/v{API_VERSION}/simulate",
+        {"name": "paper-batch-small", "overrides": {"bogus": True}},
+    )
+    assert status == 400
+    assert body["code"] == "invalid_spec"
+
+
 def test_error_contract_over_http(client):
     base = f"/v{API_VERSION}"
 
