@@ -1,6 +1,6 @@
 """Bench: the service API seam — dispatch overhead and serve-mode req/s.
 
-Two pins, recorded to ``BENCH_service.json`` next to this file so the
+Three pins, recorded to ``BENCH_service.json`` next to this file so the
 perf trajectory is tracked across commits:
 
 * ``test_bench_dispatch_overhead`` resolves the same batch sequence
@@ -14,12 +14,19 @@ perf trajectory is tracked across commits:
   asserted identical to a directly driven session first), and reports
   serve-mode requests/s and arrivals/s with a conservative CI-safe
   floor.
+* ``test_bench_concurrent_serve`` measures the concurrent serve path:
+  a serial-lock baseline server reproducing the pre-concurrency design
+  (one global service lock, Nagle left on) versus the threaded,
+  coalescing, TCP_NODELAY server at 1/4/16 keep-alive clients.  The
+  pin: best threaded+coalesced throughput >= 5x the baseline, with the
+  whole sweep recorded.
 """
 
 import json
 import threading
 import time
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
+from http.server import ThreadingHTTPServer
 from pathlib import Path
 
 from bench_recording import record
@@ -31,7 +38,8 @@ from repro.api import (
     ResolveRequest,
     make_server,
 )
-from repro.api.wire import API_VERSION, stream_decision_from_dict
+from repro.api.http import HTTP_STATUS, ApiRequestHandler
+from repro.api.wire import API_VERSION, report_from_dict, stream_decision_from_dict
 from repro.engine import RecommendationEngine
 from repro.utils.rng import spawn_rngs
 from repro.workloads.generators import generate_requests, generate_strategy_ensemble
@@ -45,7 +53,47 @@ AGGREGATION = "max"
 DISPATCH_CEILING = 1.2
 SERVE_FLOOR_RPS = 10.0
 
+# Concurrent sweep: resolves per client, requests per resolve, client
+# counts, and the speedup the threaded path must hold over the
+# serial-lock baseline.
+N_RESOLVES = 30
+RESOLVE_BATCH = 10
+CLIENT_COUNTS = (1, 4, 16)
+CONCURRENT_SPEEDUP_FLOOR = 5.0
+
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+class ServiceClient:
+    """Keep-alive JSON client so the bench measures the transport.
+
+    One persistent ``HTTPConnection`` per client; a dropped connection
+    reconnects once (servers may close on idle) so a long sweep never
+    pays TCP + slow-start per request.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host, self.port, self.timeout = host, port, timeout
+        self.conn = HTTPConnection(host, port, timeout=timeout)
+
+    def post(self, payload: dict) -> dict:
+        data = json.dumps(payload)
+        try:
+            return self._roundtrip(data)
+        except (HTTPException, OSError):
+            self.conn.close()
+            self.conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            return self._roundtrip(data)
+
+    def _roundtrip(self, data: str) -> dict:
+        self.conn.request("POST", f"/v{API_VERSION}", data)
+        response = self.conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 200, body
+        return body
+
+    def close(self) -> None:
+        self.conn.close()
 
 
 def _workload(seed: int = 47):
@@ -125,7 +173,7 @@ def _serve_throughput() -> dict:
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        conn = HTTPConnection(host, port, timeout=60)
+        client = ServiceClient(host, port)
         ensemble_wire = EnsembleRef.of(ensemble).to_dict()
         spec_wire = spec.to_dict()
 
@@ -151,11 +199,7 @@ def _serve_throughput() -> dict:
                 payload["spec"] = spec_wire
             else:
                 payload["session_id"] = session_id
-            conn.request("POST", f"/v{API_VERSION}", json.dumps(payload))
-            response = conn.getresponse()
-            body = json.loads(response.read())
-            assert response.status == 200, body
-            return body
+            return client.post(payload)
 
         start = time.perf_counter()
         first = submit(batches[0])
@@ -194,3 +238,199 @@ def test_bench_serve_throughput(benchmark):
         f"transport should sustain >= {SERVE_FLOOR_RPS} req/s on burst "
         "traffic"
     )
+
+
+class _SerialLockHandler(ApiRequestHandler):
+    """The pre-concurrency transport, reproduced as the bench baseline.
+
+    One global lock serializes every request through the service, and
+    Nagle's algorithm stays on — with keep-alive JSON ping-pong the
+    Nagle/delayed-ACK interplay stalls each response ~40 ms, which is
+    what the old serve path actually shipped.
+    """
+
+    disable_nagle_algorithm = False
+
+    def do_POST(self):  # noqa: N802 — http.server API
+        payload, error = self._read_payload()
+        if error is not None:
+            self._send_json(HTTP_STATUS.get(error.get("code"), 400), error)
+            return
+        with self.server.service_lock:
+            body = self.server.service.handle_dict(payload)
+        status = 200
+        if body.get("type") == "error":
+            status = HTTP_STATUS.get(body.get("code"), 400)
+        self._send_json(status, body)
+
+
+def _baseline_server(service: EngineService) -> ThreadingHTTPServer:
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _SerialLockHandler)
+    server.service = service
+    server.service_lock = threading.Lock()
+    server.verbose = False
+    return server
+
+
+def _resolve_payloads(client_idx: int, ensemble_wire: dict, spec_wire: dict):
+    """One client's resolve envelopes (distinct params per client)."""
+    requests = generate_requests(
+        RESOLVE_BATCH * N_RESOLVES,
+        k=3,
+        seed=900 + client_idx,
+        prefix=f"c{client_idx}-",
+    )
+    payloads = []
+    for i in range(N_RESOLVES):
+        chunk = requests[i * RESOLVE_BATCH : (i + 1) * RESOLVE_BATCH]
+        payloads.append(
+            {
+                "api_version": API_VERSION,
+                "type": "resolve",
+                "ensemble": ensemble_wire,
+                "spec": spec_wire,
+                "requests": [
+                    {
+                        "request_id": r.request_id,
+                        "params": {
+                            "quality": r.quality,
+                            "cost": r.cost,
+                            "latency": r.latency,
+                        },
+                        "k": r.k,
+                    }
+                    for r in chunk
+                ],
+            }
+        )
+    return payloads
+
+
+def _drive_clients(host: str, port: int, n_clients: int, ensemble_wire, spec_wire):
+    """``n_clients`` keep-alive clients, each its own payload sequence."""
+    barrier = threading.Barrier(n_clients + 1)
+    errors: list = []
+
+    def run(client_idx: int):
+        client = ServiceClient(host, port)
+        payloads = _resolve_payloads(client_idx, ensemble_wire, spec_wire)
+        try:
+            barrier.wait()
+            for payload in payloads:
+                body = client.post(payload)
+                assert body["type"] == "resolve_result", body
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    return n_clients * N_RESOLVES / max(elapsed, 1e-9)
+
+
+def _concurrent_serve() -> dict:
+    ensemble = generate_strategy_ensemble(N_STRATEGIES, "uniform", 61)
+    spec = _spec()
+    ensemble_wire = EnsembleRef.of(ensemble).to_dict()
+    spec_wire = spec.to_dict()
+
+    # Decision check first: one served resolve == the direct engine.
+    check_server = make_server(EngineService())
+    check_thread = threading.Thread(
+        target=check_server.serve_forever, daemon=True
+    )
+    check_thread.start()
+    try:
+        host, port = check_server.server_address
+        client = ServiceClient(host, port)
+        payload = _resolve_payloads(0, ensemble_wire, spec_wire)[0]
+        body = client.post(payload)
+        client.close()
+        direct = RecommendationEngine(ensemble, **spec.engine_kwargs())
+        chunk = generate_requests(
+            RESOLVE_BATCH * N_RESOLVES, k=3, seed=900, prefix="c0-"
+        )[:RESOLVE_BATCH]
+        assert report_from_dict(body["report"]) == direct.resolve(chunk), (
+            "coalesced serve drifted from the direct engine"
+        )
+    finally:
+        check_server.shutdown()
+        check_server.server_close()
+        check_thread.join(timeout=5)
+
+    # Baseline: serial lock, Nagle on, one keep-alive client.
+    baseline = _baseline_server(EngineService())
+    baseline_thread = threading.Thread(
+        target=baseline.serve_forever, daemon=True
+    )
+    baseline_thread.start()
+    try:
+        host, port = baseline.server_address
+        baseline_rps = _drive_clients(host, port, 1, ensemble_wire, spec_wire)
+    finally:
+        baseline.shutdown()
+        baseline.server_close()
+        baseline_thread.join(timeout=5)
+
+    # Sweep: threaded + coalescing server at 1/4/16 keep-alive clients.
+    sweep = []
+    coalescer_stats = None
+    for n_clients in CLIENT_COUNTS:
+        service = EngineService()
+        server = make_server(service, threads=max(16, n_clients))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            rps = _drive_clients(host, port, n_clients, ensemble_wire, spec_wire)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        sweep.append(
+            {
+                "clients": n_clients,
+                "req_per_s": round(rps, 1),
+                "speedup_x": round(rps / max(baseline_rps, 1e-9), 2),
+            }
+        )
+        if n_clients == max(CLIENT_COUNTS):
+            coalescer_stats = service.coalescer.occupancy()
+
+    best = max(point["req_per_s"] for point in sweep)
+    return {
+        "resolves_per_client": N_RESOLVES,
+        "requests_per_resolve": RESOLVE_BATCH,
+        "baseline_req_per_s": round(baseline_rps, 1),
+        "sweep": sweep,
+        "best_req_per_s": best,
+        "best_speedup_x": round(best / max(baseline_rps, 1e-9), 2),
+        "speedup_floor_x": CONCURRENT_SPEEDUP_FLOOR,
+        "coalescer": coalescer_stats,
+    }
+
+
+def test_bench_concurrent_serve(benchmark):
+    info = benchmark.pedantic(_concurrent_serve, rounds=1, iterations=1)
+    benchmark.extra_info.update(info)
+    record(RESULTS_PATH, "concurrent_serve", info)
+    assert info["best_speedup_x"] >= CONCURRENT_SPEEDUP_FLOOR, (
+        f"threaded keep-alive serve reached {info['best_req_per_s']} req/s "
+        f"({info['best_speedup_x']}x the serial-lock baseline "
+        f"{info['baseline_req_per_s']} req/s); the concurrent path must "
+        f"hold >= {CONCURRENT_SPEEDUP_FLOOR}x"
+    )
+    # The coalescer must have actually merged cross-client work at 16
+    # clients — otherwise the sweep measured the wrong code path.
+    assert info["coalescer"] is not None
+    assert info["coalescer"]["coalesced"] > 0, info["coalescer"]

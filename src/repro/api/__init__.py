@@ -14,7 +14,10 @@ Three layers, each importable on its own:
 * :mod:`repro.api.service` — :class:`EngineService`, the stateless
   dispatcher multiplexing pooled engines and opaque-id sessions across
   tenants; :mod:`repro.api.http` serves it as JSON over stdlib
-  ``http.server`` (the ``repro serve`` subcommand).
+  ``http.server`` (the ``repro serve`` subcommand) on a bounded handler
+  thread pool with keep-alive; :mod:`repro.api.coalescer` merges
+  concurrent stateless calls into one vectorized engine pass per
+  (ensemble, spec) group.
 
 Decision-for-decision identity with driving the engine directly is
 pinned by ``tests/property/test_service_equivalence.py``.
@@ -45,7 +48,8 @@ from repro.api.envelopes import (
     parse_request,
     parse_response,
 )
-from repro.api.http import API_PATH, make_server, serve
+from repro.api.coalescer import RequestCoalescer
+from repro.api.http import API_PATH, DEFAULT_THREADS, make_server, serve
 from repro.api.service import EngineService
 from repro.api.wire import API_VERSION, EngineSpec, EnsembleRef
 from repro.exceptions import ApiError
@@ -56,6 +60,7 @@ __all__ = [
     "ApiError",
     "AlternativesRequest",
     "AlternativesResponse",
+    "DEFAULT_THREADS",
     "ERROR_CODES",
     "EngineService",
     "EngineSpec",
@@ -64,6 +69,7 @@ __all__ = [
     "PlanRequest",
     "PlanResponse",
     "REQUEST_TYPES",
+    "RequestCoalescer",
     "ResolveRequest",
     "ResolveResponse",
     "RetryDeferredRequest",

@@ -611,8 +611,12 @@ class StatsResponse:
     counts materialized scenario specs held by the content-hash workload
     cache.  ``hit_rate`` is *derived* from the cache counters (emitted on
     the wire for convenience, never decoded back — it cannot drift from
-    the counters it summarizes).  The limit fields and ``occupancy``
-    decode with zero defaults so pre-extension payloads still parse.
+    the counters it summarizes).  ``coalescer`` is the request
+    coalescer's occupancy snapshot when one is attached (``repro serve``
+    default) — ``calls``/``batches``/``coalesced`` counters plus the
+    in-flight group count; ``None`` when coalescing is off.  The limit
+    fields, ``occupancy`` and ``coalescer`` decode with empty defaults
+    so pre-extension payloads still parse.
     """
 
     type = "stats_result"
@@ -625,6 +629,7 @@ class StatsResponse:
     max_sessions: int = 0
     max_ensembles: int = 0
     occupancy: "dict | None" = None
+    coalescer: "dict | None" = None
 
     @property
     def hit_rate(self) -> float:
@@ -645,6 +650,7 @@ class StatsResponse:
                 "max_ensembles": self.max_ensembles,
                 "hit_rate": self.hit_rate,
                 "occupancy": self.occupancy,
+                "coalescer": self.coalescer,
             },
         )
 
@@ -654,6 +660,9 @@ class StatsResponse:
         occupancy = payload.get("occupancy")
         if occupancy is not None:
             expect_mapping(occupancy, "occupancy")
+        coalescer = payload.get("coalescer")
+        if coalescer is not None:
+            expect_mapping(coalescer, "coalescer")
         return cls(
             cache=cache_stats_from_dict(require(payload, "cache", cls.type)),
             engines=as_int(require(payload, "engines", cls.type), "engines"),
@@ -668,6 +677,7 @@ class StatsResponse:
                 payload.get("max_ensembles", 0), "max_ensembles"
             ),
             occupancy=occupancy,
+            coalescer=coalescer,
         )
 
 

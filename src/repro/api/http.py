@@ -12,19 +12,36 @@ Error contract: every failure is the typed error envelope from
 the status line (unknown handles → 404, ``internal`` → 500, any other
 client error → 400).  Tracebacks never cross the wire.
 
-The server is a :class:`ThreadingHTTPServer`; the service's engine pool
-and cache are shared across request threads, serialized by one lock —
-the vectorized NumPy passes dominate request cost, so a single-process
-server saturates before the lock does (``benchmarks/bench_service.py``
-reports req/s).
+**Concurrency.**  Handler threads call straight into
+:meth:`EngineService.handle_dict` — there is no transport-level lock.
+The service is internally thread-safe (sharded engine/ensemble pools,
+per-session locks, locked cache sections; see :mod:`repro.api.service`),
+and concurrent stateless ``resolve``/``alternatives`` calls are merged
+by an attached :class:`~repro.api.coalescer.RequestCoalescer` into one
+vectorized pass per engine identity.  The server is a bounded-pool
+variant of :class:`ThreadingHTTPServer` (``threads`` workers; excess
+connections queue in the listen backlog), and the handler disables
+Nagle's algorithm — with keep-alive JSON ping-pong, the Nagle /
+delayed-ACK interplay otherwise stalls every response by ~40 ms, which
+was the dominant cost of the old serve path.
+
+**Keep-alive.**  HTTP/1.1 persistent connections are honored end to end:
+error responses carry correct ``Content-Length`` and leave the
+connection open whenever the request body was fully consumed (wrong
+path, invalid JSON, typed service errors).  ``Connection: close`` is
+sent only when framing is actually unrecoverable — a missing, malformed
+or oversized ``Content-Length``, where bytes may be left unread and
+would desync the next request on the wire.  ``GET /v1/health`` takes no
+service lock of any kind.
 """
 
 from __future__ import annotations
 
 import json
-import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.api.coalescer import RequestCoalescer
 from repro.api.envelopes import ErrorResponse
 from repro.api.service import EngineService
 from repro.api.wire import API_VERSION
@@ -47,15 +64,25 @@ HTTP_STATUS = {
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: Default handler-pool width for ``make_server``/``repro serve``.
+DEFAULT_THREADS = 16
+
 
 class ApiRequestHandler(BaseHTTPRequestHandler):
     """One HTTP request → one envelope through the service."""
 
     server_version = f"repro-serve/{API_VERSION}"
     protocol_version = "HTTP/1.1"
+    # Nagle + delayed ACK stalls small keep-alive responses ~40 ms each;
+    # envelopes are single writes, so there is nothing to batch anyway.
+    disable_nagle_algorithm = True
+    # A dead keep-alive peer must release its pool thread eventually.
+    timeout = 60
 
     # ------------------------------------------------------------------ GET
     def do_GET(self):  # noqa: N802 — http.server API
+        # Lock-free by design: liveness probes must answer even while
+        # every worker thread is busy inside the service.
         if self.path.rstrip("/") in (API_PATH + "/health", API_PATH):
             self._send_json(
                 200, {"status": "ok", "api_version": API_VERSION}
@@ -72,8 +99,7 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         if error is not None:
             self._send_json(HTTP_STATUS.get(error.get("code"), 400), error)
             return
-        with self.server.service_lock:
-            body = self.server.service.handle_dict(payload)
+        body = self.server.service.handle_dict(payload)
         status = 200
         if body.get("type") == "error":
             status = HTTP_STATUS.get(body.get("code"), 400)
@@ -82,13 +108,16 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
     def _read_payload(self):
         """Decode the body; returns ``(payload, None)`` or ``(None, error)``.
 
-        On any decode error the connection is marked for close: the body
-        may be wholly or partly unread, and leaving it in the stream
-        would desync the next request on a keep-alive connection.
+        Keep-alive hygiene: whenever the body can be fully consumed
+        (wrong path with a well-framed body, valid-length non-JSON
+        bytes), it is drained and the connection stays open.  Only an
+        unparseable or out-of-range ``Content-Length`` — where the
+        framing itself is unknown — marks the connection for close.
         """
         path = self.path.rstrip("/")
         if path != API_PATH and not path.startswith(API_PATH + "/"):
-            self.close_connection = True
+            if not self._drain_body():
+                self.close_connection = True
             return None, _error_body(
                 "not_found", f"POST to {API_PATH} or {API_PATH}/<type>"
             )
@@ -97,8 +126,14 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             self.close_connection = True
             return None, _error_body("malformed_payload", "bad Content-Length")
-        if length <= 0 or length > _MAX_BODY_BYTES:
+        if length < 0 or length > _MAX_BODY_BYTES:
             self.close_connection = True
+            return None, _error_body(
+                "malformed_payload",
+                f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
+            )
+        if length == 0:
+            # Nothing unread — the connection can survive this error.
             return None, _error_body(
                 "malformed_payload",
                 f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
@@ -125,6 +160,18 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             payload.setdefault("api_version", API_VERSION)
         return payload, None
 
+    def _drain_body(self) -> bool:
+        """Discard a request body; ``True`` if the stream is left clean."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            return False
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return False
+        if length:
+            self.rfile.read(length)
+        return True
+
     # ------------------------------------------------------------- plumbing
     def _send_json(self, status: int, body: dict) -> None:
         data = json.dumps(body).encode()
@@ -149,20 +196,59 @@ def _error_body(code: str, message: str) -> dict:
     return ErrorResponse(code=code, message=message).to_dict()
 
 
+class _PooledHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer on a *bounded* worker pool.
+
+    The stock class spawns one unbounded thread per connection; with
+    keep-alive each connection pins its thread for its whole lifetime,
+    so a connection flood becomes a thread flood.  Here connections are
+    handed to a fixed :class:`ThreadPoolExecutor` and the overflow waits
+    in the executor's queue (plus the listen backlog).
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, server_address, handler_class, threads: int):
+        super().__init__(server_address, handler_class)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(threads)),
+            thread_name_prefix="repro-serve",
+        )
+
+    def process_request(self, request, client_address):
+        self._pool.submit(
+            self.process_request_thread, request, client_address
+        )
+
+    def server_close(self):
+        super().server_close()
+        self._pool.shutdown(wait=False)
+
+
 def make_server(
     service: "EngineService | None" = None,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    threads: int = DEFAULT_THREADS,
+    coalesce: bool = True,
+    coalesce_window_s: float = 0.0,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server fronting one service.
 
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` (tests and the bench harness do).
+    ``threads`` bounds the handler pool; ``coalesce`` attaches a
+    :class:`RequestCoalescer` (window ``coalesce_window_s``) to the
+    service unless it already has one.
     """
-    server = ThreadingHTTPServer((host, port), ApiRequestHandler)
+    server = _PooledHTTPServer((host, port), ApiRequestHandler, threads)
     server.service = service if service is not None else EngineService()
-    server.service_lock = threading.Lock()
+    if coalesce and server.service.coalescer is None:
+        server.service.attach_coalescer(
+            RequestCoalescer(window_s=coalesce_window_s)
+        )
     server.verbose = verbose
     return server
 
@@ -173,6 +259,8 @@ def serve(
     port: int = 8000,
     verbose: bool = False,
     ready=None,
+    threads: int = DEFAULT_THREADS,
+    coalesce: bool = True,
 ) -> None:
     """Run the blocking serve loop (the ``repro serve`` subcommand).
 
@@ -180,7 +268,14 @@ def serve(
     before the loop starts — how tests and the CLI print the address
     without racing the bind.
     """
-    server = make_server(service, host=host, port=port, verbose=verbose)
+    server = make_server(
+        service,
+        host=host,
+        port=port,
+        verbose=verbose,
+        threads=threads,
+        coalesce=coalesce,
+    )
     try:
         if ready is not None:
             ready(server.server_address)

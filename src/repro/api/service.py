@@ -22,6 +22,29 @@ Differential property tests pin both paths decision-for-decision
 identical to driving :class:`~repro.engine.RecommendationEngine` /
 :class:`~repro.engine.EngineSession` directly, including
 ``submit_many`` burst semantics.
+
+**Concurrency model.**  The service is safe to call from many threads
+without any external lock — ``repro serve`` dispatches handler threads
+straight into :meth:`~EngineService.handle_dict`.  Fine-grained locking
+replaces the transport's former global lock:
+
+* the engine pool, ensemble registry, and workload cache are
+  :class:`_ShardedLRU` maps — striped per-shard locks, global LRU
+  capacity — so lookups on different keys rarely contend;
+* sessions are session-affine: every ledger-touching op runs under that
+  session's own :class:`~repro.engine.session.EngineSession` lock, so
+  two clients hammering different sessions never serialize;
+* cache counters and LRU sections lock inside :class:`EngineCache`.
+
+Engine construction deliberately happens *outside* any lock: an engine
+is a pure function of (ensemble fingerprint, spec pool key), so the
+worst a check-then-act race costs is one duplicate construction — both
+instances share the service cache and answer identically, and the pool
+keeps whichever landed last.  Stateless ``resolve``/``alternatives``
+calls can additionally be routed through an attached
+:class:`~repro.api.coalescer.RequestCoalescer`
+(:meth:`~EngineService.attach_coalescer`), which merges concurrent
+calls on the same engine identity into one vectorized pass.
 """
 
 from __future__ import annotations
@@ -29,6 +52,7 @@ from __future__ import annotations
 import itertools
 import json
 import secrets
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
@@ -72,6 +96,84 @@ from repro.workloads.registry import (
 )
 from repro.workloads.simulation import simulate_scenario
 from repro.workloads.spec import ScenarioSpec
+
+
+class _ShardedLRU:
+    """A bounded mapping: striped locks per shard, *global* LRU capacity.
+
+    Keys hash across ``shards`` sections, each an :class:`OrderedDict`
+    guarded by its own lock, so concurrent ``get``/``put`` on different
+    keys almost never contend.  Recency is a process-wide monotonic
+    stamp taken on every touch; each shard keeps itself stamp-ordered
+    (touch = move to end), so the globally least-recent entry is always
+    one of the shard heads.  Eviction scans those heads and removes the
+    minimum-stamp entry, never holding more than one shard lock at a
+    time (no lock-ordering deadlocks).  Run serially this reproduces
+    ``OrderedDict`` ``move_to_end``/``popitem(last=False)`` LRU
+    semantics exactly — the unit tests pin global, not per-shard,
+    eviction order.  Under races eviction may lag a concurrent touch by
+    one step, which here only ever costs re-building a stateless value.
+    """
+
+    def __init__(self, capacity: int, shards: int = 8):
+        self._capacity = max(1, int(capacity))
+        n_shards = max(1, min(int(shards), self._capacity))
+        self._locks = tuple(threading.Lock() for _ in range(n_shards))
+        # key -> (stamp, value); insertion order == stamp order per shard.
+        self._shards: "tuple[OrderedDict, ...]" = tuple(
+            OrderedDict() for _ in range(n_shards)
+        )
+        self._stamp = itertools.count(1)
+
+    def _index(self, key) -> int:
+        return hash(key) % len(self._shards)
+
+    def get(self, key):
+        """The value under ``key`` (marking it most-recent), or ``None``."""
+        i = self._index(key)
+        with self._locks[i]:
+            entry = self._shards[i].get(key)
+            if entry is None:
+                return None
+            self._shards[i][key] = (next(self._stamp), entry[1])
+            self._shards[i].move_to_end(key)
+            return entry[1]
+
+    def put(self, key, value) -> None:
+        """Insert or refresh ``key``, then evict past global capacity."""
+        i = self._index(key)
+        with self._locks[i]:
+            self._shards[i][key] = (next(self._stamp), value)
+            self._shards[i].move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self) > self._capacity:
+            victim = None  # (stamp, shard index, key)
+            for i, lock in enumerate(self._locks):
+                with lock:
+                    head = next(iter(self._shards[i].items()), None)
+                if head is not None and (
+                    victim is None or head[1][0] < victim[0]
+                ):
+                    victim = (head[1][0], i, head[0])
+            if victim is None:
+                return
+            stamp, i, key = victim
+            with self._locks[i]:
+                entry = self._shards[i].get(key)
+                # A concurrent touch re-stamped the candidate; loop and
+                # re-scan rather than evicting a freshly-used entry.
+                if entry is not None and entry[0] == stamp:
+                    del self._shards[i][key]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key) -> bool:
+        i = self._index(key)
+        with self._locks[i]:
+            return key in self._shards[i]
 
 
 @dataclass
@@ -154,22 +256,35 @@ class EngineService:
         self._max_workloads = max(1, int(max_workloads))
         self._max_spec_strategies = max(1, int(max_spec_strategies))
         self._max_spec_requests = max(1, int(max_spec_requests))
-        self._engines: "OrderedDict[tuple, RecommendationEngine]" = OrderedDict()
-        self._ensembles: "OrderedDict[str, StrategyEnsemble]" = OrderedDict()
-        self._sessions: "OrderedDict[str, _SessionHandle]" = OrderedDict()
-        self._workloads: "OrderedDict[str, tuple[str, object]]" = OrderedDict()
+        self._engines = _ShardedLRU(self._max_engines)
+        self._ensembles = _ShardedLRU(self._max_ensembles)
+        self._sessions: "dict[str, _SessionHandle]" = {}
+        self._sessions_lock = threading.Lock()
+        self._workloads = _ShardedLRU(self._max_workloads)
         self._session_seq = itertools.count(1)
+        self._coalescer = None
+
+    # ------------------------------------------------------------- coalescer
+    def attach_coalescer(self, coalescer):
+        """Route stateless ``resolve``/``alternatives`` calls through
+        ``coalescer`` (a :class:`~repro.api.coalescer.RequestCoalescer`);
+        pass ``None`` to detach.  Returns the coalescer for chaining."""
+        self._coalescer = coalescer
+        return coalescer
+
+    @property
+    def coalescer(self):
+        """The attached request coalescer, or ``None``."""
+        return self._coalescer
 
     # ------------------------------------------------------------ ensembles
     def register_ensemble(self, ensemble: StrategyEnsemble) -> str:
         """Make an ensemble addressable by fingerprint; returns the hash."""
         fingerprint = ensemble_fingerprint(ensemble)
-        if fingerprint in self._ensembles:
-            self._ensembles.move_to_end(fingerprint)
-        else:
-            self._ensembles[fingerprint] = ensemble
-            while len(self._ensembles) > self._max_ensembles:
-                self._ensembles.popitem(last=False)
+        # put() both registers a cold fingerprint and refreshes a warm
+        # one's LRU slot; the value is fingerprint-determined, so a
+        # concurrent duplicate put stores an equal ensemble.
+        self._ensembles.put(fingerprint, ensemble)
         return fingerprint
 
     def _resolve_ensemble(self, ref: "EnsembleRef | None") -> StrategyEnsemble:
@@ -188,7 +303,6 @@ class EngineService:
                 f"{ref.fingerprint[:16]}…; upload it inline once first",
                 code="unknown_ensemble",
             )
-        self._ensembles.move_to_end(ref.fingerprint)
         return ensemble
 
     def _resolve_spec(self, spec: "EngineSpec | None") -> EngineSpec:
@@ -212,6 +326,10 @@ class EngineService:
         Engines are stateless facades, so any caller holding the same
         identity shares one instance — and through it the service-wide
         cache (workforce aggregates, ADPaR results, relaxation spaces).
+        Construction runs outside the pool's shard locks: two threads
+        racing on a cold key may both build, but the engine is a pure
+        function of the key and both share the cache, so the race only
+        costs one duplicate construction.
         """
         if ensemble is None or isinstance(ensemble, EnsembleRef):
             # None falls through to the typed missing_ensemble error.
@@ -222,7 +340,6 @@ class EngineService:
         key = (ensemble_fingerprint(ensemble),) + spec.pool_key()
         engine = self._engines.get(key)
         if engine is not None:
-            self._engines.move_to_end(key)
             return engine
         engine = RecommendationEngine(
             ensemble,
@@ -231,9 +348,7 @@ class EngineService:
             solver_registry=self._solver_registry,
             **spec.engine_kwargs(),
         )
-        self._engines[key] = engine
-        while len(self._engines) > self._max_engines:
-            self._engines.popitem(last=False)
+        self._engines.put(key, engine)
         return engine
 
     @property
@@ -247,22 +362,30 @@ class EngineService:
         spec: "EngineSpec | None" = None,
     ) -> str:
         """Open a streaming session; returns its opaque id."""
+        # Pre-check so a full service rejects before paying for engine
+        # construction; the authoritative check re-runs under the lock.
+        self._check_session_limit()
+        engine = self.engine_for(ensemble, spec)
+        spec = self._resolve_spec(spec)
+        session_id = f"sess-{next(self._session_seq):06d}-{secrets.token_hex(4)}"
+        handle = _SessionHandle(
+            session_id=session_id,
+            session=engine.open_session(),
+            fingerprint=ensemble_fingerprint(engine.ensemble),
+            spec=spec,
+        )
+        with self._sessions_lock:
+            self._check_session_limit()
+            self._sessions[session_id] = handle
+        return session_id
+
+    def _check_session_limit(self) -> None:
         if len(self._sessions) >= self._max_sessions:
             raise ApiError(
                 f"session limit ({self._max_sessions}) reached; close "
                 "sessions to free slots",
                 code="session_limit",
             )
-        engine = self.engine_for(ensemble, spec)
-        spec = self._resolve_spec(spec)
-        session_id = f"sess-{next(self._session_seq):06d}-{secrets.token_hex(4)}"
-        self._sessions[session_id] = _SessionHandle(
-            session_id=session_id,
-            session=engine.open_session(),
-            fingerprint=ensemble_fingerprint(engine.ensemble),
-            spec=spec,
-        )
-        return session_id
 
     def session(self, session_id: str) -> EngineSession:
         """The live :class:`EngineSession` behind one opaque id."""
@@ -277,8 +400,11 @@ class EngineService:
         return handle
 
     def close_session(self, session_id: str) -> None:
-        self._session_handle(session_id)
-        del self._sessions[session_id]
+        with self._sessions_lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise ApiError(
+                    f"unknown session {session_id!r}", code="unknown_session"
+                )
 
     @property
     def session_count(self) -> int:
@@ -295,14 +421,18 @@ class EngineService:
 
         Same contract as :func:`repro.engine.session.drive_stream` — the
         CLI ``stream`` subcommand and the platform simulator route their
-        cohort traffic through the service with this.
+        cohort traffic through the service with this.  The whole loop
+        holds the session's lock: a drive is one logical replay, and
+        interleaving foreign bursts mid-replay would change its report.
         """
-        return drive_stream(
-            self.session(session_id),
-            requests,
-            burst_size=burst_size,
-            hold_bursts=hold_bursts,
-        )
+        session = self.session(session_id)
+        with session.lock:
+            return drive_stream(
+                session,
+                requests,
+                burst_size=burst_size,
+                hold_bursts=hold_bursts,
+            )
 
     # ------------------------------------------------------------ typed ops
     def plan(self, request: PlanRequest) -> PlanResponse:
@@ -316,6 +446,12 @@ class EngineService:
         )
 
     def resolve(self, request: ResolveRequest) -> ResolveResponse:
+        if self._coalescer is not None:
+            return self._coalescer.submit(self, request)
+        return self.resolve_direct(request)
+
+    def resolve_direct(self, request: ResolveRequest) -> ResolveResponse:
+        """:meth:`resolve` bypassing any attached coalescer."""
         engine = self.engine_for(request.ensemble, request.spec)
         return ResolveResponse(
             report=engine.resolve(
@@ -327,6 +463,14 @@ class EngineService:
         )
 
     def alternatives(self, request: AlternativesRequest) -> AlternativesResponse:
+        if self._coalescer is not None:
+            return self._coalescer.submit(self, request)
+        return self.alternatives_direct(request)
+
+    def alternatives_direct(
+        self, request: AlternativesRequest
+    ) -> AlternativesResponse:
+        """:meth:`alternatives` bypassing any attached coalescer."""
         engine = self.engine_for(request.ensemble, request.spec)
         return AlternativesResponse(
             results=tuple(
@@ -359,6 +503,15 @@ class EngineService:
                 )
             session_id = request.session_id
             opened_here = False
+        else:
+            session_id = self.open_session(request.ensemble, request.spec)
+            handle = self._session_handle(session_id)
+            opened_here = True
+        # Session lock spans the active-id validation AND the burst, so a
+        # concurrent burst on the same session cannot invalidate the
+        # check between validate and submit (session.lock is an RLock;
+        # submit_many re-acquires it harmlessly).
+        with handle.session.lock:
             active = handle.session.active
             already = next((i for i in ids if i in active), None)
             if already is not None:
@@ -366,38 +519,37 @@ class EngineService:
                     f"request {already!r} is already active in this session",
                     code="invalid_argument",
                 )
-        else:
-            session_id = self.open_session(request.ensemble, request.spec)
-            handle = self._session_handle(session_id)
-            opened_here = True
-        try:
-            decisions = handle.session.submit_many(list(request.requests))
-        except Exception:
-            # Backstop for unexpected mid-burst failures: the error
-            # envelope cannot carry the implicit session's id, so an
-            # implicitly opened session must not outlive a failed burst —
-            # it would count against max_sessions unclosable.
-            if opened_here:
-                self.close_session(session_id)
-            raise
-        return SubmitBatchResponse(
-            session_id=session_id,
-            decisions=tuple(decisions),
-            remaining=handle.session.remaining,
-            deferred=len(handle.session.deferred),
-        )
+            try:
+                decisions = handle.session.submit_many(list(request.requests))
+            except Exception:
+                # Backstop for unexpected mid-burst failures: the error
+                # envelope cannot carry the implicit session's id, so an
+                # implicitly opened session must not outlive a failed
+                # burst — it would count against max_sessions unclosable.
+                if opened_here:
+                    self.close_session(session_id)
+                raise
+            return SubmitBatchResponse(
+                session_id=session_id,
+                decisions=tuple(decisions),
+                remaining=handle.session.remaining,
+                deferred=len(handle.session.deferred),
+            )
 
     def retry_deferred(
         self, request: RetryDeferredRequest
     ) -> RetryDeferredResponse:
         session = self.session(request.session_id)
-        decisions = session.retry_deferred()
-        return RetryDeferredResponse(
-            session_id=request.session_id,
-            decisions=tuple(decisions),
-            remaining=session.remaining,
-            deferred=len(session.deferred),
-        )
+        # Hold the session lock across the drain and the snapshot so the
+        # reported remaining/deferred match the decisions returned.
+        with session.lock:
+            decisions = session.retry_deferred()
+            return RetryDeferredResponse(
+                session_id=request.session_id,
+                decisions=tuple(decisions),
+                remaining=session.remaining,
+                deferred=len(session.deferred),
+            )
 
     def session_op(self, request: SessionOpRequest) -> SessionOpResponse:
         if request.op not in ("complete", "revoke", "close_session"):
@@ -420,23 +572,28 @@ class EngineService:
         # Validate every id up front so the op is atomic: either all
         # reservations release or none do — a partial release the client
         # only learns about through an error envelope would leave its
-        # ledger permanently out of step with the session's.
+        # ledger permanently out of step with the session's.  The session
+        # lock spans validation and release so a concurrent op on the
+        # same session cannot invalidate the check mid-loop.
         if len(set(request.request_ids)) != len(request.request_ids):
             raise ApiError(
                 f"{request.op} request_ids must be unique",
                 code="invalid_argument",
             )
-        active = session.active
-        for request_id in request.request_ids:
-            if request_id not in active:
-                raise ApiError(
-                    f"no active reservation for {request_id!r}",
-                    code="unknown_reservation",
-                )
-        release = session.complete if request.op == "complete" else session.revoke
-        released = 0.0
-        for request_id in request.request_ids:
-            released += release(request_id)
+        with session.lock:
+            active = session.active
+            for request_id in request.request_ids:
+                if request_id not in active:
+                    raise ApiError(
+                        f"no active reservation for {request_id!r}",
+                        code="unknown_reservation",
+                    )
+            release = (
+                session.complete if request.op == "complete" else session.revoke
+            )
+            released = 0.0
+            for request_id in request.request_ids:
+                released += release(request_id)
         return SessionOpResponse(
             op=request.op,
             session_id=request.session_id,
@@ -510,19 +667,15 @@ class EngineService:
         hit = self._workloads.get(key)
         if hit is not None:
             fingerprint, payload = hit
+            # get() already refreshed both entries' LRU slots.
             ensemble = self._ensembles.get(fingerprint)
             if ensemble is not None:
-                self._workloads.move_to_end(key)
-                self._ensembles.move_to_end(fingerprint)
                 return ensemble, payload
         ensemble, payload = spec.build()
         fingerprint = self.register_ensemble(ensemble)
-        self._workloads[key] = (fingerprint, payload)
-        # Assignment keeps a stale entry's old LRU slot; a rebuild is a
-        # use, so mark it most-recently-used like the hit path does.
-        self._workloads.move_to_end(key)
-        while len(self._workloads) > self._max_workloads:
-            self._workloads.popitem(last=False)
+        # put() refreshes a stale entry's LRU slot too — a rebuild is a
+        # use, same as the hit path.
+        self._workloads.put(key, (fingerprint, payload))
         return ensemble, payload
 
     def simulate(self, request: SimulateRequest) -> SimulateResponse:
@@ -537,6 +690,7 @@ class EngineService:
         )
 
     def stats(self, request: "StatsRequest | None" = None) -> StatsResponse:
+        coalescer = self._coalescer
         return StatsResponse(
             cache=self.cache.stats,
             engines=len(self._engines),
@@ -547,6 +701,7 @@ class EngineService:
             max_sessions=self._max_sessions,
             max_ensembles=self._max_ensembles,
             occupancy=self.cache.occupancy(),
+            coalescer=None if coalescer is None else coalescer.occupancy(),
         )
 
     # -------------------------------------------------------------- dispatch

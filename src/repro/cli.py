@@ -302,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workforce-mode", choices=("paper", "strict"), default="paper"
     )
     serve.add_argument(
+        "--threads",
+        type=int,
+        default=16,
+        help="handler thread-pool width (default: 16)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help=(
+            "disable cross-client request coalescing (on by default: "
+            "concurrent stateless resolve/alternatives calls on the same "
+            "engine identity merge into one vectorized pass)"
+        ),
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
@@ -525,10 +540,12 @@ def run_serve(args, out) -> int:
 
     def ready(address):
         host, port = address[0], address[1]
+        coalesce = "off" if args.no_coalesce else "on"
         print(
             f"repro serve: api v{API_VERSION} on http://{host}:{port}/v{API_VERSION} "
             f"(default spec: W={args.availability} planner={args.planner} "
-            f"solver={args.solver}); Ctrl-C to stop",
+            f"solver={args.solver}; threads={args.threads} "
+            f"coalesce={coalesce}); Ctrl-C to stop",
             file=out,
         )
         if hasattr(out, "flush"):
@@ -540,6 +557,8 @@ def run_serve(args, out) -> int:
         port=args.port,
         verbose=args.verbose,
         ready=ready,
+        threads=args.threads,
+        coalesce=not args.no_coalesce,
     )
     return 0
 

@@ -13,11 +13,21 @@ backend shares, and the solver instances themselves.
 
 The cache is bounded LRU per section and safe to share across engines —
 entries are frozen dataclasses keyed by flat value tuples.
+
+Thread safety: every LRU section carries its own lock (held only for the
+dict operation, never while computing a value), and hit/miss counters are
+updated under a dedicated stats lock so accounting stays exact under
+concurrent traffic — ``hits + misses`` always equals the number of
+probes.  Value computation is deliberately outside any lock: two threads
+missing the same key may both compute it, but entries are pure functions
+of their key, so the duplicate write is idempotent and decisions are
+unaffected.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
@@ -83,27 +93,34 @@ class CacheStats:
 
 
 class _LRU:
-    """A size-bounded mapping with least-recently-used eviction."""
+    """A size-bounded mapping with least-recently-used eviction.
+
+    Safe under concurrent get/put: one lock per section, held only for
+    the dict operation itself — callers compute values outside it.
+    """
 
     def __init__(self, max_entries: int):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
         # dict.get + move_to_end instead of try/except: misses are the
         # common cold-path case and must not pay exception dispatch.
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -138,14 +155,28 @@ class EngineCache:
         self._adpar_solvers = _LRU(max_solver_entries)
         self._spaces = _LRU(max_space_entries)
         self.stats = CacheStats()
+        # Counter increments are load/add/store in CPython — racy across
+        # threads without this; accounting must stay exact (hits + misses
+        # == probes) for the stats envelope to be trustworthy.
+        self._stats_lock = threading.Lock()
+
+    def _count_workforce(self, hits: int, misses: int) -> None:
+        with self._stats_lock:
+            self.stats.workforce_hits += hits
+            self.stats.workforce_misses += misses
+
+    def _count_adpar(self, hits: int, misses: int) -> None:
+        with self._stats_lock:
+            self.stats.adpar_hits += hits
+            self.stats.adpar_misses += misses
 
     # ------------------------------------------------------------- workforce
     def lookup_workforce(self, key: _WorkforceKey) -> "RequestWorkforce | None":
         hit = self._workforce.get(key)
         if hit is None:
-            self.stats.workforce_misses += 1
+            self._count_workforce(0, 1)
         else:
-            self.stats.workforce_hits += 1
+            self._count_workforce(1, 0)
         return hit
 
     def store_workforce(self, key: _WorkforceKey, need: RequestWorkforce) -> None:
@@ -163,8 +194,7 @@ class EngineCache:
         get = self._workforce.get
         results = [get(key) for key in keys]
         hits = sum(1 for hit in results if hit is not None)
-        self.stats.workforce_hits += hits
-        self.stats.workforce_misses += len(results) - hits
+        self._count_workforce(hits, len(results) - hits)
         return results
 
     def store_workforce_many(
@@ -258,13 +288,13 @@ class EngineCache:
         key = self._adpar_key(ensemble, availability, request, solver, options, registry)
         hit = self._adpar_results.get(key)
         if hit is not None:
-            self.stats.adpar_hits += 1
+            self._count_adpar(1, 0)
             if hit is _INFEASIBLE:
                 raise InfeasibleRequestError(
                     f"cannot admit k={request.k} strategies (cached verdict)"
                 )
             return hit
-        self.stats.adpar_misses += 1
+        self._count_adpar(0, 1)
         backend = self.adpar_solver(ensemble, availability, solver, options, registry)
         try:
             result = backend.solve(request)
@@ -293,21 +323,23 @@ class EngineCache:
         results: "list[ADPaRResult | None]" = [None] * len(requests)
         missing: "list[tuple[tuple, DeploymentRequest]]" = []
         pending: "dict[tuple, list[int]]" = {}
+        hits = misses = 0
         for i, request in enumerate(requests):
             key = self._adpar_key(
                 ensemble, availability, request, solver, options, registry
             )
             hit = self._adpar_results.get(key)
             if hit is not None:
-                self.stats.adpar_hits += 1
+                hits += 1
                 results[i] = None if hit is _INFEASIBLE else hit
                 continue
-            self.stats.adpar_misses += 1
+            misses += 1
             if key in pending:
                 pending[key].append(i)
                 continue
             pending[key] = [i]
             missing.append((key, request))
+        self._count_adpar(hits, misses)
         if not missing:
             return results
         backend = self.adpar_solver(ensemble, availability, solver, options, registry)

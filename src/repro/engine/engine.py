@@ -213,21 +213,67 @@ class RecommendationEngine:
         remainder is solved through the solver backend's batch path, so
         the relaxation geometry is paid for once per batch.
         """
-        ids = [r.request_id for r in requests]
-        if len(set(ids)) != len(ids):
-            raise ValueError("request ids within a batch must be unique")
+        return self.resolve_many(
+            [requests], objective=objective, planner=planner, solver=solver
+        )[0]
+
+    def resolve_many(
+        self,
+        batches: "list[list[DeploymentRequest]]",
+        objective: "ObjectiveSpec | None" = None,
+        planner: "str | None" = None,
+        solver: "str | None" = None,
+    ) -> list[AggregatorReport]:
+        """Resolve several *independent* batches in one merged ADPaR pass.
+
+        Report-for-report identical to ``[resolve(b) for b in batches]``
+        (property-pinned): planning stays per batch — a planner decides
+        against each batch's own availability budget, so merging there
+        would change decisions — but every batch's unsatisfied remainder
+        is solved through **one** :meth:`~repro.engine.cache.EngineCache
+        .adpar_solve_batch` call, amortizing the relaxation geometry
+        across all batches.  This is the vectorized pass the cross-client
+        request coalescer (:mod:`repro.api.coalescer`) fans concurrent
+        ``resolve`` calls into.  Request ids must be unique *within* each
+        batch only; different batches may reuse ids freely (ADPaR is
+        keyed by parameters, not identity).
+        """
+        for requests in batches:
+            ids = [r.request_id for r in requests]
+            if len(set(ids)) != len(ids):
+                raise ValueError("request ids within a batch must be unique")
         objective = self.objective if objective is None else objective
-        batch = self.plan(requests, objective=objective, planner=planner)
-        satisfied_by_id = {rec.request_id: rec for rec in batch.satisfied}
-        unsatisfied = [
-            r for r in requests if r.request_id not in satisfied_by_id
+        outcomes = [
+            self.plan(list(requests), objective=objective, planner=planner)
+            for requests in batches
         ]
-        alternatives = dict(
-            zip(
-                (r.request_id for r in unsatisfied),
-                self._alternatives_for(unsatisfied, solver=solver),
+        satisfied_maps = [
+            {rec.request_id: rec for rec in batch.satisfied}
+            for batch in outcomes
+        ]
+        unsatisfied_per_batch = [
+            [r for r in requests if r.request_id not in satisfied]
+            for requests, satisfied in zip(batches, satisfied_maps)
+        ]
+        merged = [r for group in unsatisfied_per_batch for r in group]
+        solved = iter(self._alternatives_for(merged, solver=solver))
+        reports: list[AggregatorReport] = []
+        for requests, batch, satisfied_by_id, unsatisfied in zip(
+            batches, outcomes, satisfied_maps, unsatisfied_per_batch
+        ):
+            alternatives = {
+                r.request_id: next(solved) for r in unsatisfied
+            }
+            reports.append(
+                self._assemble_report(
+                    requests, objective, batch, satisfied_by_id, alternatives
+                )
             )
-        )
+        return reports
+
+    def _assemble_report(
+        self, requests, objective, batch, satisfied_by_id, alternatives
+    ) -> AggregatorReport:
         resolutions: list[RequestResolution] = []
         for request in requests:
             if request.request_id in satisfied_by_id:

@@ -38,6 +38,7 @@ single API surface for both batch and streaming traffic.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -71,11 +72,21 @@ class DeferredEntry:
 
 
 class EngineSession:
-    """Online admission with a workforce ledger, revocation, and retry."""
+    """Online admission with a workforce ledger, revocation, and retry.
+
+    Session-affine concurrency: every ledger mutator (``submit``,
+    ``submit_many``, ``retry_deferred``, ``complete``, ``revoke``) takes
+    this session's own :attr:`lock`, so concurrent callers serialize *per
+    session*, never globally — two sessions over the same engine admit in
+    parallel.  The lock is reentrant so a caller can wrap a multi-step
+    invariant (e.g. validate-then-submit) in ``with session.lock:``
+    without deadlocking on the methods' own acquisition.
+    """
 
     def __init__(self, engine: "RecommendationEngine"):
         self.engine = engine
         self.availability = engine.availability
+        self.lock = threading.RLock()
         self._computer = engine.computer
         self._reserved: "dict[str, StreamDecision]" = {}
         self._deferred: "dict[str, DeferredEntry]" = {}
@@ -119,12 +130,17 @@ class EngineSession:
     # ---------------------------------------------------------------- submit
     def submit(self, request: DeploymentRequest) -> StreamDecision:
         """Process one arriving request against the current ledger."""
-        if request.request_id in self._reserved:
-            raise ValueError(f"request {request.request_id!r} is already active")
-        need = self._computer.aggregate(request)
-        if self._fits_platform(need):
-            return self._admit_or_defer(request, need)
-        return self._fallback_decision(request, self._solve_alternative(request))
+        with self.lock:
+            if request.request_id in self._reserved:
+                raise ValueError(
+                    f"request {request.request_id!r} is already active"
+                )
+            need = self._computer.aggregate(request)
+            if self._fits_platform(need):
+                return self._admit_or_defer(request, need)
+            return self._fallback_decision(
+                request, self._solve_alternative(request)
+            )
 
     def submit_many(
         self, requests: "list[DeploymentRequest]"
@@ -141,7 +157,12 @@ class EngineSession:
         """
         if not requests:
             return []
-        requests = list(requests)
+        with self.lock:
+            return self._submit_many_locked(list(requests))
+
+    def _submit_many_locked(
+        self, requests: "list[DeploymentRequest]"
+    ) -> list[StreamDecision]:
         needs = self._computer.aggregate_all(requests)
         # Whether a request lands in the ALTERNATIVE/INFEASIBLE branch
         # depends only on its aggregate, never on the ledger: solve that
@@ -247,15 +268,17 @@ class EngineSession:
     # ------------------------------------------------------------ lifecycle
     def revoke(self, request_id: str) -> float:
         """Cancel an admitted request; returns the workforce released."""
-        decision = self._release(request_id)
-        self.revoked_count += 1
-        return decision.workforce_reserved
+        with self.lock:
+            decision = self._release(request_id)
+            self.revoked_count += 1
+            return decision.workforce_reserved
 
     def complete(self, request_id: str) -> float:
         """Mark an admitted request finished; its workforce is released."""
-        decision = self._release(request_id)
-        self.completed_count += 1
-        return decision.workforce_reserved
+        with self.lock:
+            decision = self._release(request_id)
+            self.completed_count += 1
+            return decision.workforce_reserved
 
     def _release(self, request_id: str) -> StreamDecision:
         try:
@@ -280,17 +303,21 @@ class EngineSession:
         admitted ones leave the queue.  Returns the fresh decision per
         retried request.
         """
-        if not self._deferred:
-            return []
-        if self._deferred_floor > self.remaining + _EPS:
-            return []
-        # Reset before the pass: re-deferred entries rebuild an exact min.
-        self._deferred_floor = math.inf
-        decisions: list[StreamDecision] = []
-        for entry in list(self._deferred.values()):
-            del self._deferred[entry.request.request_id]
-            decisions.append(self._admit_or_defer(entry.request, entry.need))
-        return decisions
+        with self.lock:
+            if not self._deferred:
+                return []
+            if self._deferred_floor > self.remaining + _EPS:
+                return []
+            # Reset before the pass: re-deferred entries rebuild an exact
+            # min.
+            self._deferred_floor = math.inf
+            decisions: list[StreamDecision] = []
+            for entry in list(self._deferred.values()):
+                del self._deferred[entry.request.request_id]
+                decisions.append(
+                    self._admit_or_defer(entry.request, entry.need)
+                )
+            return decisions
 
     # ----------------------------------------------------------------- batch
     def resolve_batch(self, requests: "list[DeploymentRequest]") -> AggregatorReport:

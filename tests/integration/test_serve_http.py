@@ -247,18 +247,39 @@ def test_body_type_contradicting_path_is_rejected(client):
 
 
 def test_keep_alive_survives_valid_traffic_and_closes_on_desync(client):
-    """Back-to-back requests reuse the connection; an error that leaves
-    the body unread closes it instead of desyncing the stream."""
+    """Errors whose body was fully consumed keep the connection alive;
+    only unrecoverable framing (a bad Content-Length) closes it."""
     base = f"/v{API_VERSION}"
     for _ in range(3):
         status, out = post(client, base, envelope("stats"))
         assert (status, out["type"]) == (200, "stats_result")
-    # Wrong path with a body: server answers and closes the connection.
+    # Wrong path with a well-framed body: the server drains it, answers
+    # 404, and the same connection keeps serving.
     client.request("POST", "/elsewhere", json.dumps(envelope("stats")))
     response = client.getresponse()
     assert response.status == 404
-    assert response.getheader("Connection") == "close"
+    assert response.getheader("Connection") != "close"
     json.loads(response.read())
+    status, out = post(client, base, envelope("stats"))
+    assert (status, out["type"]) == (200, "stats_result")
+    # Invalid JSON with correct framing also survives keep-alive.
+    client.request("POST", base, "this is not json")
+    response = client.getresponse()
+    assert response.status == 400
+    assert response.getheader("Connection") != "close"
+    assert json.loads(response.read())["code"] == "malformed_payload"
+    status, out = post(client, base, envelope("stats"))
+    assert (status, out["type"]) == (200, "stats_result")
+    # A Content-Length that is not a number leaves the stream in an
+    # unknowable state — that (and only that) ends the connection.
+    client.request(
+        "POST", base, json.dumps(envelope("stats")),
+        headers={"Content-Length": "not-a-number"},
+    )
+    response = client.getresponse()
+    assert response.status == 400
+    assert response.getheader("Connection") == "close"
+    assert json.loads(response.read())["code"] == "malformed_payload"
 
 
 def test_simulate_batch_scenario_over_http(client):

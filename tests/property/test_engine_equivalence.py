@@ -250,3 +250,32 @@ def test_planner_backends_agree_where_theory_says_so(instance):
     assert greedy.objective_value == brute.objective_value
     baseline = engine.plan(requests, "throughput", planner="baseline-greedy")
     assert baseline.objective_value <= greedy.objective_value + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(engine_instances(), st.integers(min_value=1, max_value=3))
+def test_resolve_many_matches_per_batch_resolve(instance, n_batches):
+    """One merged ADPaR pass == resolving every batch alone.
+
+    resolve_many is the vectorized primitive the cross-client request
+    coalescer fans concurrent serve calls into, so its reports must be
+    identical — object for object — to per-batch resolve on a fresh
+    engine (planning per batch, ADPaR merged)."""
+    ensemble, requests, availability, objective, mode, aggregation = instance
+    batches = [requests[i::n_batches] for i in range(n_batches)]
+    merged = RecommendationEngine(
+        ensemble,
+        availability,
+        objective=objective,
+        aggregation=aggregation,
+        workforce_mode=mode,
+    ).resolve_many(batches)
+    fresh = RecommendationEngine(
+        ensemble,
+        availability,
+        objective=objective,
+        aggregation=aggregation,
+        workforce_mode=mode,
+    )
+    expected = [fresh.resolve(list(batch)) for batch in batches]
+    assert merged == expected

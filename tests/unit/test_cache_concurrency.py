@@ -1,0 +1,123 @@
+"""EngineCache under concurrent traffic: exact accounting, bounded LRU.
+
+The serve path drops the transport's global lock, so many handler
+threads now hit one shared :class:`EngineCache` at once.  These tests
+hammer the cache from thread pools and assert the two invariants the
+stats envelope depends on: ``hits + misses`` equals the number of
+probes *exactly* (no lost counter increments), and no LRU section ever
+exceeds its capacity — with values staying correct for their keys
+throughout (a hit never answers with another key's entry).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.engine.cache import EngineCache, _LRU
+
+N_THREADS = 8
+
+
+def _run_threads(worker, n_threads=N_THREADS):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(seed):
+        try:
+            barrier.wait()
+            worker(random.Random(seed))
+        except Exception as exc:  # noqa: BLE001 — surfaced via the list
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(seed,))
+        for seed in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+    return errors
+
+
+def test_scalar_lookup_accounting_exact_under_threads():
+    capacity = 32
+    cache = EngineCache(max_workforce_entries=capacity)
+    keys = [("wf", i) for i in range(capacity * 3)]  # force eviction churn
+    probes = 400
+    wrong = []
+
+    def worker(rng):
+        for _ in range(probes):
+            key = keys[rng.randrange(len(keys))]
+            hit = cache.lookup_workforce(key)
+            if hit is None:
+                cache.store_workforce(key, ("value",) + key)
+            elif hit != ("value",) + key:
+                wrong.append((key, hit))
+
+    _run_threads(worker)
+    assert not wrong, wrong
+    stats = cache.stats
+    assert stats.workforce_hits + stats.workforce_misses == N_THREADS * probes
+    assert len(cache._workforce) <= capacity
+
+
+def test_bulk_lookup_accounting_exact_under_threads():
+    capacity = 16
+    cache = EngineCache(max_workforce_entries=capacity)
+    keys = [("wf", i) for i in range(capacity * 4)]
+    rounds, batch = 60, 8
+    wrong = []
+
+    def worker(rng):
+        for _ in range(rounds):
+            probe = [keys[rng.randrange(len(keys))] for _ in range(batch)]
+            results = cache.lookup_workforce_many(probe)
+            misses = []
+            for key, hit in zip(probe, results):
+                if hit is None:
+                    misses.append((key, ("value",) + key))
+                elif hit != ("value",) + key:
+                    wrong.append((key, hit))
+            if misses:
+                cache.store_workforce_many(misses)
+
+    _run_threads(worker)
+    assert not wrong, wrong
+    stats = cache.stats
+    assert (
+        stats.workforce_hits + stats.workforce_misses
+        == N_THREADS * rounds * batch
+    )
+    assert len(cache._workforce) <= capacity
+
+
+def test_lru_capacity_invariant_under_thread_churn():
+    capacity = 8
+    lru = _LRU(capacity)
+    universe = list(range(capacity * 8))
+
+    def worker(rng):
+        for _ in range(500):
+            key = universe[rng.randrange(len(universe))]
+            if lru.get(key) is None:
+                lru.put(key, key * 2)
+            # Capacity must hold at every instant, not just at the end.
+            assert len(lru) <= capacity
+
+    _run_threads(worker)
+    assert len(lru) <= capacity
+
+
+def test_lru_serial_semantics_unchanged():
+    """The locked _LRU keeps exact least-recently-used order serially."""
+    lru = _LRU(3)
+    for key in ("a", "b", "c"):
+        lru.put(key, key.upper())
+    assert lru.get("a") == "A"  # refresh a: b is now oldest
+    lru.put("d", "D")
+    assert lru.get("b") is None
+    assert [lru.get(k) for k in ("a", "c", "d")] == ["A", "C", "D"]

@@ -1,0 +1,198 @@
+"""RequestCoalescer: merged execution is invisible except in the stats.
+
+Coalesced ``resolve``/``alternatives`` calls must answer exactly what
+the direct (un-coalesced) service answers, errors must stay per-call,
+and the ``stats`` envelope must surface the coalescer's counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import (
+    AlternativesRequest,
+    EngineService,
+    EngineSpec,
+    EnsembleRef,
+    RequestCoalescer,
+    ResolveRequest,
+)
+from repro.api.envelopes import StatsResponse
+from repro.core.params import TriParams
+from repro.core.request import make_requests
+from repro.core.strategy import StrategyEnsemble
+from repro.exceptions import ApiError, InfeasibleRequestError
+
+AVAILABILITY = 0.8
+
+
+def paper_ensemble() -> StrategyEnsemble:
+    return StrategyEnsemble.from_params(
+        [
+            TriParams(0.50, 0.25, 0.28),
+            TriParams(0.75, 0.33, 0.28),
+            TriParams(0.80, 0.50, 0.14),
+            TriParams(0.88, 0.58, 0.14),
+        ]
+    )
+
+
+def spec() -> EngineSpec:
+    return EngineSpec(availability=AVAILABILITY)
+
+
+def resolve_request(i: int, k: int = 3) -> ResolveRequest:
+    requests = make_requests(
+        [
+            (0.35 + 0.05 * i, 0.17, 0.28),
+            (0.80, 0.20 + 0.02 * i, 0.28),
+            (0.70, 0.83, 0.26 + 0.01 * i),
+        ],
+        k=k,
+    )
+    return ResolveRequest(
+        ensemble=EnsembleRef.of(paper_ensemble()),
+        requests=tuple(requests),
+        spec=spec(),
+    )
+
+
+def coalesced_service(**kwargs) -> EngineService:
+    service = EngineService(default_spec=spec())
+    service.attach_coalescer(RequestCoalescer(**kwargs))
+    return service
+
+
+def run_concurrently(workers):
+    barrier = threading.Barrier(len(workers))
+    outcomes = [None] * len(workers)
+
+    def runner(i, work):
+        barrier.wait()
+        try:
+            outcomes[i] = ("ok", work())
+        except Exception as exc:  # noqa: BLE001 — asserted by the caller
+            outcomes[i] = ("error", exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i, work))
+        for i, work in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return outcomes
+
+
+def test_single_call_passes_through():
+    service = coalesced_service()
+    direct = EngineService(default_spec=spec())
+    request = resolve_request(0)
+    assert service.resolve(request).report == direct.resolve(request).report
+    occupancy = service.coalescer.occupancy()
+    assert occupancy["calls"] == 1
+    assert occupancy["batches"] == 1
+    assert occupancy["coalesced"] == 0
+    assert occupancy["in_flight_groups"] == 0
+
+
+def test_concurrent_resolves_coalesce_and_match_direct():
+    service = coalesced_service(window_s=0.1)
+    requests = [resolve_request(i) for i in range(8)]
+    outcomes = run_concurrently(
+        [lambda r=r: service.resolve(r) for r in requests]
+    )
+    direct = EngineService(default_spec=spec())
+    for request, (status, response) in zip(requests, outcomes):
+        assert status == "ok"
+        assert response.report == direct.resolve_direct(request).report
+    occupancy = service.coalescer.occupancy()
+    assert occupancy["calls"] == 8
+    # With a 100 ms window and a barrier start, at least one flush must
+    # have carried company — that is the whole point of the window.
+    assert occupancy["batches"] < occupancy["calls"]
+    assert occupancy["coalesced"] > 0
+    assert occupancy["in_flight_groups"] == 0
+
+
+def test_concurrent_alternatives_isolate_per_call_infeasibility():
+    service = coalesced_service(window_s=0.1)
+    # Envelope-level k stays None so both calls land in ONE coalescer
+    # group; feasibility is decided by each request's own k.
+    good = AlternativesRequest(
+        ensemble=EnsembleRef.of(paper_ensemble()),
+        requests=tuple(make_requests([(0.9, 0.1, 0.1)], k=2)),
+        spec=spec(),
+    )
+    # k exceeds |S|=4: infeasible no matter the relaxation.
+    bad = AlternativesRequest(
+        ensemble=EnsembleRef.of(paper_ensemble()),
+        requests=tuple(make_requests([(0.9, 0.1, 0.1)], k=10)),
+        spec=spec(),
+    )
+    outcomes = run_concurrently(
+        [
+            lambda: service.alternatives(good),
+            lambda: service.alternatives(bad),
+        ]
+    )
+    by_status = dict(outcomes)
+    assert set(by_status) == {"ok", "error"}
+    assert isinstance(by_status["error"], InfeasibleRequestError)
+    assert "k=10" in str(by_status["error"])
+    direct = EngineService(default_spec=spec())
+    assert by_status["ok"].results == direct.alternatives_direct(good).results
+
+
+def test_identity_errors_stay_per_call():
+    service = coalesced_service()
+    ghost = ResolveRequest(
+        ensemble=EnsembleRef(fingerprint="0" * 64),
+        requests=tuple(make_requests([(0.5, 0.5, 0.5)], k=1)),
+        spec=spec(),
+    )
+    with pytest.raises(ApiError) as excinfo:
+        service.resolve(ghost)
+    assert excinfo.value.code == "unknown_ensemble"
+    # The failed call never entered a group.
+    assert service.coalescer.occupancy()["calls"] == 0
+
+
+def test_duplicate_ids_fail_only_their_own_call():
+    service = coalesced_service(window_s=0.1)
+    clean = resolve_request(0)
+    duplicated = ResolveRequest(
+        ensemble=EnsembleRef.of(paper_ensemble()),
+        requests=tuple(clean.requests[:1] + clean.requests[:1]),
+        spec=spec(),
+    )
+    outcomes = run_concurrently(
+        [
+            lambda: service.resolve(clean),
+            lambda: service.resolve(duplicated),
+        ]
+    )
+    by_status = dict(outcomes)
+    assert set(by_status) == {"ok", "error"}
+    assert "must be unique" in str(by_status["error"])
+    direct = EngineService(default_spec=spec())
+    assert by_status["ok"].report == direct.resolve_direct(clean).report
+
+
+def test_stats_envelope_surfaces_coalescer_occupancy():
+    service = coalesced_service()
+    service.resolve(resolve_request(0))
+    stats = service.stats()
+    assert stats.coalescer is not None
+    assert stats.coalescer["calls"] == 1
+    wire = stats.to_dict()
+    assert wire["coalescer"]["calls"] == 1
+    decoded = StatsResponse.from_dict(wire)
+    assert decoded.coalescer == stats.coalescer
+    # No coalescer attached → the field stays None on and off the wire.
+    plain = EngineService(default_spec=spec()).stats()
+    assert plain.coalescer is None
+    assert StatsResponse.from_dict(plain.to_dict()).coalescer is None
