@@ -22,10 +22,8 @@ perf trajectory is tracked across commits:
   whole sweep recorded.
 """
 
-import json
 import threading
 import time
-from http.client import HTTPConnection, HTTPException
 from http.server import ThreadingHTTPServer
 from pathlib import Path
 
@@ -36,6 +34,7 @@ from repro.api import (
     EngineSpec,
     EnsembleRef,
     ResolveRequest,
+    ServiceClient,
     make_server,
 )
 from repro.api.http import HTTP_STATUS, ApiRequestHandler
@@ -62,38 +61,6 @@ CLIENT_COUNTS = (1, 4, 16)
 CONCURRENT_SPEEDUP_FLOOR = 5.0
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
-
-
-class ServiceClient:
-    """Keep-alive JSON client so the bench measures the transport.
-
-    One persistent ``HTTPConnection`` per client; a dropped connection
-    reconnects once (servers may close on idle) so a long sweep never
-    pays TCP + slow-start per request.
-    """
-
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
-        self.host, self.port, self.timeout = host, port, timeout
-        self.conn = HTTPConnection(host, port, timeout=timeout)
-
-    def post(self, payload: dict) -> dict:
-        data = json.dumps(payload)
-        try:
-            return self._roundtrip(data)
-        except (HTTPException, OSError):
-            self.conn.close()
-            self.conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
-            return self._roundtrip(data)
-
-    def _roundtrip(self, data: str) -> dict:
-        self.conn.request("POST", f"/v{API_VERSION}", data)
-        response = self.conn.getresponse()
-        body = json.loads(response.read())
-        assert response.status == 200, body
-        return body
-
-    def close(self) -> None:
-        self.conn.close()
 
 
 def _workload(seed: int = 47):

@@ -17,7 +17,9 @@ Three layers, each importable on its own:
   ``http.server`` (the ``repro serve`` subcommand) on a bounded handler
   thread pool with keep-alive; :mod:`repro.api.coalescer` merges
   concurrent stateless calls into one vectorized engine pass per
-  (ensemble, spec) group.
+  (ensemble, spec) group; :mod:`repro.api.client` is the matching
+  keep-alive :class:`ServiceClient` (benchmarks and the cluster router
+  both speak through it).
 
 Decision-for-decision identity with driving the engine directly is
 pinned by ``tests/property/test_service_equivalence.py``.
@@ -48,6 +50,7 @@ from repro.api.envelopes import (
     parse_request,
     parse_response,
 )
+from repro.api.client import ServiceClient, ServiceClientError
 from repro.api.coalescer import RequestCoalescer
 from repro.api.http import API_PATH, DEFAULT_THREADS, make_server, serve
 from repro.api.service import EngineService
@@ -74,6 +77,8 @@ __all__ = [
     "ResolveResponse",
     "RetryDeferredRequest",
     "RetryDeferredResponse",
+    "ServiceClient",
+    "ServiceClientError",
     "SessionOpRequest",
     "SessionOpResponse",
     "SimulateRequest",

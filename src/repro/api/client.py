@@ -1,0 +1,118 @@
+"""`ServiceClient` — the keep-alive HTTP client for the service API.
+
+One persistent :class:`http.client.HTTPConnection` per client instance,
+so a long request sequence never pays TCP setup + slow-start per call.
+A dropped keep-alive connection (servers may close on idle, workers may
+restart) reconnects and retries **once**; a second failure propagates so
+callers see a dead peer instead of an infinite retry loop.
+
+Three calling depths, outermost first:
+
+* :meth:`post` — envelope in, envelope out; non-200 answers raise
+  :class:`ServiceClientError` carrying the typed error body.  What the
+  benchmarks use.
+* :meth:`request` — envelope in, ``(status, body)`` out; error
+  envelopes come back as data.  What supervisors and probes use.
+* :meth:`request_raw` — bytes in, ``(status, bytes)`` out with no JSON
+  work at all.  What the cluster router uses to proxy request/response
+  bodies verbatim (parse once at the front door, never re-serialize on
+  the pass-through path).
+
+The retry-once contract means a non-idempotent call (``submit_batch``)
+can, in the worst case, apply twice when the connection drops *after*
+the server processed it — same contract the benchmarks always had; the
+cluster router only retries at this layer for transport-level failures
+surfaced before a response byte arrived.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+
+from repro.api.http import API_PATH
+
+
+class ServiceClientError(RuntimeError):
+    """A non-200 answer from :meth:`ServiceClient.post`.
+
+    Carries the HTTP ``status`` and the decoded error envelope ``body``
+    so callers can branch on the stable wire ``code``.
+    """
+
+    def __init__(self, status: int, body: dict):
+        code = body.get("code", "?") if isinstance(body, dict) else "?"
+        message = (
+            body.get("message", body) if isinstance(body, dict) else body
+        )
+        super().__init__(f"service answered HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Keep-alive JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host, self.port, self.timeout = host, int(port), timeout
+        self.conn = HTTPConnection(host, self.port, timeout=timeout)
+
+    # -------------------------------------------------------------- raw
+    def request_raw(
+        self, data: bytes, path: "str | None" = None
+    ) -> "tuple[int, bytes]":
+        """POST raw body bytes; returns ``(status, response_bytes)``.
+
+        Retries once on a dropped keep-alive connection; a second
+        transport failure propagates (``OSError``/``HTTPException``).
+        """
+        path = path if path is not None else API_PATH
+        try:
+            return self._roundtrip(path, data)
+        except (HTTPException, OSError):
+            self._reconnect()
+            return self._roundtrip(path, data)
+
+    # ------------------------------------------------------------- typed
+    def request(
+        self, payload: dict, path: "str | None" = None
+    ) -> "tuple[int, dict]":
+        """POST one envelope; returns ``(status, decoded_body)``."""
+        status, body = self.request_raw(json.dumps(payload).encode(), path)
+        return status, json.loads(body)
+
+    def post(self, payload: dict) -> dict:
+        """POST one envelope; returns the body, raising on non-200."""
+        status, body = self.request(payload)
+        if status != 200:
+            raise ServiceClientError(status, body)
+        return body
+
+    def health(self) -> dict:
+        """``GET /v1/health`` (reconnect-once, like the POST path)."""
+        try:
+            return self._health_roundtrip()
+        except (HTTPException, OSError):
+            self._reconnect()
+            return self._health_roundtrip()
+
+    # ----------------------------------------------------------- plumbing
+    def _roundtrip(self, path: str, data: bytes) -> "tuple[int, bytes]":
+        self.conn.request("POST", path, data)
+        response = self.conn.getresponse()
+        return response.status, response.read()
+
+    def _health_roundtrip(self) -> dict:
+        self.conn.request("GET", f"{API_PATH}/health")
+        response = self.conn.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            raise ServiceClientError(response.status, body)
+        return body
+
+    def _reconnect(self) -> None:
+        self.conn.close()
+        self.conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def close(self) -> None:
+        self.conn.close()

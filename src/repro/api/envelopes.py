@@ -617,6 +617,12 @@ class StatsResponse:
     in-flight group count; ``None`` when coalescing is off.  The limit
     fields, ``occupancy`` and ``coalescer`` decode with empty defaults
     so pre-extension payloads still parse.
+
+    A cluster router answers ``stats`` with the *sum* over its worker
+    shards and two extra fields a single process never emits:
+    ``shards`` (each worker's own stats dict plus slot/pid/address) and
+    ``router`` (forwarded/affinity-hit/replication/restart counters).
+    Both are ``None`` — and absent from the wire — outside a cluster.
     """
 
     type = "stats_result"
@@ -630,6 +636,8 @@ class StatsResponse:
     max_ensembles: int = 0
     occupancy: "dict | None" = None
     coalescer: "dict | None" = None
+    shards: "list | None" = None
+    router: "dict | None" = None
 
     @property
     def hit_rate(self) -> float:
@@ -637,22 +645,26 @@ class StatsResponse:
         return self.cache.hit_rate()
 
     def to_dict(self) -> dict:
-        return _stamp(
-            self.type,
-            {
-                "cache": cache_stats_to_dict(self.cache),
-                "engines": self.engines,
-                "sessions": self.sessions,
-                "ensembles": self.ensembles,
-                "workloads": self.workloads,
-                "max_engines": self.max_engines,
-                "max_sessions": self.max_sessions,
-                "max_ensembles": self.max_ensembles,
-                "hit_rate": self.hit_rate,
-                "occupancy": self.occupancy,
-                "coalescer": self.coalescer,
-            },
-        )
+        body = {
+            "cache": cache_stats_to_dict(self.cache),
+            "engines": self.engines,
+            "sessions": self.sessions,
+            "ensembles": self.ensembles,
+            "workloads": self.workloads,
+            "max_engines": self.max_engines,
+            "max_sessions": self.max_sessions,
+            "max_ensembles": self.max_ensembles,
+            "hit_rate": self.hit_rate,
+            "occupancy": self.occupancy,
+            "coalescer": self.coalescer,
+        }
+        # Cluster-only fields stay off the wire for a single process, so
+        # pre-cluster payload shapes are byte-identical.
+        if self.shards is not None:
+            body["shards"] = self.shards
+        if self.router is not None:
+            body["router"] = self.router
+        return _stamp(self.type, body)
 
     @classmethod
     def from_dict(cls, payload) -> "StatsResponse":
@@ -663,6 +675,12 @@ class StatsResponse:
         coalescer = payload.get("coalescer")
         if coalescer is not None:
             expect_mapping(coalescer, "coalescer")
+        shards = payload.get("shards")
+        if shards is not None:
+            shards = list(as_list(shards, "shards"))
+        router = payload.get("router")
+        if router is not None:
+            expect_mapping(router, "router")
         return cls(
             cache=cache_stats_from_dict(require(payload, "cache", cls.type)),
             engines=as_int(require(payload, "engines", cls.type), "engines"),
@@ -678,6 +696,8 @@ class StatsResponse:
             ),
             occupancy=occupancy,
             coalescer=coalescer,
+            shards=shards,
+            router=router,
         )
 
 

@@ -60,6 +60,9 @@ HTTP_STATUS = {
     "unknown_reservation": 404,
     "unknown_scenario": 404,
     "internal": 500,
+    # A cluster-router worker shard died mid-request; the supervisor is
+    # restarting it and the call is safe to retry against the same URL.
+    "upstream_unavailable": 503,
 }
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -73,6 +76,10 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
 
     server_version = f"repro-serve/{API_VERSION}"
     protocol_version = "HTTP/1.1"
+    #: The undecoded request body, stashed by :meth:`_read_payload` so a
+    #: proxying subclass (the cluster router) can forward it verbatim
+    #: without a decode/re-encode round trip.
+    raw_body: bytes = b""
     # Nagle + delayed ACK stalls small keep-alive responses ~40 ms each;
     # envelopes are single writes, so there is nothing to batch anyway.
     disable_nagle_algorithm = True
@@ -138,8 +145,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
                 "malformed_payload",
                 f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
             )
+        self.raw_body = self.rfile.read(length)
         try:
-            payload = json.loads(self.rfile.read(length))
+            payload = json.loads(self.raw_body)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             return None, _error_body(
                 "malformed_payload", f"body is not valid JSON: {exc}"
@@ -174,7 +182,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
     def _send_json(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode()
+        self._send_bytes(status, json.dumps(body).encode())
+
+    def _send_bytes(self, status: int, data: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))

@@ -308,6 +308,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="handler thread-pool width (default: 16)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run a sharded multi-process cluster: N engine worker "
+            "processes behind a consistent-hashing router (default: 0, "
+            "a single in-process service)"
+        ),
+    )
+    serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per worker on the hash ring (default: 64)",
+    )
+    serve.add_argument(
         "--no-coalesce",
         action="store_true",
         help=(
@@ -537,20 +554,43 @@ def run_serve(args, out) -> int:
     except ValueError as exc:
         print(f"repro serve: error: {exc}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("repro serve: error: --workers must be >= 0", file=sys.stderr)
+        return 2
 
     def ready(address):
         host, port = address[0], address[1]
         coalesce = "off" if args.no_coalesce else "on"
+        mode = (
+            f"cluster: {args.workers} workers, {args.vnodes} vnodes"
+            if args.workers
+            else f"threads={args.threads} coalesce={coalesce}"
+        )
+        # The address phrasing is load-bearing: the worker supervisor
+        # (and the port-0 tests) parse it via cluster.ADDRESS_RE.
         print(
             f"repro serve: api v{API_VERSION} on http://{host}:{port}/v{API_VERSION} "
             f"(default spec: W={args.availability} planner={args.planner} "
-            f"solver={args.solver}; threads={args.threads} "
-            f"coalesce={coalesce}); Ctrl-C to stop",
+            f"solver={args.solver}; {mode}); Ctrl-C to stop",
             file=out,
         )
         if hasattr(out, "flush"):
             out.flush()
 
+    if args.workers:
+        from repro.cluster import serve_cluster
+
+        serve_cluster(
+            args.workers,
+            host=args.host,
+            port=args.port,
+            worker_args=_worker_args(args),
+            threads=args.threads,
+            vnodes=args.vnodes,
+            verbose=args.verbose,
+            ready=ready,
+        )
+        return 0
     serve(
         service,
         host=args.host,
@@ -561,6 +601,30 @@ def run_serve(args, out) -> int:
         coalesce=not args.no_coalesce,
     )
     return 0
+
+
+def _worker_args(args) -> "tuple[str, ...]":
+    """The ``repro serve`` flags cluster workers inherit from the CLI.
+
+    Workers get extra handler threads beyond the router's pool: every
+    router connection pins a worker thread for its keep-alive lifetime,
+    and the supervisor's health probes must never queue behind them.
+    """
+    worker_args = [
+        "--availability", str(args.availability),
+        "--objective", args.objective,
+        "--aggregation", args.aggregation,
+        "--workforce-mode", args.workforce_mode,
+        "--planner", args.planner,
+        "--solver", args.solver,
+        "--norm", args.norm,
+        "--threads", str(args.threads + 8),
+    ]
+    if args.weights is not None:
+        worker_args += ["--weights", *(str(w) for w in args.weights)]
+    if args.no_coalesce:
+        worker_args.append("--no-coalesce")
+    return tuple(worker_args)
 
 
 def main(argv: "list[str] | None" = None, out=None) -> int:

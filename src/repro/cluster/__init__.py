@@ -1,0 +1,48 @@
+"""Horizontal scale-out: N engine worker processes behind one router.
+
+One Python process is GIL-bound on the NumPy planning/ADPaR kernels, so
+past PR 6's transport fixes the serve path stops scaling with clients.
+This package shards the work across real processes:
+
+* :mod:`repro.cluster.hashring` — :class:`HashRing`, consistent hashing
+  with virtual nodes; the deterministic ensemble-fingerprint → worker
+  placement function.
+* :mod:`repro.cluster.supervisor` — :class:`WorkerSupervisor`, spawning
+  ``repro serve`` workers on ephemeral localhost ports, health-checking
+  ``GET /v1/health`` and restarting dead or wedged workers.
+* :mod:`repro.cluster.router` — :class:`RouterService` and
+  :func:`serve_cluster`, the front door: fingerprint-sharded stateless
+  calls, session affinity by id encoding, eager ensemble replication,
+  aggregated ``stats``, typed ``upstream_unavailable`` failures, and
+  graceful drain-then-terminate shutdown.
+
+``repro serve --workers N`` runs the whole single-machine cluster; the
+serial-replay gate in ``tests/integration/test_serve_concurrent.py``
+pins router-mediated traffic to single-process behavior.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.router import (
+    RouterService,
+    SESSION_AFFINE_TYPES,
+    make_router_server,
+    serve_cluster,
+)
+from repro.cluster.supervisor import (
+    ADDRESS_RE,
+    WorkerSpawnError,
+    WorkerSupervisor,
+    parse_ready_line,
+)
+
+__all__ = [
+    "ADDRESS_RE",
+    "HashRing",
+    "RouterService",
+    "SESSION_AFFINE_TYPES",
+    "WorkerSpawnError",
+    "WorkerSupervisor",
+    "make_router_server",
+    "parse_ready_line",
+    "serve_cluster",
+]

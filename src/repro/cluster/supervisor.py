@@ -1,0 +1,310 @@
+"""`WorkerSupervisor` — spawn, health-check and restart engine workers.
+
+Each worker is a full ``repro serve`` process (``python -m repro serve
+--port 0``) on an ephemeral localhost port: process isolation is the
+whole point (one GIL per worker), and reusing the CLI means workers get
+the exact serve stack tests already pin — pooled HTTP server, coalescer,
+typed errors.  The supervisor learns each worker's actual port by
+parsing the ready line the CLI prints before it starts serving.
+
+Liveness has three tiers, fastest first:
+
+* ``proc.poll()`` — a dead child process restarts immediately.
+* :meth:`notify_failure` — the router reports a slot whose connection
+  refused/reset after its retry; the monitor re-checks that slot at
+  once instead of waiting for the next sweep.
+* periodic ``GET /v1/health`` probes — a worker that is alive but wedged
+  restarts after :data:`HEALTH_FAILURES` *consecutive* probe failures.
+  The threshold matters: keep-alive router connections pin worker pool
+  threads, so a single slow probe under load must not look like death.
+
+Restarted workers come back on a *new* ephemeral port; the router reads
+addresses through :meth:`address` per request, so traffic follows the
+restart without any coordination beyond this class's lock.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.api.http import API_PATH
+
+#: Matches the address in the ``repro serve`` ready line
+#: (``... on http://127.0.0.1:43210/v1 ...``).
+ADDRESS_RE = re.compile(r"on http://([^\s:/]+):(\d+)/v\d+")
+
+#: Consecutive HTTP health-probe failures before a live process is
+#: declared wedged and restarted (process death restarts immediately).
+HEALTH_FAILURES = 3
+
+
+def parse_ready_line(line: str) -> "tuple[str, int] | None":
+    """Extract ``(host, port)`` from a serve ready line, else ``None``."""
+    match = ADDRESS_RE.search(line)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))
+
+
+class WorkerSpawnError(RuntimeError):
+    """A worker process died or went silent before printing its address."""
+
+
+class _Worker:
+    """Book-keeping for one slot: process handle + learned address."""
+
+    __slots__ = ("proc", "address", "restarts", "failures", "drain")
+
+    def __init__(self, proc, address):
+        self.proc = proc
+        self.address = address
+        self.restarts = 0
+        self.failures = 0  # consecutive health-probe failures
+        self.drain = None  # stdout drain thread
+
+
+class WorkerSupervisor:
+    """Spawn and babysit ``n_workers`` engine processes on localhost."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        worker_args: "tuple[str, ...]" = (),
+        host: str = "127.0.0.1",
+        spawn_timeout: float = 60.0,
+        health_interval: float = 1.0,
+        probe_timeout: float = 5.0,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.worker_args = tuple(worker_args)
+        self.host = host
+        self.spawn_timeout = spawn_timeout
+        self.health_interval = health_interval
+        self.probe_timeout = probe_timeout
+        self._workers: "dict[int, _Worker]" = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._notified: "set[int]" = set()
+        self._monitor: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Spawn every worker, then start the health monitor."""
+        try:
+            for slot in range(self.n_workers):
+                self._workers[slot] = self._spawn(slot)
+        except Exception:
+            self.stop()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name="repro-cluster-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        """Terminate every worker and reap it — no orphans survive."""
+        self._stop.set()
+        self._wake.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+            self._monitor = None
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            if worker.proc.poll() is None:
+                worker.proc.terminate()
+        for worker in workers:
+            try:
+                worker.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                worker.proc.wait(timeout=5)
+            if worker.proc.stdout is not None:
+                worker.proc.stdout.close()
+            if worker.drain is not None:
+                worker.drain.join(timeout=5)
+
+    # -------------------------------------------------------------- queries
+    def slots(self) -> "tuple[int, ...]":
+        with self._lock:
+            return tuple(self._workers)
+
+    def address(self, slot: int) -> "tuple[str, int]":
+        """Current ``(host, port)`` of ``slot`` (changes across restarts)."""
+        with self._lock:
+            return self._workers[slot].address
+
+    def worker_pids(self) -> "list[int]":
+        with self._lock:
+            return [w.proc.pid for w in self._workers.values()]
+
+    @property
+    def restart_count(self) -> int:
+        with self._lock:
+            return sum(w.restarts for w in self._workers.values())
+
+    def describe(self) -> "list[dict]":
+        """Per-slot snapshot for the aggregated ``stats`` envelope."""
+        with self._lock:
+            return [
+                {
+                    "slot": slot,
+                    "pid": worker.proc.pid,
+                    "address": f"{worker.address[0]}:{worker.address[1]}",
+                    "restarts": worker.restarts,
+                    "alive": worker.proc.poll() is None,
+                }
+                for slot, worker in sorted(self._workers.items())
+            ]
+
+    def notify_failure(self, slot: int) -> None:
+        """Router-side hint that ``slot`` refused/reset a connection."""
+        with self._lock:
+            self._notified.add(slot)
+        self._wake.set()
+
+    # ------------------------------------------------------------- spawning
+    def _spawn(self, slot: int) -> _Worker:
+        # -u keeps the ready line unbuffered even if the CLI ever loses
+        # its explicit flush; workers inherit this repo's import path so
+        # the cluster works from a source checkout without installation.
+        cmd = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            *self.worker_args,
+        ]
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else src_dir + os.pathsep + existing
+        )
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        address = self._await_ready(slot, proc)
+        worker = _Worker(proc, address)
+        # Keep draining stdout so a chatty worker can never fill the pipe
+        # and block on a write.
+        worker.drain = threading.Thread(
+            target=_drain, args=(proc.stdout,), daemon=True
+        )
+        worker.drain.start()
+        return worker
+
+    def _await_ready(self, slot: int, proc) -> "tuple[str, int]":
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                proc.wait(timeout=self.spawn_timeout)
+                raise WorkerSpawnError(
+                    f"worker {slot} exited (rc={proc.returncode}) "
+                    "before printing its address"
+                )
+            address = parse_ready_line(line)
+            if address is not None:
+                return address
+        proc.kill()
+        raise WorkerSpawnError(
+            f"worker {slot} printed no address within {self.spawn_timeout}s"
+        )
+
+    # ------------------------------------------------------------ monitoring
+    def _monitor_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.health_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            with self._lock:
+                notified = set(self._notified)
+                self._notified.clear()
+                slots = list(self._workers)
+            for slot in slots:
+                if self._stop.is_set():
+                    return
+                self._check(slot, urgent=slot in notified)
+
+    def _check(self, slot: int, urgent: bool) -> None:
+        with self._lock:
+            worker = self._workers.get(slot)
+        if worker is None:
+            return
+        if worker.proc.poll() is not None:
+            self._restart(slot, worker)
+            return
+        # Probe a live process only on its turn or when the router
+        # reported it — probes are one-shot connections on purpose
+        # (a cached keep-alive probe would mask a restarted listener).
+        if not self._probe(worker.address):
+            worker.failures += 1
+            # A router-reported slot that also fails its probe is gone
+            # (connect refused), not merely slow — restart at once.
+            if urgent or worker.failures >= HEALTH_FAILURES:
+                self._restart(slot, worker)
+        else:
+            worker.failures = 0
+
+    def _probe(self, address: "tuple[str, int]") -> bool:
+        conn = HTTPConnection(
+            address[0], address[1], timeout=self.probe_timeout
+        )
+        try:
+            conn.request("GET", f"{API_PATH}/health")
+            return conn.getresponse().status == 200
+        except OSError:
+            return False
+        finally:
+            conn.close()
+
+    def _restart(self, slot: int, dead: _Worker) -> None:
+        if dead.proc.poll() is None:
+            dead.proc.terminate()
+            try:
+                dead.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                dead.proc.kill()
+                dead.proc.wait(timeout=5)
+        else:
+            dead.proc.wait()
+        if dead.proc.stdout is not None:
+            dead.proc.stdout.close()
+        if self._stop.is_set():
+            return
+        fresh = self._spawn(slot)
+        with self._lock:
+            fresh.restarts = dead.restarts + 1
+            self._workers[slot] = fresh
+
+
+def _drain(stream) -> None:
+    try:
+        for _ in stream:
+            pass
+    except ValueError:
+        pass  # stream closed during shutdown

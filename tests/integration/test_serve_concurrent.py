@@ -12,6 +12,10 @@ ADPaR alternatives, released workforce, even error envelopes — must be
 Sessions are per-client ledgers and stateless calls are pure, so any
 divergence means the fine-grained locking or the coalescer changed a
 decision.
+
+The same gate also runs router-mediated against a 3-worker cluster
+(``repro.cluster``): sharding, session affinity and replication must be
+decision-invisible too.
 """
 
 from __future__ import annotations
@@ -210,6 +214,84 @@ def test_concurrent_decisions_identical_to_serial_replay(server):
             ensemble_ref=ensemble_ref,
         )
         assert observed[i] == replayed, f"client {i} diverged from replay"
+
+
+def test_cluster_decisions_identical_to_serial_replay():
+    """The same gate, router-mediated: 6 keep-alive clients through a
+    3-worker cluster must equal serial replay against one fresh
+    single-process service.
+
+    This is what licenses the cluster as a drop-in scale-out: sharding,
+    session affinity, replication and response re-wrapping may move
+    work between processes but must never change a decision.
+    """
+    from repro.cluster import RouterService, WorkerSupervisor, make_router_server
+
+    supervisor = WorkerSupervisor(
+        3, worker_args=("--availability", str(AVAILABILITY), "--threads", "24")
+    )
+    supervisor.start()
+    try:
+        router = RouterService(supervisor)
+        server = make_router_server(router, threads=N_CLIENTS + 2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            ensemble_ref = EnsembleRef.of(shared_ensemble()).to_dict()
+            barrier = threading.Barrier(N_CLIENTS)
+            observed: list = [None] * N_CLIENTS
+            errors: list = []
+
+            def client(i):
+                conn = HTTPConnection(host, port, timeout=60)
+
+                def post(payload):
+                    conn.request(
+                        "POST", f"/v{API_VERSION}", json.dumps(payload)
+                    )
+                    return json.loads(conn.getresponse().read())
+
+                try:
+                    barrier.wait()
+                    observed[i] = run_trace(
+                        post,
+                        seed=3000 + i,
+                        prefix=f"k{i}",
+                        ensemble_ref=ensemble_ref,
+                    )
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append((i, exc))
+                finally:
+                    conn.close()
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors
+
+            for i in range(N_CLIENTS):
+                serial_service = EngineService(default_spec=service_spec())
+                replayed = run_trace(
+                    serial_service.handle_dict,
+                    seed=3000 + i,
+                    prefix=f"k{i}",
+                    ensemble_ref=ensemble_ref,
+                )
+                assert observed[i] == replayed, (
+                    f"client {i} diverged through the cluster"
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    finally:
+        supervisor.stop()
 
 
 def test_health_answers_while_workers_are_busy(server):

@@ -355,6 +355,57 @@ def test_simulate_error_codes_over_http(client):
     assert body["code"] == "invalid_spec"
 
 
+def test_cli_port_zero_prints_bound_address_before_serving():
+    """``repro serve --port 0`` binds an ephemeral port and prints the
+    actual host:port on stdout before the serve loop — the contract the
+    cluster's worker supervisor (and any port-collision-free test)
+    relies on."""
+    import os
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    from repro.api import ServiceClient
+    from repro.cluster import parse_ready_line
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        address = None
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            assert line, "serve exited before printing its address"
+            address = parse_ready_line(line)
+            if address is not None:
+                break
+        assert address is not None, "no parsable ready line"
+        host, port = address
+        assert port != 0, "the printed port must be the bound one"
+        client = ServiceClient(host, port)
+        try:
+            assert client.health()["status"] == "ok"
+            status, body = client.request(envelope("stats"))
+            assert (status, body["type"]) == (200, "stats_result")
+        finally:
+            client.close()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+        proc.stdout.close()
+
+
 def test_error_contract_over_http(client):
     base = f"/v{API_VERSION}"
 

@@ -1,0 +1,135 @@
+"""Property tests for the cluster's consistent-hash ring.
+
+The three guarantees the router leans on:
+
+* placement is deterministic — a pure function of (node set, vnodes,
+  key), independent of node insertion order and of the process asking;
+* placements are balanced — with >= 64 vnodes no worker carries more
+  than 2x the mean over 1000 uniform fingerprints;
+* placements move minimally — adding a worker only pulls keys onto it,
+  removing a worker only moves the keys it carried.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cluster import HashRing
+
+N_FINGERPRINTS = 1000
+
+
+def fingerprints(n: int = N_FINGERPRINTS) -> "list[str]":
+    """Uniform 64-hex keys shaped like real ensemble fingerprints."""
+    return [hashlib.sha256(f"ensemble-{i}".encode()).hexdigest() for i in range(n)]
+
+
+# ------------------------------------------------------------- determinism
+def test_placement_is_deterministic_across_instances():
+    keys = fingerprints(200)
+    a = HashRing(range(5), vnodes=64)
+    b = HashRing(range(5), vnodes=64)
+    assert [a.place(k) for k in keys] == [b.place(k) for k in keys]
+
+
+def test_placement_ignores_insertion_order():
+    keys = fingerprints(200)
+    orders = [list(range(6)) for _ in range(4)]
+    for i, order in enumerate(orders[1:], start=1):
+        random.Random(i).shuffle(order)
+    placements = [
+        [HashRing(order, vnodes=64).place(k) for k in keys]
+        for order in orders
+    ]
+    assert all(p == placements[0] for p in placements[1:])
+
+
+def test_repeated_lookup_is_stable():
+    ring = HashRing(range(4), vnodes=64)
+    for key in fingerprints(50):
+        assert ring.place(key) == ring.place(key)
+
+
+# ----------------------------------------------------------------- balance
+@pytest.mark.parametrize("n_nodes", [2, 4, 8])
+def test_no_node_exceeds_twice_the_mean(n_nodes):
+    ring = HashRing(range(n_nodes), vnodes=64)
+    counts = Counter(ring.place(k) for k in fingerprints())
+    mean = N_FINGERPRINTS / n_nodes
+    assert set(counts) == set(range(n_nodes)), "every node must own keys"
+    assert max(counts.values()) <= 2 * mean, counts
+
+
+def test_more_vnodes_never_leave_a_node_empty():
+    ring = HashRing(range(8), vnodes=256)
+    counts = Counter(ring.place(k) for k in fingerprints())
+    assert set(counts) == set(range(8))
+
+
+# ---------------------------------------------------------- minimal movement
+def test_adding_a_node_only_moves_keys_onto_it():
+    keys = fingerprints()
+    ring = HashRing(range(4), vnodes=64)
+    before = {k: ring.place(k) for k in keys}
+    ring.add(4)
+    after = {k: ring.place(k) for k in keys}
+    moved = {k for k in keys if before[k] != after[k]}
+    assert all(after[k] == 4 for k in moved), (
+        "a key changed owners without landing on the new node"
+    )
+    # The new node takes roughly its fair share, never more than 2x it.
+    assert 0 < len(moved) <= 2 * N_FINGERPRINTS / 5
+
+
+def test_removing_a_node_only_moves_its_own_keys():
+    keys = fingerprints()
+    ring = HashRing(range(5), vnodes=64)
+    before = {k: ring.place(k) for k in keys}
+    ring.remove(2)
+    after = {k: ring.place(k) for k in keys}
+    for key in keys:
+        if before[key] != 2:
+            assert after[key] == before[key], (
+                "removing node 2 moved a key it never owned"
+            )
+        else:
+            assert after[key] != 2
+
+
+def test_add_then_remove_restores_placement():
+    keys = fingerprints(300)
+    ring = HashRing(range(4), vnodes=64)
+    before = [ring.place(k) for k in keys]
+    ring.add(9)
+    ring.remove(9)
+    assert [ring.place(k) for k in keys] == before
+
+
+# --------------------------------------------------------------- edge cases
+def test_single_node_owns_everything():
+    ring = HashRing([0], vnodes=64)
+    assert {ring.place(k) for k in fingerprints(50)} == {0}
+
+
+def test_empty_ring_refuses_placement():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=64).place("anything")
+
+
+def test_duplicate_and_missing_nodes_are_errors():
+    ring = HashRing(range(2), vnodes=8)
+    with pytest.raises(ValueError):
+        ring.add(1)
+    with pytest.raises(ValueError):
+        ring.remove(7)
+
+
+def test_membership_protocol():
+    ring = HashRing(range(3), vnodes=8)
+    assert len(ring) == 3
+    assert 2 in ring and 5 not in ring
+    assert ring.nodes() == (0, 1, 2)
