@@ -95,6 +95,7 @@ def test_bench_adpar_backends(benchmark):
         benchmark.extra_info[f"{name}_s"] = round(seconds, 5)
     assert set(timings) == {
         "adpar-exact",
+        "adpar-incremental",
         "adpar-weighted",
         "onedim",
         "rtree",

@@ -7,8 +7,8 @@ runners — flows through :class:`RecommendationEngine`:
   (``batch-greedy``, ``payoff-dp``, ``baseline-greedy``,
   ``batch-bruteforce``),
 * ADPaR solver backends are pluggable via :class:`SolverRegistry`
-  (``adpar-exact``, ``adpar-weighted``, ``onedim``, ``rtree``,
-  ``bruteforce``), all sharing one
+  (``adpar-exact``, ``adpar-incremental``, ``adpar-weighted``,
+  ``onedim``, ``rtree``, ``bruteforce``), all sharing one
   :class:`~repro.core.relaxation.RelaxationSpace` per (ensemble,
   availability),
 * :class:`EngineCache` memoizes workforce aggregates, ADPaR results and
@@ -27,6 +27,7 @@ from repro.engine.cache import (
     CacheStats,
     CachingWorkforceComputer,
     EngineCache,
+    IncrementalSpaceCache,
     ensemble_fingerprint,
 )
 from repro.engine.engine import RecommendationEngine
@@ -52,6 +53,7 @@ __all__ = [
     "DeferredEntry",
     "drive_stream",
     "EngineCache",
+    "IncrementalSpaceCache",
     "CacheStats",
     "CachingWorkforceComputer",
     "ensemble_fingerprint",

@@ -319,6 +319,41 @@ class EngineSession:
                 )
             return decisions
 
+    # ------------------------------------------------------- live geometry
+    def alternative_at_remaining(
+        self,
+        request: DeploymentRequest,
+        k: "int | None" = None,
+        solver: str = "adpar-incremental",
+    ) -> ADPaRResult:
+        """Closest alternative at the session's *live* remaining workforce.
+
+        Every reserve/complete/revoke tick moves :attr:`remaining`; this
+        answers ADPaR at that moved availability through the engine's
+        delta-maintained space chain — each tick's geometry is repaired
+        from the previous tick's on recycled buffers instead of rebuilt
+        — and the index-pruned incremental backend.  Bitwise-identical
+        to a cold ``adpar-exact`` solve at the same availability.
+        """
+        with self.lock:
+            remaining = self.remaining
+        return self.engine.recommend_alternative_at(
+            request, remaining, k=k, solver=solver
+        )
+
+    def alternatives_at_remaining(
+        self,
+        requests: "list[DeploymentRequest]",
+        k: "int | None" = None,
+        solver: str = "adpar-incremental",
+    ) -> list[ADPaRResult]:
+        """Batch :meth:`alternative_at_remaining` over one shared space."""
+        with self.lock:
+            remaining = self.remaining
+        return self.engine.recommend_alternatives_at(
+            requests, remaining, k=k, solver=solver
+        )
+
     # ----------------------------------------------------------------- batch
     def resolve_batch(self, requests: "list[DeploymentRequest]") -> AggregatorReport:
         """One-shot batch resolution through the owning engine.

@@ -12,6 +12,10 @@ rewiring, exactly parallel to :class:`~repro.engine.registry.PlannerRegistry`:
 ``adpar-exact``           Vectorized exact sweep (Theorem 4), pinned
                           bitwise-identical to :class:`ADPaRExact` — the
                           default.
+``adpar-incremental``     Index-pruned exact sweep over delta-maintained
+                          spaces; bitwise-identical to ``adpar-exact``
+                          but skips per-request sorts and prunes frontier
+                          work through a block-summary index.
 ``adpar-weighted``        Exact under a monotone penalty: ``norm`` ∈
                           {l1, l2, linf} and per-dimension ``weights``.
 ``onedim``                Baseline2 — one-parameter-at-a-time refinement
@@ -29,6 +33,7 @@ the unified smaller-is-better geometry once.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from dataclasses import replace as _dataclass_replace
 from typing import Callable, Protocol, Sequence
@@ -45,9 +50,17 @@ from repro.core.relaxation import RelaxationSpace
 from repro.core.request import DeploymentRequest
 from repro.core.strategy import StrategyEnsemble
 from repro.exceptions import InfeasibleRequestError, UnknownSolverError
+from repro.geometry.frontier_index import FrontierCursor
 from repro.geometry.sweepline import block_frontier
 
 _EPS = 1e-12
+
+#: Four rounding steps (two adds per corner objective, one add and one
+#: minimum materialization in the admitted-norm floor) separate the
+#: skip bound from the objectives it underestimates, so shrinking it by
+#: four ulps makes "floor can't beat best" safe in float: a candidate is
+#: only skipped when *no* corner objective can strictly improve.
+_SKIP_MARGIN = 1.0 - 4.5e-16
 
 #: One request as the solver protocol accepts it.
 SolverRequest = "DeploymentRequest | TriParams"
@@ -249,6 +262,377 @@ class VectorizedExactSolver:
         return results
 
 
+# ------------------------------------------------------------- incremental
+def _relax_frontier_order(
+    space: RelaxationSpace,
+    relax: np.ndarray,
+    scratch: "_SweepScratch | None" = None,
+) -> np.ndarray:
+    """Row order sorting ``relax`` by ``(relax_y, relax_z)`` — no lexsort.
+
+    The per-dimension relaxations are monotone nondecreasing images of
+    the point coordinates (``max(p − o, 0)``), so the space's precomputed
+    point orders already almost sort them:
+
+    * rows whose ``relax_y`` clipped to zero, ordered by the global
+      z-dimension order (``relax_z`` is monotone in ``point_z``), come
+      first;
+    * rows with positive ``relax_y`` follow in the global y-dimension
+      order.
+
+    The only disagreement with a true lexsort is inside groups of
+    *distinct* point values that subtraction collapsed onto one
+    ``relax_y`` — detected by one neighbour comparison and re-ordered by
+    ``relax_z`` per (rare, tiny) group.  Ties in ``(relax_y, relax_z)``
+    are value-identical rows, so their internal order cannot change any
+    frontier yield.
+
+    With ``scratch`` (whose ``col_y``/``col_z`` the caller must already
+    hold staged copies of ``relax``'s y/z columns), every ``O(n)``
+    temporary lands in a warm buffer and the two halves compress
+    straight into adjacent slices of ``scratch.order_out`` — the
+    returned order is then a view into the scratch.  Same comparisons,
+    same order, either way.
+    """
+    orders = space.dimension_orders
+    y_order = orders[1]
+    z_order = orders[2]
+    if scratch is None:
+        relax_y = relax[:, 1]
+        relax_z = relax[:, 2]
+        relax_y_sorted = relax_y[y_order]
+        positive = relax_y_sorted > 0.0
+        zero_part = z_order[relax_y[z_order] == 0.0]
+        positive_part = y_order[positive]
+    else:
+        relax_z = scratch.col_z
+        relax_y_sorted = np.take(scratch.col_y, y_order, out=scratch.cursor_y)
+        positive = np.greater(relax_y_sorted, 0.0, out=scratch.mask)
+        zero_by_z = np.take(scratch.col_y, z_order, out=scratch.cursor_z)
+        zero_mask = np.equal(zero_by_z, 0.0, out=scratch.mask2)
+        # relax_y = max(p − o, 0) >= 0, so the two halves partition the
+        # rows and fill order_out exactly.
+        n_zero = int(np.count_nonzero(zero_mask))
+        zero_part = scratch.order_out[:n_zero]
+        np.compress(zero_mask, z_order, out=zero_part)
+        positive_part = scratch.order_out[n_zero:]
+        np.compress(positive, y_order, out=positive_part)
+    if positive_part.size > 1:
+        if scratch is None:
+            relax_y_positive = relax_y_sorted[positive]
+        else:
+            relax_y_positive = scratch.tmp[: positive_part.size]
+            np.compress(positive, relax_y_sorted, out=relax_y_positive)
+        collapsed = np.flatnonzero(relax_y_positive[1:] == relax_y_positive[:-1])
+        if collapsed.size:
+            cursor = 0
+            while cursor < collapsed.size:
+                start = int(collapsed[cursor])
+                end = start + 1
+                cursor += 1
+                while cursor < collapsed.size and int(collapsed[cursor]) == end:
+                    end += 1
+                    cursor += 1
+                group = positive_part[start : end + 1]
+                positive_part[start : end + 1] = group[
+                    np.argsort(relax_z[group], kind="stable")
+                ]
+    if scratch is None:
+        return np.concatenate([zero_part, positive_part])
+    return scratch.order_out
+
+
+class _SweepScratch:
+    """Warm per-solver buffers for the indexed sweep's ``O(n)`` setup.
+
+    Every request rebuilds the same ten ``n``-sized temporaries; at
+    fig18 scale each is large enough that a fresh allocation is served
+    by freshly mapped pages, and faulting those in costs more than the
+    gathers that fill them.  One scratch per solver keeps the pages warm
+    across a batch.  The values written are produced by the same float
+    operations as the allocating forms, so results are unchanged.
+    """
+
+    __slots__ = (
+        "n",
+        "col_y",
+        "col_z",
+        "cursor_y",
+        "cursor_z",
+        "entering_y",
+        "entering_z",
+        "position_of",
+        "position_by_rank",
+        "norm",
+        "bound",
+        "arange",
+        "mask",
+        "mask2",
+        "tmp",
+        "order_out",
+        "table_sorted",
+        "table_xs",
+        "table_starts",
+        "table_prefix",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        self.col_y = np.empty(n)
+        self.col_z = np.empty(n)
+        self.cursor_y = np.empty(n)
+        self.cursor_z = np.empty(n)
+        self.entering_y = np.empty(n)
+        self.entering_z = np.empty(n)
+        self.position_of = np.empty(n, dtype=np.intp)
+        self.position_by_rank = np.empty(n, dtype=np.intp)
+        self.norm = np.empty(n)
+        self.bound = np.empty(n)
+        self.arange = np.arange(n, dtype=np.intp)
+        self.mask = np.empty(n, dtype=bool)
+        self.mask2 = np.empty(n, dtype=bool)
+        self.tmp = np.empty(n)
+        self.order_out = np.empty(n, dtype=np.intp)
+        self.table_sorted = np.empty(n)
+        self.table_xs = np.empty(n)
+        self.table_starts = np.empty(n, dtype=np.intp)
+        self.table_prefix = np.empty(n, dtype=np.intp)
+
+
+def _indexed_sweep(
+    space: RelaxationSpace,
+    relax: np.ndarray,
+    origin: np.ndarray,
+    k: int,
+    block: int = 2048,
+    scratch: "_SweepScratch | None" = None,
+) -> tuple[float, float, float]:
+    """:func:`_vectorized_sweep`, re-derived over index structures.
+
+    Result-identical — float for float — to the reference sweep, but
+    every per-request ``O(n log n)`` ingredient is replaced by an
+    ``O(n)`` (or cached) one:
+
+    * the (y, z) enumeration order comes from the space's precomputed
+      dimension orders (:func:`_relax_frontier_order`), not a lexsort;
+    * strategies enter by x-rank prefix (``searchsorted`` against the
+      presorted cost column), not an argsort over entry candidates;
+    * the global 2-D bound ``G`` maps the space's cached per-``k``
+      frontier (:meth:`RelaxationSpace.frontier_index`) through the
+      request origin — the mapped minimum is float-equal to the
+      reference's full-set frontier pass;
+    * per-candidate frontiers come from a
+      :class:`~repro.geometry.frontier_index.FrontierCursor`, which
+      repairs the previous frontier with the newly admitted rows
+      instead of rescanning every admitted row — ``O(n)`` total across
+      all of a request's evaluations instead of per evaluation;
+    * candidates whose admitted-norm floor provably cannot beat the
+      running best skip their evaluation outright
+      (:data:`_SKIP_MARGIN`);
+    * the candidate loop itself advances by jump: one vectorized
+      galloping scan over the entering points finds the next candidate
+      whose arrivals pierce the current staircase, so Python touches one
+      iteration per *frontier change* instead of per candidate.
+
+    The staircase-gating and bound-break comparisons are the same float
+    expressions as the reference's, evaluated against the same corner
+    values, so the evaluated candidate set — and therefore the winner
+    under the reference's strict-improvement tie-break — is identical.
+    """
+    origin_x = float(origin[0])
+    origin_y = float(origin[1])
+    origin_z = float(origin[2])
+    if scratch is None or scratch.n != relax.shape[0]:
+        scratch = _SweepScratch(relax.shape[0])
+    # Stage the strided (y, z) columns contiguous once; every gather
+    # below — and the order derivation — then runs through
+    # ``np.take``/``np.compress`` with ``out=`` on warm buffers.
+    np.copyto(scratch.col_y, relax[:, 1])
+    np.copyto(scratch.col_z, relax[:, 2])
+    # Prefix length per candidate: row i is covered at candidate j iff
+    # its cost relaxation is within xs[j] + eps — identical admission
+    # rule (and float comparisons) to the reference's enter_at.
+    _, xs, prefix = space.sweep_table(origin_x, _EPS, scratch)
+    order = _relax_frontier_order(space, relax, scratch)
+    np.take(scratch.col_y, order, out=scratch.cursor_y)
+    np.take(scratch.col_z, order, out=scratch.cursor_z)
+    cursor = FrontierCursor(scratch.cursor_y, scratch.cursor_z, k, chunk=block)
+    # Position (in the cursor's enumeration order) of the row holding
+    # each admission rank, so newly admitted rank ranges turn into
+    # cursor positions with one gather.
+    position_of = scratch.position_of
+    position_of[order] = scratch.arange
+    x_order = space.dimension_orders[0]
+    position_by_rank = scratch.position_by_rank
+    np.take(position_of, x_order, out=position_by_rank)
+    entering_y = scratch.entering_y
+    entering_z = scratch.entering_z
+    np.take(scratch.col_y, x_order, out=entering_y)
+    np.take(scratch.col_z, x_order, out=entering_z)
+    # Running minimum of the admitted points' (y² + z²) norms, by entry
+    # order.  Every staircase corner pairs a pushed point's y with a
+    # k-th-smallest z that is >= that point's own z, so a corner's norm
+    # is >= its point's norm >= this prefix minimum — which makes
+    # ``x² + prefix_min`` a lower bound on everything a frontier
+    # evaluation at that prefix could produce.  Candidates whose bound
+    # (shrunk by :data:`_SKIP_MARGIN` to absorb rounding) cannot beat
+    # the running best skip the evaluation outright.
+    prefix_min_norm = scratch.norm
+    np.multiply(entering_y, entering_y, out=prefix_min_norm)
+    np.multiply(entering_z, entering_z, out=scratch.bound)
+    np.add(prefix_min_norm, scratch.bound, out=prefix_min_norm)
+    np.minimum.accumulate(prefix_min_norm, out=prefix_min_norm)
+    global_y, global_z = space.frontier_index.global_pairs(k)
+    mapped_y = np.maximum(global_y - origin_y, 0.0)
+    mapped_z = np.maximum(global_z - origin_z, 0.0)
+    G = float(np.min(mapped_y * mapped_y + mapped_z * mapped_z))
+    # x² + G is nondecreasing (float add is monotone), so the scan's
+    # stop point under the current best is one exact binary search.
+    bound_curve = scratch.bound[: xs.size]
+    np.multiply(xs, xs, out=bound_curve)
+    np.add(bound_curve, G, out=bound_curve)
+
+    best_obj = math.inf
+    best: "tuple[float, float, float] | None" = None
+    corners_y: "np.ndarray | None" = None
+    corners_z: "np.ndarray | None" = None
+    candidates = xs.size
+    j = int(np.searchsorted(prefix, k, side="left"))  # first covering >= k
+    row = -1  # next entering row the pierce scan has not cleared yet
+    admitted = 0  # ranks already handed to the cursor
+    while j < candidates:
+        x = float(xs[j])
+        if x * x + G >= best_obj:
+            break
+        p = int(prefix[j])
+        if (
+            corners_y is None
+            or (x * x + float(prefix_min_norm[p - 1])) * _SKIP_MARGIN
+            < best_obj
+        ):
+            new_positions = np.sort(position_by_rank[admitted:p])
+            admitted = p
+            corner_list_y, corner_list_z = cursor.frontier(new_positions)
+            for y, z in zip(corner_list_y, corner_list_z):
+                obj = x * x + y * y + z * z
+                if obj < best_obj:
+                    best_obj = obj
+                    best = (x, y, z)
+            corners_y = np.asarray(corner_list_y)
+            corners_z = np.asarray(corner_list_z)
+            row = p
+        # else: skipped — the stale staircase (a pointwise upper envelope
+        # of the true one) keeps the gating conservative, and the scan
+        # resumes past the row that triggered this visit.
+        stop = int(np.searchsorted(bound_curve, best_obj, side="left"))
+        if stop <= j + 1:
+            break
+        row_stop = int(prefix[stop - 1])
+        pierced_at = -1
+        chunk = 64
+        while row < row_stop:
+            upto = min(row + chunk, row_stop)
+            slot = (
+                np.searchsorted(corners_y, entering_y[row:upto], side="right") - 1
+            )
+            # take(mode="clip") maps slot -1 onto corner 0; the slot < 0
+            # disjunct keeps those rows counted as piercing regardless.
+            pierced = (slot < 0) | (
+                entering_z[row:upto] < corners_z.take(slot, mode="clip")
+            )
+            hits = np.flatnonzero(pierced)
+            if hits.size:
+                pierced_at = row + int(hits[0])
+                break
+            row = upto
+            chunk = min(chunk * 2, 4096)
+        if pierced_at < 0:
+            break
+        row = pierced_at + 1
+        j = int(np.searchsorted(prefix, pierced_at, side="right"))
+    if best is None:
+        raise InfeasibleRequestError("sweep found no covering relaxation")
+    return best
+
+
+class IncrementalExactSolver:
+    """``adpar-incremental``: the index-pruned sweep over shared geometry.
+
+    Bitwise-identical outputs to :class:`VectorizedExactSolver` (and
+    therefore to the reference :class:`~repro.core.adpar.ADPaRExact`) —
+    property-pinned for scalar, batch, and availability-tick traffic —
+    while reusing the space's cached frontier index and presorted
+    structures, which the delta chain
+    (:meth:`~repro.core.relaxation.RelaxationSpace.shifted`) maintains
+    across availability ticks instead of rebuilding.
+    """
+
+    name = "adpar-incremental"
+
+    _CHUNK = 128
+
+    def __init__(self, context: SolverContext, options: dict):
+        context = context.with_space()
+        self.ensemble = context.ensemble
+        self.availability = context.availability
+        self.space = context.space
+        self._block = int(options.get("block", 2048))
+        if self._block < 1:
+            raise ValueError(f"block must be >= 1, got {self._block}")
+        # Warm scratch, per thread: solver instances are cached in the
+        # EngineCache and shared across the serve path's worker threads,
+        # so each thread gets its own buffers.  Refaulting ~10MB of
+        # freshly mapped pages per block costs more than the relaxation
+        # arithmetic itself — warm pages are the point.
+        self._local = threading.local()
+
+    def solve(
+        self, request: SolverRequest, k: "int | None" = None
+    ) -> ADPaRResult:
+        return self.solve_batch([request], k)[0]
+
+    def _sweep_scratch_for(self, n: int) -> _SweepScratch:
+        scratch: "_SweepScratch | None" = getattr(self._local, "sweep", None)
+        if scratch is None or scratch.n != n:
+            scratch = _SweepScratch(n)
+            self._local.sweep = scratch
+        return scratch
+
+    def _relax_scratch_for(self, rows: int, n: int) -> np.ndarray:
+        scratch: "np.ndarray | None" = getattr(self._local, "relax", None)
+        if scratch is None or scratch.shape[0] < rows or scratch.shape[1] != n:
+            scratch = np.empty((rows, n, 3), dtype=float)
+            self._local.relax = scratch
+        return scratch[:rows]
+
+    def solve_batch(
+        self, requests: Sequence[SolverRequest], k: "int | None" = None
+    ) -> list[ADPaRResult]:
+        space = self.space
+        unpacked = [unpack_request(r, k, space.size) for r in requests]
+        sweep_scratch = self._sweep_scratch_for(space.size)
+        results: list[ADPaRResult] = []
+        for start in range(0, len(unpacked), self._CHUNK):
+            part = unpacked[start : start + self._CHUNK]
+            origins = np.stack([space.origin_of(params) for params, _ in part])
+            relax_block = space.relaxation_batch(
+                origins, out=self._relax_scratch_for(len(part), space.size)
+            )
+            for (params, kk), origin, relax in zip(part, origins, relax_block):
+                best = _indexed_sweep(
+                    space,
+                    relax,
+                    origin,
+                    kk,
+                    block=self._block,
+                    scratch=sweep_scratch,
+                )
+                results.append(
+                    finalize_result(self.ensemble, params, relax, best, kk)
+                )
+        return results
+
+
 # ------------------------------------------------------------------ wrappers
 class _ScalarLoopMixin:
     """Batch form for backends whose algorithm is inherently per-request."""
@@ -406,6 +790,12 @@ def _builtin_registry() -> SolverRegistry:
         "adpar-exact",
         VectorizedExactSolver,
         "vectorized exact sweep (Theorem 4); the default",
+    )
+    registry.register(
+        "adpar-incremental",
+        IncrementalExactSolver,
+        "index-pruned exact sweep over delta-maintained spaces; "
+        "bitwise-identical to adpar-exact",
     )
     registry.register(
         "adpar-weighted",

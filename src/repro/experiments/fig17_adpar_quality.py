@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.strategy import StrategyEnsemble
-from repro.engine import RecommendationEngine
+from repro.engine import EngineCache, RecommendationEngine
 from repro.experiments.runner import ExperimentResult
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_series
@@ -34,20 +34,26 @@ K_SWEEP_BF = (5, 10, 15)
 
 
 def _distances(
-    n: int, k: int, rng: np.random.Generator, with_brute_force: bool
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    with_brute_force: bool,
+    cache: EngineCache,
 ) -> tuple:
     """(exact, baseline2, baseline3[, brute]) distances for one draw.
 
-    All solvers are served by the engine's solver registry, so each is
-    constructed once per ensemble (no per-request R-tree rebuilds) and
-    all of them share one relaxation space per ensemble.
+    All solvers are served by the engine's solver registry over the
+    figure-wide ``cache``, so each backend is constructed once per
+    ensemble (no per-request R-tree rebuilds) and every backend that
+    touches an ensemble — within a draw or across repeated draws —
+    shares the one cached :class:`RelaxationSpace` for it.
     """
     scenario = default_scenario_registry().create(_BASE_SCENARIO, n_strategies=n)
     rng_pts, rng_req = spawn_rngs(rng, 2)
     points = scenario.ensemble.build_points(rng_pts)
     request = hard_request_for(points, rng_req, tightness=scenario.tightness)
     ensemble = StrategyEnsemble.from_params(points)
-    engine = RecommendationEngine(ensemble, availability=1.0)
+    engine = RecommendationEngine(ensemble, availability=1.0, cache=cache)
     exact = engine.recommend_alternative(request, k).distance
     b2 = engine.recommend_alternative(request, k, solver="onedim").distance
     b3 = engine.recommend_alternative(request, k, solver="rtree").distance
@@ -66,6 +72,7 @@ def _panel(
     with_brute_force: bool,
     repetitions: int,
     seed: int,
+    cache: EngineCache,
 ) -> dict:
     names = ["ADPaR-Exact", "Baseline2", "Baseline3"] + (
         ["ADPaRB"] if with_brute_force else []
@@ -76,7 +83,7 @@ def _panel(
         k = x if fixed_k is None else fixed_k
         rngs = spawn_rngs(seed + 13 * i, repetitions)
         samples = np.array(
-            [_distances(n, min(k, n), rng, with_brute_force) for rng in rngs]
+            [_distances(n, min(k, n), rng, with_brute_force, cache) for rng in rngs]
         )
         means = samples.mean(axis=0)
         for j, name in enumerate(names):
@@ -97,15 +104,19 @@ def run_fig17(
             "(|S|=20, k=5 for brute-force panels)."
         ),
     )
+    # One cache for all four panels: every engine threads its relaxation
+    # spaces (and solver instances) through it, so a per-ensemble space
+    # is built exactly once figure-wide.
+    cache = EngineCache()
     panels = [
         ("varying |S| (no brute force), k=5", "|S|",
-         _panel(S_SWEEP if not quick else S_SWEEP[:3], 5, None, False, reps, seed)),
+         _panel(S_SWEEP if not quick else S_SWEEP[:3], 5, None, False, reps, seed, cache)),
         ("varying |S| (with brute force), k=5", "|S|",
-         _panel(S_SWEEP_BF, 5, None, True, reps, seed + 1)),
+         _panel(S_SWEEP_BF, 5, None, True, reps, seed + 1, cache)),
         ("varying k (no brute force), |S|=200", "k",
-         _panel(K_SWEEP if not quick else K_SWEEP[:3], None, 200, False, reps, seed + 2)),
+         _panel(K_SWEEP if not quick else K_SWEEP[:3], None, 200, False, reps, seed + 2, cache)),
         ("varying k (with brute force), |S|=20", "k",
-         _panel(K_SWEEP_BF, None, 20, True, reps, seed + 3)),
+         _panel(K_SWEEP_BF, None, 20, True, reps, seed + 3, cache)),
     ]
     exact_matches_brute = True
     exact_never_worse = True

@@ -141,10 +141,15 @@ class ParetoSweep:
         yield from block_frontier(self._ys[order], self._zs[order], k, block=block)
 
     def best_bound(self, k: int) -> "tuple[float, float] | None":
-        """The frontier bound minimizing ``Y² + Z²`` (ADPaR's objective)."""
+        """The frontier bound minimizing ``Y² + Z²`` (ADPaR's objective).
+
+        Enumerates via :meth:`frontier_blocks` — pair for pair the same
+        bounds as the heap reference, minus the per-point Python loop —
+        so ADPaR callers get the block-filtered path by default.
+        """
         best = None
         best_obj = np.inf
-        for y, z in self.frontier(k):
+        for y, z in self.frontier_blocks(k):
             obj = y * y + z * z
             if obj < best_obj:
                 best_obj = obj
@@ -182,7 +187,14 @@ def block_frontier(
     i = k
     while i < n:
         j = min(i + block, n)
-        for offset in np.flatnonzero(zs[i:j] < -heap[0]):
+        chunk = zs[i:j]
+        # Block-min gate: if no z in the block beats the current heap
+        # maximum, the flatnonzero scan below would come back empty —
+        # one min() settles the whole block without the boolean temp.
+        if float(chunk.min()) >= -heap[0]:
+            i = j
+            continue
+        for offset in np.flatnonzero(chunk < -heap[0]):
             z = float(zs[i + offset])
             if z >= -heap[0]:
                 # The heap maximum dropped below z since the block filter.

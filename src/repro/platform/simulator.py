@@ -272,6 +272,14 @@ class PlatformSimulator:
         deferred-queue retries (O(1) in model work via carried
         aggregates).  Decisions per request are identical to submitting
         one at a time — only the per-arrival cost changes.
+
+        Because successive windows share the service cache, each
+        window's relaxation geometry is *repaired* from the previous
+        window's through the cache's incremental space chain (the
+        observed availabilities drift, they don't jump), rather than
+        rebuilt from scratch; mid-stream the session can answer
+        :meth:`~repro.engine.session.EngineSession.alternatives_at_remaining`
+        against its live ledger through the same delta path.
         """
         from repro.core.streaming import StreamStatus
         from repro.engine.session import drive_stream

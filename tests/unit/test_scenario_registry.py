@@ -346,9 +346,14 @@ class TestStatsExtension:
             "adpar_results",
             "adpar_solvers",
             "spaces",
+            "space_chain",
         }
         for usage in stats.occupancy.values():
             assert 0 <= usage["entries"] <= usage["capacity"]
+        # The chain section also carries its delta-maintenance counters.
+        assert {"hits", "shifts", "rebuilds", "reclaimed"} <= set(
+            stats.occupancy["space_chain"]
+        )
         assert 0.0 <= stats.hit_rate <= 1.0
         # The extended payload survives the wire.
         from repro.api import parse_response
