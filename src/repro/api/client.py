@@ -51,11 +51,21 @@ class ServiceClientError(RuntimeError):
 
 
 class ServiceClient:
-    """Keep-alive JSON client for one ``repro serve`` endpoint."""
+    """Keep-alive JSON client for one ``repro serve`` endpoint.
+
+    Usable as a context manager: ``with ServiceClient(host, port) as
+    client: ...`` closes the connection on exit, error or not.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 60.0):
         self.host, self.port, self.timeout = host, int(port), timeout
         self.conn = HTTPConnection(host, self.port, timeout=timeout)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -------------------------------------------------------------- raw
     def request_raw(

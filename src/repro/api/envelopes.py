@@ -623,6 +623,12 @@ class StatsResponse:
     ``shards`` (each worker's own stats dict plus slot/pid/address) and
     ``router`` (forwarded/affinity-hit/replication/restart counters).
     Both are ``None`` — and absent from the wire — outside a cluster.
+
+    ``journal`` carries the attached decision journal's counter block
+    (events/bytes/checkpoints/restores/replay counters — all numeric,
+    so the router sums it across shards like the cache counters);
+    ``None`` and absent from the wire when no journal is attached, so
+    unjournaled payloads stay byte-identical to pre-journal ones.
     """
 
     type = "stats_result"
@@ -638,6 +644,7 @@ class StatsResponse:
     coalescer: "dict | None" = None
     shards: "list | None" = None
     router: "dict | None" = None
+    journal: "dict | None" = None
 
     @property
     def hit_rate(self) -> float:
@@ -664,6 +671,8 @@ class StatsResponse:
             body["shards"] = self.shards
         if self.router is not None:
             body["router"] = self.router
+        if self.journal is not None:
+            body["journal"] = self.journal
         return _stamp(self.type, body)
 
     @classmethod
@@ -681,6 +690,9 @@ class StatsResponse:
         router = payload.get("router")
         if router is not None:
             expect_mapping(router, "router")
+        journal = payload.get("journal")
+        if journal is not None:
+            expect_mapping(journal, "journal")
         return cls(
             cache=cache_stats_from_dict(require(payload, "cache", cls.type)),
             engines=as_int(require(payload, "engines", cls.type), "engines"),
@@ -698,6 +710,7 @@ class StatsResponse:
             coalescer=coalescer,
             shards=shards,
             router=router,
+            journal=journal,
         )
 
 

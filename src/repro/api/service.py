@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import re
 import secrets
 import threading
 from collections import OrderedDict
@@ -89,7 +90,22 @@ from repro.engine import (
     ensemble_fingerprint,
 )
 from repro.engine.session import EngineSession, drive_stream
-from repro.exceptions import ApiError
+from repro.exceptions import ApiError, JournalCorruptError
+
+# Submodule imports, not the package: repro.journal's __init__ pulls in
+# the replayer, which drives *this* service — the submodules below are
+# cycle-free.
+from repro.journal.events import (
+    CheckpointEvent,
+    EnsembleEvent,
+    ReleaseEvent,
+    RetryEvent,
+    SessionCheckpoint,
+    SessionCloseEvent,
+    SessionOpenEvent,
+    SubmitEvent,
+)
+from repro.journal.journal import read_events
 from repro.workloads.registry import (
     ScenarioRegistry,
     default_scenario_registry,
@@ -178,12 +194,19 @@ class _ShardedLRU:
 
 @dataclass
 class _SessionHandle:
-    """One open streaming session plus the identity it was opened under."""
+    """One open streaming session plus the identity it was opened under.
+
+    ``last_seq`` is the journal position of the last event recorded for
+    this session (0 when unjournaled) — checkpoints copy it next to the
+    state snapshot so recovery knows exactly which tail events the
+    snapshot already folded in.
+    """
 
     session_id: str
     session: EngineSession
     fingerprint: str
     spec: EngineSpec
+    last_seq: int = 0
 
 
 class EngineService:
@@ -263,6 +286,8 @@ class EngineService:
         self._workloads = _ShardedLRU(self._max_workloads)
         self._session_seq = itertools.count(1)
         self._coalescer = None
+        self._journal = None
+        self._checkpoint_lock = threading.Lock()
 
     # ------------------------------------------------------------- coalescer
     def attach_coalescer(self, coalescer):
@@ -276,6 +301,24 @@ class EngineService:
     def coalescer(self):
         """The attached request coalescer, or ``None``."""
         return self._coalescer
+
+    # --------------------------------------------------------------- journal
+    def attach_journal(self, journal):
+        """Record every decision-bearing op to ``journal`` (a
+        :class:`~repro.journal.DecisionJournal`); pass ``None`` to
+        detach.  Appends happen inside the owning session's lock (the
+        journal lock is a leaf), so the journal's event order is a
+        serialization each session actually went through.  Attach only
+        *after* :meth:`recover_from_journal` so recovery's re-driven
+        events are not re-recorded.  Returns the journal for chaining.
+        """
+        self._journal = journal
+        return journal
+
+    @property
+    def journal(self):
+        """The attached decision journal, or ``None``."""
+        return self._journal
 
     # ------------------------------------------------------------ ensembles
     def register_ensemble(self, ensemble: StrategyEnsemble) -> str:
@@ -377,6 +420,18 @@ class EngineService:
         with self._sessions_lock:
             self._check_session_limit()
             self._sessions[session_id] = handle
+        journal = self._journal
+        if journal is not None:
+            # Ensemble first: a recovered journal must be able to resolve
+            # the open event's fingerprint without earlier segments.
+            journal.ensure_ensemble(handle.fingerprint, engine.ensemble)
+            handle.last_seq = journal.append(
+                SessionOpenEvent(
+                    session_id=session_id,
+                    fingerprint=handle.fingerprint,
+                    spec=spec,
+                )
+            )
         return session_id
 
     def _check_session_limit(self) -> None:
@@ -405,6 +460,9 @@ class EngineService:
                 raise ApiError(
                     f"unknown session {session_id!r}", code="unknown_session"
                 )
+        journal = self._journal
+        if journal is not None:
+            journal.append(SessionCloseEvent(session_id=session_id))
 
     @property
     def session_count(self) -> int:
@@ -433,6 +491,223 @@ class EngineService:
                 burst_size=burst_size,
                 hold_bursts=hold_bursts,
             )
+
+    # ------------------------------------------------- checkpoint + recovery
+    def _maybe_checkpoint(self) -> None:
+        """Interleave a checkpoint once enough events accrued.
+
+        Runs *outside* any session lock: one writer at a time (the
+        dedicated checkpoint lock), briefly taking each session's lock
+        to pair its snapshot with its ``last_seq``.  Events another
+        thread appends mid-checkpoint land before or after the
+        checkpoint line either way; recovery reconciles both cases
+        through the per-session seq, so the interleaving is safe.
+        """
+        journal = self._journal
+        if journal is None or not journal.should_checkpoint():
+            return
+        with self._checkpoint_lock:
+            if not journal.should_checkpoint():
+                return  # another thread just wrote one
+            with self._sessions_lock:
+                handles = list(self._sessions.values())
+            sessions = []
+            ensembles: "dict[str, EnsembleRef]" = {}
+            for handle in handles:
+                with handle.session.lock:
+                    state = handle.session.snapshot()
+                    last_seq = handle.last_seq
+                # The engine's own ensemble, never the evictable
+                # registry — a checkpoint must stay self-describing.
+                ensembles.setdefault(
+                    handle.fingerprint,
+                    EnsembleRef(
+                        handle.fingerprint, handle.session.engine.ensemble
+                    ),
+                )
+                sessions.append(
+                    SessionCheckpoint(
+                        session_id=handle.session_id,
+                        fingerprint=handle.fingerprint,
+                        spec=handle.spec,
+                        state=state,
+                        seq=last_seq,
+                    )
+                )
+            journal.write_checkpoint(sessions, ensembles.values())
+
+    def recover_from_journal(self, journal) -> int:
+        """Rebuild live sessions from a journal's checkpoint + tail.
+
+        Reads every prior segment under ``journal``'s directory (the
+        freshly reopened journal writes to a new segment, so nothing
+        read here is being appended to), restores each session in the
+        *last* checkpoint from its state snapshot, and re-drives only
+        the events a snapshot did not already fold in (``seq`` beyond
+        the per-session checkpoint seq).  Sessions opened after the
+        checkpoint replay from their open events.  Returns the number
+        of live sessions after recovery.
+
+        Call *before* :meth:`attach_journal` — recovery re-drives
+        decisions through the normal session code paths, and those must
+        not be re-recorded.
+        """
+        if self._journal is not None:
+            raise ApiError(
+                "recover_from_journal must run before attach_journal",
+                code="invalid_argument",
+            )
+        events = read_events(journal.directory)
+        checkpoint_index = None
+        checkpoint = None
+        for index, event in enumerate(events):
+            if isinstance(event, CheckpointEvent):
+                checkpoint_index, checkpoint = index, event
+        snapshot_seq = (
+            {}
+            if checkpoint is None
+            else {s.session_id: s.seq for s in checkpoint.sessions}
+        )
+        # Events for checkpointed sessions that were appended after the
+        # snapshot was taken but landed before the checkpoint line — the
+        # benign checkpoint/append interleaving.  They apply after the
+        # snapshot restores.
+        straddlers: list = []
+        for index, event in enumerate(events):
+            if isinstance(event, CheckpointEvent):
+                if index != checkpoint_index:
+                    continue  # superseded by a later checkpoint
+                for ref in checkpoint.ensembles:
+                    if ref.ensemble is not None:
+                        self.register_ensemble(ref.ensemble)
+                for entry in checkpoint.sessions:
+                    ensemble = self._ensembles.get(entry.fingerprint)
+                    if ensemble is None:
+                        raise JournalCorruptError(
+                            f"checkpoint names session "
+                            f"{entry.session_id!r} under ensemble "
+                            f"{entry.fingerprint[:16]}… but carries no "
+                            "inline copy of it"
+                        )
+                    self._restore_session(
+                        entry.session_id,
+                        ensemble,
+                        entry.spec,
+                        entry.state,
+                        last_seq=entry.seq,
+                    )
+                for straddler in straddlers:
+                    self._apply_event(straddler)
+                continue
+            if isinstance(event, EnsembleEvent):
+                if event.ref.ensemble is not None:
+                    self.register_ensemble(event.ref.ensemble)
+                continue
+            session_id = getattr(event, "session_id", None)
+            if session_id is None:
+                continue
+            if session_id in snapshot_seq:
+                if event.seq <= snapshot_seq[session_id]:
+                    continue  # already folded into the snapshot
+                if checkpoint_index is not None and index < checkpoint_index:
+                    straddlers.append(event)
+                    continue
+            self._apply_event(event)
+        # Resume the session-id counter past every recorded id so a
+        # recovered service never re-mints a journaled session id.
+        highest = 0
+        pattern = re.compile(r"^sess-(\d+)-")
+        recorded_ids = [
+            event.session_id
+            for event in events
+            if isinstance(event, SessionOpenEvent)
+        ] + [
+            entry.session_id
+            for event in events
+            if isinstance(event, CheckpointEvent)
+            for entry in event.sessions
+        ]
+        for session_id in recorded_ids:
+            match = pattern.match(session_id)
+            if match is not None:
+                highest = max(highest, int(match.group(1)))
+        if highest:
+            self._session_seq = itertools.count(highest + 1)
+        restored = len(self._sessions)
+        journal.note_restores(restored)
+        return restored
+
+    def _apply_event(self, event) -> None:
+        """Re-drive one journaled event against the recovering service."""
+        if isinstance(event, SessionOpenEvent):
+            if event.session_id in self._sessions:
+                return  # already restored from the checkpoint
+            ensemble = self._ensembles.get(event.fingerprint)
+            if ensemble is None:
+                raise JournalCorruptError(
+                    f"journal opens session {event.session_id!r} under "
+                    f"ensemble {event.fingerprint[:16]}… that it never "
+                    "recorded"
+                )
+            self._restore_session(
+                event.session_id,
+                ensemble,
+                event.spec,
+                None,
+                last_seq=event.seq,
+            )
+            return
+        if isinstance(event, SessionCloseEvent):
+            with self._sessions_lock:
+                self._sessions.pop(event.session_id, None)
+            return
+        handle = self._sessions.get(event.session_id)
+        if handle is None:
+            return  # the journal closes this session later anyway
+        if isinstance(event, SubmitEvent):
+            handle.session.submit_many(list(event.requests))
+        elif isinstance(event, RetryEvent):
+            handle.session.retry_deferred()
+        elif isinstance(event, ReleaseEvent):
+            release = (
+                handle.session.complete
+                if event.op == "complete"
+                else handle.session.revoke
+            )
+            for request_id in event.request_ids:
+                try:
+                    release(request_id)
+                except KeyError:
+                    # Tolerated, not corruption: the reservation may sit
+                    # before this session's checkpoint seq horizon.
+                    pass
+        handle.last_seq = event.seq
+
+    def _restore_session(
+        self,
+        session_id: str,
+        ensemble: StrategyEnsemble,
+        spec: "EngineSpec | None",
+        state,
+        last_seq: int = 0,
+    ) -> None:
+        """Re-open a recorded session under its recorded id."""
+        spec = self._resolve_spec(spec)
+        engine = self.engine_for(ensemble, spec)
+        session = (
+            engine.open_session()
+            if state is None
+            else EngineSession.restore(engine, state)
+        )
+        handle = _SessionHandle(
+            session_id=session_id,
+            session=session,
+            fingerprint=ensemble_fingerprint(ensemble),
+            spec=spec,
+            last_seq=last_seq,
+        )
+        with self._sessions_lock:
+            self._sessions[session_id] = handle
 
     # ------------------------------------------------------------ typed ops
     def plan(self, request: PlanRequest) -> PlanResponse:
@@ -529,27 +804,52 @@ class EngineService:
                 if opened_here:
                     self.close_session(session_id)
                 raise
-            return SubmitBatchResponse(
+            journal = self._journal
+            if journal is not None:
+                handle.last_seq = journal.append(
+                    SubmitEvent(
+                        session_id=session_id,
+                        requests=tuple(request.requests),
+                        decisions=tuple(decisions),
+                    )
+                )
+            response = SubmitBatchResponse(
                 session_id=session_id,
                 decisions=tuple(decisions),
                 remaining=handle.session.remaining,
                 deferred=len(handle.session.deferred),
             )
+        self._maybe_checkpoint()
+        return response
 
     def retry_deferred(
         self, request: RetryDeferredRequest
     ) -> RetryDeferredResponse:
-        session = self.session(request.session_id)
+        handle = self._session_handle(request.session_id)
+        session = handle.session
         # Hold the session lock across the drain and the snapshot so the
         # reported remaining/deferred match the decisions returned.
         with session.lock:
             decisions = session.retry_deferred()
-            return RetryDeferredResponse(
+            journal = self._journal
+            # An empty drain provably changed nothing (the floor
+            # early-exit or an empty queue); only decision-bearing
+            # drains are journal events.
+            if journal is not None and decisions:
+                handle.last_seq = journal.append(
+                    RetryEvent(
+                        session_id=request.session_id,
+                        decisions=tuple(decisions),
+                    )
+                )
+            response = RetryDeferredResponse(
                 session_id=request.session_id,
                 decisions=tuple(decisions),
                 remaining=session.remaining,
                 deferred=len(session.deferred),
             )
+        self._maybe_checkpoint()
+        return response
 
     def session_op(self, request: SessionOpRequest) -> SessionOpResponse:
         if request.op not in ("complete", "revoke", "close_session"):
@@ -563,7 +863,8 @@ class EngineService:
             return SessionOpResponse(
                 op=request.op, session_id=request.session_id
             )
-        session = self.session(request.session_id)
+        handle = self._session_handle(request.session_id)
+        session = handle.session
         if not request.request_ids:
             raise ApiError(
                 f"{request.op} needs at least one request id",
@@ -594,6 +895,17 @@ class EngineService:
             released = 0.0
             for request_id in request.request_ids:
                 released += release(request_id)
+            journal = self._journal
+            if journal is not None:
+                handle.last_seq = journal.append(
+                    ReleaseEvent(
+                        op=request.op,
+                        session_id=request.session_id,
+                        request_ids=tuple(request.request_ids),
+                        released=released,
+                    )
+                )
+        self._maybe_checkpoint()
         return SessionOpResponse(
             op=request.op,
             session_id=request.session_id,
@@ -641,17 +953,16 @@ class EngineService:
         # Only the fields that feed ScenarioSpec.build — arrival ordering
         # and engine knobs are applied at drive time, so two scenarios
         # differing only there share one materialized workload.
-        return json.dumps(
-            {
-                "kind": spec.kind,
-                "seed": spec.seed,
-                "tightness": spec.tightness,
-                "ensemble": ensemble_spec_to_dict(spec.ensemble),
-                "requests": request_batch_spec_to_dict(spec.requests),
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        key = {
+            "kind": spec.kind,
+            "seed": spec.seed,
+            "tightness": spec.tightness,
+            "ensemble": ensemble_spec_to_dict(spec.ensemble),
+            "requests": request_batch_spec_to_dict(spec.requests),
+        }
+        if spec.trace_path:
+            key["trace_path"] = spec.trace_path
+        return json.dumps(key, sort_keys=True, separators=(",", ":"))
 
     def materialize(self, spec: ScenarioSpec):
         """Build (or recall) a scenario's workload; returns ``(ensemble, payload)``.
@@ -663,6 +974,12 @@ class EngineService:
         the payload (requests or the ADPaR hard request) alongside the
         hash.
         """
+        if spec.kind == "trace":
+            # Never cached: a journal file grows on disk, so a path-keyed
+            # entry would keep serving a stale prefix of the trace.
+            ensemble, payload = spec.build()
+            self.register_ensemble(ensemble)
+            return ensemble, payload
         key = self._workload_key(spec)
         hit = self._workloads.get(key)
         if hit is not None:
@@ -683,14 +1000,17 @@ class EngineService:
         spec = self._resolve_scenario(request)
         ensemble, payload = self.materialize(spec)
         engine = self.engine_for(ensemble, spec.engine)
-        return SimulateResponse(
-            report=simulate_scenario(
-                engine, spec, ensemble=ensemble, payload=payload
-            )
+        report = simulate_scenario(
+            engine, spec, ensemble=ensemble, payload=payload
         )
+        journal = self._journal
+        if journal is not None and spec.kind == "trace":
+            journal.note_replay(report.replay_decisions, report.replay_flips)
+        return SimulateResponse(report=report)
 
     def stats(self, request: "StatsRequest | None" = None) -> StatsResponse:
         coalescer = self._coalescer
+        journal = self._journal
         return StatsResponse(
             cache=self.cache.stats,
             engines=len(self._engines),
@@ -702,6 +1022,7 @@ class EngineService:
             max_ensembles=self._max_ensembles,
             occupancy=self.cache.occupancy(),
             coalescer=None if coalescer is None else coalescer.occupancy(),
+            journal=None if journal is None else journal.occupancy(),
         )
 
     # -------------------------------------------------------------- dispatch

@@ -778,7 +778,7 @@ def arrival_spec_from_dict(payload) -> ArrivalSpec:
 
 
 def scenario_spec_to_dict(spec: ScenarioSpec) -> dict:
-    return {
+    out = {
         "kind": spec.kind,
         "name": spec.name,
         "description": spec.description,
@@ -791,6 +791,11 @@ def scenario_spec_to_dict(spec: ScenarioSpec) -> dict:
         ),
         "engine": None if spec.engine is None else spec.engine.to_dict(),
     }
+    # Only 'trace' scenarios carry a path; omitting the empty default
+    # keeps pre-journal payloads byte-identical.
+    if spec.trace_path:
+        out["trace_path"] = spec.trace_path
+    return out
 
 
 @guard("ScenarioSpec")
@@ -814,6 +819,7 @@ def scenario_spec_from_dict(payload) -> ScenarioSpec:
         ),
         arrival=None if arrival is None else arrival_spec_from_dict(arrival),
         engine=None if engine is None else EngineSpec.from_dict(engine),
+        trace_path=as_str(payload.get("trace_path", ""), "trace_path"),
     )
 
 
@@ -838,6 +844,9 @@ def simulation_report_to_dict(report: SimulationReport) -> dict:
         "workforce_used": report.workforce_used,
         "utilization": report.utilization,
         "mean_distance": report.mean_distance,
+        "replay_sessions": report.replay_sessions,
+        "replay_decisions": report.replay_decisions,
+        "replay_flips": report.replay_flips,
     }
 
 
@@ -874,4 +883,11 @@ def simulation_report_from_dict(payload) -> SimulationReport:
         mean_distance=as_float(
             payload.get("mean_distance", 0.0), "mean_distance"
         ),
+        replay_sessions=as_int(
+            payload.get("replay_sessions", 0), "replay_sessions"
+        ),
+        replay_decisions=as_int(
+            payload.get("replay_decisions", 0), "replay_decisions"
+        ),
+        replay_flips=as_int(payload.get("replay_flips", 0), "replay_flips"),
     )

@@ -11,6 +11,8 @@ Usage::
     python -m repro simulate flash-crowd --set m_requests=2000  # scenario catalog
     python -m repro simulate --list              # enumerate scenario families
     python -m repro serve --port 8000            # JSON-over-HTTP service
+    python -m repro serve --journal /var/lib/repro/journal  # durable decisions
+    python -m repro replay /var/lib/repro/journal --solver adpar-weighted --diff
 
 All three traffic subcommands route through the versioned service layer
 (:class:`~repro.api.EngineService`): ``engine`` resolves a synthetic
@@ -21,6 +23,13 @@ retries, and ``serve`` exposes the same operations as JSON over stdlib
 HTTP (see the README's Service API section for the wire contract).  One
 shared :func:`engine_spec_from_args` turns the common backend flags into
 the :class:`~repro.api.EngineSpec` all of them hand the service.
+
+``serve --journal DIR`` adds a durable decision journal: every
+service-level decision event is appended to ``DIR`` and a restarted
+server recovers its sessions from checkpoint + tail before the ready
+line prints.  ``replay TRACE`` reenacts such a journal against the
+recorded specs — or, with explicit backend flags, against a *different*
+engine configuration — and prints the structured decision diff.
 """
 
 from __future__ import annotations
@@ -334,7 +343,77 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append every decision event to a durable journal under DIR "
+            "and recover sessions from it on startup; with --workers, "
+            "each worker slot journals into its own DIR/worker-<slot>"
+        ),
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    replay = sub.add_parser(
+        "replay",
+        help="reenact a recorded decision journal and diff the outcomes",
+    )
+    replay.add_argument(
+        "trace",
+        help="a --journal directory (or one journal-NNNNNN.jsonl segment)",
+    )
+    # Backend flags default to None on purpose: only flags the user
+    # actually passes override each session's *recorded* spec, so a bare
+    # `repro replay TRACE` is the same-spec determinism check.
+    replay.add_argument(
+        "--planner",
+        choices=default_registry().names(),
+        default=None,
+        help="override the recorded planner backend",
+    )
+    replay.add_argument(
+        "--solver",
+        choices=default_solver_registry().names(),
+        default=None,
+        help="override the recorded ADPaR solver backend",
+    )
+    replay.add_argument(
+        "--norm",
+        choices=NORMS,
+        default=None,
+        help=(
+            "distance norm for --solver adpar-weighted (replaces the "
+            "recorded solver_options)"
+        ),
+    )
+    replay.add_argument(
+        "--weights",
+        type=float,
+        nargs=3,
+        default=None,
+        metavar=("WC", "WQ", "WL"),
+        help=(
+            "per-dimension weights for --solver adpar-weighted "
+            "(replaces the recorded solver_options)"
+        ),
+    )
+    replay.add_argument(
+        "--availability",
+        type=float,
+        default=None,
+        help="override the recorded expected workforce W",
+    )
+    replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="print one line per changed decision after the summary",
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full structured replay report as JSON",
     )
     return parser
 
@@ -557,6 +636,26 @@ def run_serve(args, out) -> int:
     if args.workers < 0:
         print("repro serve: error: --workers must be >= 0", file=sys.stderr)
         return 2
+    journal = None
+    if args.journal is not None and not args.workers:
+        from repro.exceptions import ReproError
+        from repro.journal import DecisionJournal
+
+        try:
+            journal = DecisionJournal(args.journal)
+            # Recovery must precede attachment: replaying the tail back
+            # into the service must not re-journal the recovered events.
+            restored = service.recover_from_journal(journal)
+            service.attach_journal(journal)
+        except (ReproError, OSError) as exc:
+            print(f"repro serve: error: {exc}", file=sys.stderr)
+            return 2
+        if restored:
+            print(
+                f"repro serve: restored {restored} session(s) from "
+                f"journal {args.journal}",
+                file=out,
+            )
 
     def ready(address):
         host, port = address[0], address[1]
@@ -589,18 +688,106 @@ def run_serve(args, out) -> int:
             vnodes=args.vnodes,
             verbose=args.verbose,
             ready=ready,
+            journal_dir=args.journal,
         )
         return 0
-    serve(
-        service,
-        host=args.host,
-        port=args.port,
-        verbose=args.verbose,
-        ready=ready,
-        threads=args.threads,
-        coalesce=not args.no_coalesce,
-    )
+    if journal is not None:
+        # The journal writes behind a queue, so SIGTERM must drain it
+        # the way Ctrl-C does — route it through the KeyboardInterrupt
+        # path that ``serve`` already unwinds cleanly.
+        import signal
+
+        def _terminate(_signum, _frame):
+            raise KeyboardInterrupt
+
+        try:
+            signal.signal(signal.SIGTERM, _terminate)
+        except ValueError:
+            pass  # not the main thread (in-process harnesses)
+    try:
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            ready=ready,
+            threads=args.threads,
+            coalesce=not args.no_coalesce,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
+
+
+def run_replay(args, out) -> int:
+    """The ``replay`` subcommand: reenact a recorded decision journal.
+
+    A bare ``repro replay TRACE`` re-drives every recorded session
+    against its *recorded* spec — the determinism check (the summary
+    says "bitwise identical" or names what drifted).  Explicit backend
+    flags build a spec override applied to every session, turning the
+    replay into a counterfactual: "what would this other configuration
+    have decided for exactly this traffic?"
+    """
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.journal import replay_trace
+
+    overrides: "dict[str, object]" = {}
+    if args.availability is not None:
+        overrides["availability"] = args.availability
+    if args.planner is not None:
+        overrides["planner"] = args.planner
+    if args.solver is not None:
+        overrides["solver"] = args.solver
+    solver_options: "dict[str, object]" = {}
+    if args.norm is not None:
+        solver_options["norm"] = args.norm
+    if args.weights is not None:
+        solver_options["weights"] = tuple(args.weights)
+    if solver_options:
+        overrides["solver_options"] = solver_options
+    try:
+        report = replay_trace(args.trace, overrides=overrides or None)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"repro replay: error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+        return 0
+    print(report.summary(), file=out)
+    if args.diff and report.diffs:
+        for diff in report.diffs:
+            recorded = diff.recorded_status or "-"
+            replayed = diff.replayed_status or "-"
+            line = (
+                f"  {diff.session_id} {diff.request_id} [{diff.source}] "
+                f"{recorded} -> {replayed} "
+                f"reserved {diff.recorded_reserved:.4f} -> "
+                f"{diff.replayed_reserved:.4f}"
+            )
+            if (
+                diff.recorded_distance is not None
+                or diff.replayed_distance is not None
+            ):
+                line += (
+                    f" distance {_fmt_distance(diff.recorded_distance)}"
+                    f" -> {_fmt_distance(diff.replayed_distance)}"
+                )
+            print(line, file=out)
+        if report.diffs_truncated:
+            print(
+                f"  ... diff list truncated at {len(report.diffs)} rows "
+                "(use --json for counts)",
+                file=out,
+            )
+    return 0
+
+
+def _fmt_distance(value: "float | None") -> str:
+    return "-" if value is None else f"{value:.4f}"
 
 
 def _worker_args(args) -> "tuple[str, ...]":
@@ -652,6 +839,8 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
         return run_simulate(args, out)
     if args.command == "serve":
         return run_serve(args, out)
+    if args.command == "replay":
+        return run_replay(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, factory = EXPERIMENTS[name]

@@ -13,9 +13,13 @@ one of N ``repro serve`` worker processes (see
   the opening worker's slot is encoded into the opaque session id the
   client holds (``w<slot>.<upstream-id>``), so affinity needs no router
   state at all: strip the prefix, forward to that slot, re-wrap the id
-  on the way back.  Session state is process-local by design; it is
-  never replicated, and a worker restart invalidates its sessions
-  (clients see the worker's own ``unknown_session``).
+  on the way back.  Session state is process-local by design and never
+  replicated; without a journal a worker restart invalidates its
+  sessions (clients see the worker's own ``unknown_session``).  With
+  ``repro serve --workers N --journal DIR`` each slot keeps a durable
+  decision journal, a restarted slot recovers its sessions from
+  checkpoint + tail before serving, and the same affinity scheme lands
+  follow-up traffic on the restored sessions.
 * stateless (``plan`` / ``resolve`` / ``alternatives`` /
   session-opening ``submit_batch``) — shard by the ensemble content
   fingerprint on the consistent-hash ring, so one ensemble's engine
@@ -365,11 +369,21 @@ class RouterService:
                 "max_ensembles",
             )
         }
+        journal: "dict[str, int] | None" = None
         for stats in by_slot.values():
             for key in cache:
                 cache[key] += int(stats.get("cache", {}).get(key, 0))
             for key in totals:
                 totals[key] += int(stats.get(key, 0))
+            # Journaled workers report an occupancy block of numeric
+            # counters; the cluster answer is their element-wise sum.
+            shard_journal = stats.get("journal")
+            if isinstance(shard_journal, dict):
+                if journal is None:
+                    journal = {}
+                for key, value in shard_journal.items():
+                    if isinstance(value, (int, float)):
+                        journal[key] = journal.get(key, 0) + value
         shards = []
         for entry in self.supervisor.describe():
             stats = by_slot.get(entry["slot"])
@@ -385,6 +399,7 @@ class RouterService:
             cache=CacheStats(**cache),
             shards=shards,
             router=router,
+            journal=journal,
             **totals,
         )
         self._bump("forwarded")
@@ -493,6 +508,7 @@ def serve_cluster(
     ready=None,
     install_signal_handlers: bool = True,
     drain_timeout: float = 10.0,
+    journal_dir: "str | None" = None,
 ) -> None:
     """Run the blocking cluster loop (``repro serve --workers N``).
 
@@ -500,8 +516,12 @@ def serve_cluster(
     SIGTERM/SIGINT (or ``server.shutdown()``) drains in-flight requests
     before terminating every worker — no orphan processes survive.
     ``ready`` is called with the router's bound ``(host, port)``.
+    ``journal_dir`` gives every worker slot a durable decision journal
+    (``worker-<slot>/`` under it) that restarts recover sessions from.
     """
-    supervisor = WorkerSupervisor(n_workers, worker_args=worker_args)
+    supervisor = WorkerSupervisor(
+        n_workers, worker_args=worker_args, journal_dir=journal_dir
+    )
     supervisor.start()
     try:
         router = RouterService(supervisor, vnodes=vnodes)

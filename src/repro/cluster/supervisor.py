@@ -21,6 +21,13 @@ Liveness has three tiers, fastest first:
 Restarted workers come back on a *new* ephemeral port; the router reads
 addresses through :meth:`address` per request, so traffic follows the
 restart without any coordination beyond this class's lock.
+
+With a ``journal_dir`` each slot gets its own decision-journal
+directory (``worker-<slot>/``) passed down as ``--journal``.  Because a
+restarted slot reuses its directory, the fresh process recovers the
+dead worker's sessions from checkpoint + tail before serving — the
+router's session-id affinity (``w<slot>.<id>``) then lands follow-up
+traffic on the restored sessions instead of ``unknown_session``.
 """
 
 from __future__ import annotations
@@ -81,11 +88,13 @@ class WorkerSupervisor:
         spawn_timeout: float = 60.0,
         health_interval: float = 1.0,
         probe_timeout: float = 5.0,
+        journal_dir: "str | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
         self.worker_args = tuple(worker_args)
+        self.journal_dir = journal_dir
         self.host = host
         self.spawn_timeout = spawn_timeout
         self.health_interval = health_interval
@@ -193,6 +202,11 @@ class WorkerSupervisor:
             "0",
             *self.worker_args,
         ]
+        if self.journal_dir is not None:
+            # Stable per-slot directory: a restarted slot finds its dead
+            # predecessor's journal and recovers the sessions the router
+            # will keep steering at it.
+            cmd += ["--journal", os.path.join(self.journal_dir, f"worker-{slot}")]
         env = dict(os.environ)
         src_dir = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")

@@ -57,6 +57,32 @@ _EPS = 1e-9
 
 
 @dataclass(frozen=True)
+class SessionState:
+    """A point-in-time copy of one session's ledger (crash recovery).
+
+    Everything :meth:`EngineSession.restore` needs to rebuild a live
+    session bitwise: counters and reservations verbatim, the deferred
+    queue in arrival order (the carried aggregates are *recomputed* on
+    restore — they are a pure function of (request, engine), so the
+    recomputation is exact), and the retry floor **verbatim** rather
+    than recomputed: removals may leave the floor conservatively below
+    the true minimum, and the retry early-exit is observable (``[]``
+    versus a full re-deferring pass), so a "tightened" floor would
+    change post-restore decision streams.  ``deferred_floor=None``
+    encodes the empty-queue sentinel ``math.inf``.
+    """
+
+    availability: float
+    used: float
+    deferred_floor: "float | None"
+    admitted: int
+    revoked: int
+    completed: int
+    reserved: "tuple[StreamDecision, ...]"
+    deferred: "tuple[DeploymentRequest, ...]"
+
+
+@dataclass(frozen=True)
 class DeferredEntry:
     """One deferred request plus its already-computed workforce aggregate.
 
@@ -126,6 +152,63 @@ class EngineSession:
         if self.availability == 0:
             return 0.0
         return self._used / self.availability
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> SessionState:
+        """Copy the ledger for the decision journal's checkpoints."""
+        with self.lock:
+            return SessionState(
+                availability=self.availability,
+                used=self._used,
+                deferred_floor=(
+                    None
+                    if math.isinf(self._deferred_floor)
+                    else self._deferred_floor
+                ),
+                admitted=self.admitted_count,
+                revoked=self.revoked_count,
+                completed=self.completed_count,
+                reserved=tuple(self._reserved.values()),
+                deferred=tuple(
+                    entry.request for entry in self._deferred.values()
+                ),
+            )
+
+    @classmethod
+    def restore(
+        cls, engine: "RecommendationEngine", state: SessionState
+    ) -> "EngineSession":
+        """Rebuild a session from a snapshot, bitwise-equal to the original.
+
+        ``engine`` must carry the identity the snapshot was taken under
+        (the service restores by recorded (fingerprint, spec)); deferred
+        aggregates are recomputed through it — deterministic in
+        (request, engine) — while reservations, counters, and the retry
+        floor come back verbatim, so the restored session's future
+        decision stream matches the uncrashed session's exactly.
+        """
+        session = cls(engine)
+        if abs(session.availability - state.availability) > _EPS:
+            raise ValueError(
+                f"snapshot was taken at availability {state.availability}; "
+                f"this engine has {session.availability}"
+            )
+        for decision in state.reserved:
+            session._reserved[decision.request.request_id] = decision
+        if state.deferred:
+            needs = session._computer.aggregate_all(list(state.deferred))
+            for request, need in zip(state.deferred, needs):
+                session._deferred[request.request_id] = DeferredEntry(
+                    request, need
+                )
+        session._deferred_floor = (
+            math.inf if state.deferred_floor is None else state.deferred_floor
+        )
+        session._used = state.used
+        session.admitted_count = state.admitted
+        session.revoked_count = state.revoked
+        session.completed_count = state.completed
+        return session
 
     # ---------------------------------------------------------------- submit
     def submit(self, request: DeploymentRequest) -> StreamDecision:

@@ -40,6 +40,18 @@ class ApiError(ReproError):
         self.code = code
 
 
+class JournalCorruptError(ReproError):
+    """A decision-journal segment has a malformed non-tail line.
+
+    A *torn final line* (crash mid-append) is tolerated and dropped by
+    the journal reader — every segment is append-only and a reopened
+    journal starts a fresh segment, so only a segment's last line can
+    legitimately be torn.  Anything else malformed (a bad line with
+    valid lines after it, an event referencing an ensemble the journal
+    never recorded) is corruption and raises this.
+    """
+
+
 class UnknownPlannerError(ReproError, KeyError):
     """A planner backend name was requested that the registry lacks."""
 

@@ -1,0 +1,70 @@
+"""Durable decision journal: append-only event log, snapshots, replay.
+
+The durability layer over the serve stack (ROADMAP "durable decision
+log + reenactment replay"):
+
+* :class:`~repro.journal.journal.DecisionJournal` — an append-only JSONL
+  event log of every service-level decision (session open/close, submit
+  bursts, retries, complete/revoke, ensemble registrations), with
+  crash-safe framing, size-based segment rotation, and periodic
+  checkpoints carrying :class:`~repro.engine.session.SessionState`
+  snapshots so a restarted ``repro serve --journal DIR`` rebuilds all
+  live sessions from checkpoint + tail.
+* :func:`~repro.journal.replay.replay_trace` — reenactment (Arab et
+  al., PAPERS.md): re-drive a recorded trace through the real service
+  under a possibly different :class:`~repro.api.wire.EngineSpec` and
+  diff every decision against the recording (``repro replay``).
+
+Journal lines reuse the :mod:`repro.api.wire` codecs, so a trace is the
+same JSON vocabulary clients see on the wire.
+"""
+
+from repro.journal.events import (
+    CheckpointEvent,
+    EnsembleEvent,
+    ReleaseEvent,
+    RetryEvent,
+    SessionCheckpoint,
+    SessionCloseEvent,
+    SessionOpenEvent,
+    SubmitEvent,
+    event_from_dict,
+    event_to_dict,
+    session_state_from_dict,
+    session_state_to_dict,
+)
+from repro.journal.journal import DecisionJournal, journal_files, read_events
+from repro.journal.replay import (
+    DecisionDiff,
+    ReplayReport,
+    TraceWorkload,
+    apply_overrides,
+    load_trace,
+    reenact_on_engine,
+    replay_trace,
+)
+
+__all__ = [
+    "CheckpointEvent",
+    "DecisionDiff",
+    "DecisionJournal",
+    "EnsembleEvent",
+    "ReleaseEvent",
+    "ReplayReport",
+    "RetryEvent",
+    "SessionCheckpoint",
+    "SessionCloseEvent",
+    "SessionOpenEvent",
+    "SubmitEvent",
+    "TraceWorkload",
+    "apply_overrides",
+    "event_from_dict",
+    "event_to_dict",
+    "journal_files",
+    "load_trace",
+    "read_events",
+    "reenact_on_engine",
+    "replay_trace",
+    "session_state_from_dict",
+    "session_state_to_dict",
+]

@@ -1,0 +1,642 @@
+"""Reenactment replay: re-drive a recorded trace, diff every decision.
+
+The reenactment idea (Arab et al., PAPERS.md): a recorded decision
+journal is not just a recovery artifact but a *workload* — re-driving
+its sessions through the real service under a possibly different
+:class:`~repro.api.wire.EngineSpec` answers "what would this engine
+configuration have decided on last week's traffic?" with a structured
+decision diff instead of a guess.
+
+Comparison is exact: every recorded/replayed decision pair is matched on
+``StreamDecision.comparison_key()`` — request id, status, strategy
+choice, workforce reserved, and the ADPaR alternative's parameters /
+distance / strategy indices — so replaying a trace under the *same*
+spec must reproduce every decision bitwise
+(:attr:`ReplayReport.bitwise_identical`, the determinism gate pinned by
+``benchmarks/bench_journal.py``), and any drift under a *different*
+spec surfaces as admit/defer flips, alternative-quality deltas, and
+ledger-counter deltas.
+
+Two drive paths share one event walker:
+
+* :func:`replay_trace` — the ``repro replay`` path: re-drives the trace
+  through a real :class:`~repro.api.EngineService` (typed envelopes,
+  same validation as live traffic), honoring per-session recorded specs
+  with optional field overrides (``--planner``/``--solver``/...).
+* :func:`reenact_on_engine` — the ``simulate`` path: re-drives the
+  primary ensemble's sessions on an already-built engine, which is how
+  a journal file plugs into the scenario envelope as a
+  ``recorded-trace`` workload (:class:`TraceWorkload`).
+
+Service imports are deliberately lazy: this module loads as part of
+``repro.journal``'s package init, which ``repro.api.service`` itself
+triggers by importing the event codecs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.exceptions import (
+    InvalidSpecError,
+    JournalCorruptError,
+    ReproError,
+)
+from repro.journal.events import (
+    CheckpointEvent,
+    EnsembleEvent,
+    ReleaseEvent,
+    RetryEvent,
+    SessionCloseEvent,
+    SessionOpenEvent,
+    SubmitEvent,
+)
+from repro.journal.journal import read_events
+
+#: Default cap on materialized per-decision diffs in a report (the
+#: aggregate counters always cover the full trace).
+MAX_DIFFS = 64
+
+
+# ---------------------------------------------------------------- workload
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A recorded journal trace as a drivable scenario payload.
+
+    ``fingerprint`` names the trace's *primary* ensemble — the one whose
+    sessions submitted the most requests (ties break to first recorded)
+    — which is the ensemble the ``recorded-trace`` scenario family
+    materializes; ``sessions``/``arrivals`` count that ensemble's share
+    of the trace.
+    """
+
+    trace: str
+    fingerprint: str
+    events: tuple
+    sessions: int
+    arrivals: int
+
+
+def load_trace(path):
+    """Read a journal into ``(primary ensemble, TraceWorkload)``.
+
+    ``path`` is a journal directory or a single segment file.  Raises
+    :class:`JournalCorruptError` when the trace is unreadable or records
+    no inline ensemble (a trace without its ensembles cannot be
+    re-driven — checkpoints embed them precisely so rotated-away
+    ``ensemble`` events are not a replay blocker).
+    """
+    events = read_events(path)
+    ensembles: "dict[str, object]" = {}
+    order: "list[str]" = []
+    session_fp: "dict[str, str]" = {}
+    submitted: "dict[str, int]" = {}
+
+    def _note(ref) -> None:
+        if ref.ensemble is not None and ref.fingerprint not in ensembles:
+            ensembles[ref.fingerprint] = ref.ensemble
+            order.append(ref.fingerprint)
+
+    for event in events:
+        if isinstance(event, EnsembleEvent):
+            _note(event.ref)
+        elif isinstance(event, CheckpointEvent):
+            for ref in event.ensembles:
+                _note(ref)
+            for entry in event.sessions:
+                session_fp.setdefault(entry.session_id, entry.fingerprint)
+        elif isinstance(event, SessionOpenEvent):
+            session_fp[event.session_id] = event.fingerprint
+        elif isinstance(event, SubmitEvent):
+            fingerprint = session_fp.get(event.session_id)
+            if fingerprint is not None:
+                submitted[fingerprint] = submitted.get(fingerprint, 0) + len(
+                    event.requests
+                )
+    if not ensembles:
+        raise JournalCorruptError(
+            f"trace {path} records no inline ensemble; nothing to replay"
+        )
+    primary = max(order, key=lambda fp: (submitted.get(fp, 0), -order.index(fp)))
+    sessions = sum(1 for fp in session_fp.values() if fp == primary)
+    workload = TraceWorkload(
+        trace=str(path),
+        fingerprint=primary,
+        events=tuple(events),
+        sessions=sessions,
+        arrivals=submitted.get(primary, 0),
+    )
+    return ensembles[primary], workload
+
+
+def apply_overrides(spec, overrides: "dict | None"):
+    """A copy of ``spec`` with ``overrides`` applied field-by-field.
+
+    Unknown field names raise :class:`InvalidSpecError` (the stable
+    ``invalid_spec`` wire code), mirroring ``ScenarioSpec.with_``.
+    """
+    if not overrides:
+        return spec
+    allowed = {f.name for f in fields(spec)}
+    unknown = sorted(set(overrides) - allowed)
+    if unknown:
+        raise InvalidSpecError(
+            f"unknown EngineSpec override(s) {unknown}; "
+            f"expected a subset of {sorted(allowed)}"
+        )
+    return replace(spec, **overrides)
+
+
+# -------------------------------------------------------------------- diffs
+def _status_str(decision) -> "str | None":
+    return None if decision is None else decision.status.value
+
+
+def _request_id(decision) -> str:
+    # Recorded DecisionRecords carry the id directly; replayed
+    # StreamDecisions reach it through their embedded request.
+    request = getattr(decision, "request", None)
+    return decision.request_id if request is None else request.request_id
+
+
+def _distance(decision) -> "float | None":
+    if decision is None or decision.alternative is None:
+        return None
+    return decision.alternative.distance
+
+
+@dataclass(frozen=True)
+class DecisionDiff:
+    """One recorded/replayed decision pair that did not match exactly.
+
+    ``replayed_status`` is ``None`` for a recorded decision the replay
+    produced no counterpart for (and vice versa) — e.g. a burst the
+    replay target rejected because an earlier flip left its request id
+    still active.
+    """
+
+    session_id: str
+    request_id: str
+    source: str  # "submit" | "retry"
+    recorded_status: "str | None"
+    replayed_status: "str | None"
+    recorded_reserved: float = 0.0
+    replayed_reserved: float = 0.0
+    recorded_distance: "float | None" = None
+    replayed_distance: "float | None" = None
+
+    @property
+    def flipped(self) -> bool:
+        """True when the admission *status* changed (not just quality)."""
+        return self.recorded_status != self.replayed_status
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "request_id": self.request_id,
+            "source": self.source,
+            "recorded_status": self.recorded_status,
+            "replayed_status": self.replayed_status,
+            "recorded_reserved": self.recorded_reserved,
+            "replayed_reserved": self.replayed_reserved,
+            "recorded_distance": self.recorded_distance,
+            "replayed_distance": self.replayed_distance,
+            "flipped": self.flipped,
+        }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Aggregate outcome of one reenactment pass.
+
+    ``decisions`` counts compared pairs; ``identical`` counts pairs
+    whose ``comparison_key`` matched exactly; ``flips`` counts status
+    flips (a strict subset of non-identical pairs); ``diffs`` holds up
+    to ``max_diffs`` materialized :class:`DecisionDiff` rows, most
+    trace-ordered first (``diffs_truncated`` says whether the cap bit).
+    """
+
+    trace: str
+    sessions: int
+    skipped_sessions: int
+    events: int
+    decisions: int
+    identical: int
+    flips: int
+    diffs: "tuple[DecisionDiff, ...]"
+    diffs_truncated: bool
+    recorded_counts: dict
+    replayed_counts: dict
+    reserved_delta: float
+    mean_distance_delta: float
+    overrides: dict
+
+    @property
+    def bitwise_identical(self) -> bool:
+        """True when every compared pair matched exactly (the
+        same-spec determinism gate)."""
+        return self.identical == self.decisions
+
+    @property
+    def changed(self) -> int:
+        return self.decisions - self.identical
+
+    def counter_deltas(self) -> dict:
+        """Per-status replayed-minus-recorded decision count deltas."""
+        keys = sorted(set(self.recorded_counts) | set(self.replayed_counts))
+        return {
+            key: self.replayed_counts.get(key, 0)
+            - self.recorded_counts.get(key, 0)
+            for key in keys
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "sessions": self.sessions,
+            "skipped_sessions": self.skipped_sessions,
+            "events": self.events,
+            "decisions": self.decisions,
+            "identical": self.identical,
+            "changed": self.changed,
+            "flips": self.flips,
+            "bitwise_identical": self.bitwise_identical,
+            "recorded_counts": dict(self.recorded_counts),
+            "replayed_counts": dict(self.replayed_counts),
+            "counter_deltas": self.counter_deltas(),
+            "reserved_delta": self.reserved_delta,
+            "mean_distance_delta": self.mean_distance_delta,
+            "overrides": dict(self.overrides),
+            "diffs_truncated": self.diffs_truncated,
+            "diffs": [diff.to_dict() for diff in self.diffs],
+        }
+
+    def summary(self) -> str:
+        head = (
+            f"replayed {self.decisions} decisions over {self.sessions} "
+            f"session(s) from {self.trace}"
+        )
+        if self.skipped_sessions:
+            head += f" ({self.skipped_sessions} session(s) skipped)"
+        if self.bitwise_identical:
+            return head + ": bitwise identical"
+        deltas = ", ".join(
+            f"{key}{delta:+d}"
+            for key, delta in self.counter_deltas().items()
+            if delta
+        )
+        lines = [
+            head
+            + f": {self.changed} changed ({self.flips} status flips)"
+            + (f" [{deltas}]" if deltas else ""),
+            f"  reserved delta {self.reserved_delta:+.6f}, "
+            f"mean alternative-distance delta "
+            f"{self.mean_distance_delta:+.6f}",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------- event walking
+class _Pairs:
+    """Accumulates recorded/replayed decision pairs into report terms."""
+
+    def __init__(self, max_diffs: int):
+        self.max_diffs = max(0, int(max_diffs))
+        self.decisions = 0
+        self.identical = 0
+        self.flips = 0
+        self.diffs: "list[DecisionDiff]" = []
+        self.truncated = False
+        self.recorded_counts: "dict[str, int]" = {}
+        self.replayed_counts: "dict[str, int]" = {}
+        self.reserved_delta = 0.0
+        self._distance_deltas: "list[float]" = []
+
+    def add(self, session_id: str, source: str, recorded, replayed) -> None:
+        self.decisions += 1
+        for decision, counts in (
+            (recorded, self.recorded_counts),
+            (replayed, self.replayed_counts),
+        ):
+            status = _status_str(decision)
+            if status is not None:
+                counts[status] = counts.get(status, 0) + 1
+        self.reserved_delta += (
+            0.0 if replayed is None else replayed.workforce_reserved
+        ) - (0.0 if recorded is None else recorded.workforce_reserved)
+        recorded_distance = _distance(recorded)
+        replayed_distance = _distance(replayed)
+        if recorded_distance is not None and replayed_distance is not None:
+            self._distance_deltas.append(replayed_distance - recorded_distance)
+        if (
+            recorded is not None
+            and replayed is not None
+            and recorded.comparison_key() == replayed.comparison_key()
+        ):
+            self.identical += 1
+            return
+        if _status_str(recorded) != _status_str(replayed):
+            self.flips += 1
+        if len(self.diffs) < self.max_diffs:
+            request = recorded if recorded is not None else replayed
+            self.diffs.append(
+                DecisionDiff(
+                    session_id=session_id,
+                    request_id=_request_id(request),
+                    source=source,
+                    recorded_status=_status_str(recorded),
+                    replayed_status=_status_str(replayed),
+                    recorded_reserved=(
+                        0.0 if recorded is None else recorded.workforce_reserved
+                    ),
+                    replayed_reserved=(
+                        0.0 if replayed is None else replayed.workforce_reserved
+                    ),
+                    recorded_distance=recorded_distance,
+                    replayed_distance=replayed_distance,
+                )
+            )
+        else:
+            self.truncated = True
+
+    def add_submit(self, session_id, recorded, replayed) -> None:
+        # submit_many answers positionally, one decision per request.
+        replayed = list(replayed) if replayed is not None else []
+        for index, decision in enumerate(recorded):
+            other = replayed[index] if index < len(replayed) else None
+            self.add(session_id, "submit", decision, other)
+        for extra in replayed[len(recorded) :]:
+            self.add(session_id, "submit", None, extra)
+
+    def add_retry(self, session_id, recorded, replayed) -> None:
+        # A drain's decisions are matched by request id: the queues may
+        # hold different requests after an earlier admit/defer flip.
+        recorded_by_id = {_request_id(d): d for d in recorded}
+        replayed_by_id = {
+            _request_id(d): d for d in (replayed or [])
+        }
+        for request_id, decision in recorded_by_id.items():
+            self.add(
+                session_id,
+                "retry",
+                decision,
+                replayed_by_id.pop(request_id, None),
+            )
+        for decision in replayed_by_id.values():
+            self.add(session_id, "retry", None, decision)
+
+    def report(
+        self,
+        trace: str,
+        sessions: int,
+        skipped_sessions: int,
+        events: int,
+        overrides: "dict | None",
+    ) -> ReplayReport:
+        mean_distance_delta = (
+            sum(self._distance_deltas) / len(self._distance_deltas)
+            if self._distance_deltas
+            else 0.0
+        )
+        return ReplayReport(
+            trace=trace,
+            sessions=sessions,
+            skipped_sessions=skipped_sessions,
+            events=events,
+            decisions=self.decisions,
+            identical=self.identical,
+            flips=self.flips,
+            diffs=tuple(self.diffs),
+            diffs_truncated=self.truncated,
+            recorded_counts=self.recorded_counts,
+            replayed_counts=self.replayed_counts,
+            reserved_delta=self.reserved_delta,
+            mean_distance_delta=mean_distance_delta,
+            overrides=dict(overrides or {}),
+        )
+
+
+class _ServiceDriver:
+    """Re-drives one recorded session through a live ``EngineService``."""
+
+    def __init__(self, service, session_id: str):
+        self.service = service
+        self.session_id = session_id
+
+    def submit(self, requests):
+        from repro.api.envelopes import SubmitBatchRequest
+
+        response = self.service.submit_batch(
+            SubmitBatchRequest(
+                requests=tuple(requests), session_id=self.session_id
+            )
+        )
+        return list(response.decisions)
+
+    def retry(self):
+        from repro.api.envelopes import RetryDeferredRequest
+
+        response = self.service.retry_deferred(
+            RetryDeferredRequest(session_id=self.session_id)
+        )
+        return list(response.decisions)
+
+    def release(self, op: str, request_ids) -> None:
+        from repro.api.envelopes import SessionOpRequest
+
+        # A status flip may have left some recorded reservations never
+        # admitted here — releasing those would be a typed error, and the
+        # interesting signal (the flip) is already in the diff.
+        active = self.service.session(self.session_id).active
+        request_ids = [rid for rid in request_ids if rid in active]
+        if not request_ids:
+            return
+        self.service.session_op(
+            SessionOpRequest(
+                op=op,
+                session_id=self.session_id,
+                request_ids=tuple(request_ids),
+            )
+        )
+
+    def close(self) -> None:
+        self.service.close_session(self.session_id)
+
+
+class _SessionDriver:
+    """Re-drives one recorded session on a bare ``EngineSession``."""
+
+    def __init__(self, session):
+        self.session = session
+
+    def submit(self, requests):
+        return self.session.submit_many(list(requests))
+
+    def retry(self):
+        return self.session.retry_deferred()
+
+    def release(self, op: str, request_ids) -> None:
+        release = self.session.complete if op == "complete" else self.session.revoke
+        active = self.session.active
+        for request_id in request_ids:
+            if request_id in active:
+                release(request_id)
+
+    def close(self) -> None:
+        pass
+
+
+def _walk(events, open_driver, pairs: _Pairs) -> "tuple[int, int]":
+    """Drive every session's events through its driver; returns
+    ``(replayed sessions, skipped sessions)``.
+
+    ``open_driver(event)`` answers a driver or ``None`` (session not
+    replayable — unknown ensemble, out-of-scope fingerprint, or the
+    open itself failed).  Any drive-time :class:`ReproError` pairs the
+    event's recorded decisions with nothing instead of aborting the
+    pass: the failure is itself a decision divergence.
+    """
+    drivers: "dict[str, object]" = {}
+    skipped: "set[str]" = set()
+    replayed = 0
+    for event in events:
+        if isinstance(event, SessionOpenEvent):
+            if event.session_id in drivers or event.session_id in skipped:
+                continue  # checkpoint recovery can restate an open
+            driver = open_driver(event)
+            if driver is None:
+                skipped.add(event.session_id)
+            else:
+                drivers[event.session_id] = driver
+                replayed += 1
+        elif isinstance(event, SubmitEvent):
+            driver = drivers.get(event.session_id)
+            if driver is None:
+                continue
+            try:
+                decisions = driver.submit(event.requests)
+            except ReproError:
+                decisions = None
+            pairs.add_submit(event.session_id, event.decisions, decisions)
+        elif isinstance(event, RetryEvent):
+            driver = drivers.get(event.session_id)
+            if driver is None:
+                continue
+            try:
+                decisions = driver.retry()
+            except ReproError:
+                decisions = None
+            pairs.add_retry(event.session_id, event.decisions, decisions)
+        elif isinstance(event, ReleaseEvent):
+            driver = drivers.get(event.session_id)
+            if driver is None:
+                continue
+            try:
+                driver.release(event.op, event.request_ids)
+            except ReproError:
+                pass
+        elif isinstance(event, SessionCloseEvent):
+            driver = drivers.pop(event.session_id, None)
+            if driver is not None:
+                try:
+                    driver.close()
+                except ReproError:
+                    pass
+    return replayed, len(skipped)
+
+
+# ------------------------------------------------------------- entry points
+def replay_trace(
+    trace,
+    overrides: "dict | None" = None,
+    service=None,
+    max_diffs: int = MAX_DIFFS,
+) -> ReplayReport:
+    """Re-drive a recorded trace through a real service; diff decisions.
+
+    ``trace`` is a journal directory/file path or a prepared
+    :class:`TraceWorkload`.  Every recorded ensemble is registered with
+    ``service`` (a fresh private :class:`~repro.api.EngineService` when
+    omitted), then each recorded session re-opens under its *recorded*
+    spec with ``overrides`` applied field-by-field — so ``--solver
+    adpar-epsilon`` reenacts exactly the recorded traffic under one
+    changed knob.  With no overrides the pass must come back
+    :attr:`~ReplayReport.bitwise_identical`.
+    """
+    from repro.api.service import EngineService
+    from repro.api.wire import EnsembleRef
+
+    if isinstance(trace, TraceWorkload):
+        workload = trace
+        events = list(workload.events)
+    else:
+        _, workload = load_trace(trace)
+        events = list(workload.events)
+    if service is None:
+        service = EngineService()
+    known: "set[str]" = set()
+
+    def _register(ref) -> None:
+        if ref.ensemble is not None:
+            service.register_ensemble(ref.ensemble)
+            known.add(ref.fingerprint)
+
+    for event in events:
+        if isinstance(event, EnsembleEvent):
+            _register(event.ref)
+        elif isinstance(event, CheckpointEvent):
+            for ref in event.ensembles:
+                _register(ref)
+
+    pairs = _Pairs(max_diffs)
+
+    def open_driver(event: SessionOpenEvent):
+        if event.fingerprint not in known:
+            return None
+        spec = apply_overrides(event.spec, overrides)
+        try:
+            session_id = service.open_session(
+                EnsembleRef.by_fingerprint(event.fingerprint), spec
+            )
+        except ReproError:
+            return None
+        return _ServiceDriver(service, session_id)
+
+    replayed, skipped = _walk(events, open_driver, pairs)
+    return pairs.report(
+        trace=workload.trace,
+        sessions=replayed,
+        skipped_sessions=skipped,
+        events=len(events),
+        overrides=overrides,
+    )
+
+
+def reenact_on_engine(
+    engine,
+    workload: TraceWorkload,
+    max_diffs: int = MAX_DIFFS,
+) -> ReplayReport:
+    """Re-drive a trace's primary-ensemble sessions on a built engine.
+
+    The ``recorded-trace`` scenario path: ``engine`` is already
+    configured by the scenario's :class:`~repro.api.wire.EngineSpec`
+    (which may differ from every recorded spec — that *is* the
+    experiment), so recorded specs are ignored and sessions on other
+    ensembles are skipped.
+    """
+    pairs = _Pairs(max_diffs)
+
+    def open_driver(event: SessionOpenEvent):
+        if event.fingerprint != workload.fingerprint:
+            return None
+        return _SessionDriver(engine.open_session())
+
+    replayed, skipped = _walk(workload.events, open_driver, pairs)
+    return pairs.report(
+        trace=workload.trace,
+        sessions=replayed,
+        skipped_sessions=skipped,
+        events=len(workload.events),
+        overrides=None,
+    )

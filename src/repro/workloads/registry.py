@@ -282,6 +282,27 @@ def _builtin_registry() -> ScenarioRegistry:
         ),
     )
     register(
+        "recorded-trace",
+        ScenarioSpec(
+            kind="trace",
+            description=(
+                "reenact a recorded decision journal: point trace_path at "
+                "a --journal directory (repro simulate recorded-trace "
+                "--set trace_path=...) and the primary ensemble's "
+                "sessions replay against this engine spec"
+            ),
+            # Nominal sub-specs: a trace scenario's workload is the
+            # journal itself, not a generated batch.  The engine spec is
+            # what the trace replays *against* — override it (--set
+            # availability=0.3 etc.) to make the reenactment a
+            # counterfactual instead of a determinism check.
+            ensemble=EnsembleSpec(n_strategies=1),
+            requests=RequestBatchSpec(m_requests=1, k=1),
+            engine=_engine(0.6),
+            seed=7,
+        ),
+    )
+    register(
         "adversarial-arrivals",
         ScenarioSpec(
             kind="stream",

@@ -25,9 +25,10 @@ from repro.workloads.spec import ScenarioSpec
 class SimulationReport:
     """The structured outcome of one scenario simulation.
 
-    One flat record covering all three scenario kinds; fields that do
-    not apply to a kind hold their zero value (e.g. ``admitted`` for a
-    batch run, ``objective_value`` for an ADPaR run).  ``elapsed_s`` is
+    One flat record covering all scenario kinds; fields that do not
+    apply to a kind hold their zero value (e.g. ``admitted`` for a
+    batch run, ``objective_value`` for an ADPaR run, the ``replay_*``
+    trio for anything but a ``trace`` reenactment).  ``elapsed_s`` is
     wall-clock and therefore the one non-reproducible field.
     """
 
@@ -49,6 +50,9 @@ class SimulationReport:
     workforce_used: float = 0.0
     utilization: float = 0.0
     mean_distance: float = 0.0
+    replay_sessions: int = 0
+    replay_decisions: int = 0
+    replay_flips: int = 0
 
     def throughput_rps(self) -> float:
         """Requests driven per wall-clock second."""
@@ -65,6 +69,12 @@ class SimulationReport:
             lines.append(
                 f"alternative={self.alternative} infeasible={self.infeasible} "
                 f"mean_distance={self.mean_distance:.4f}"
+            )
+        elif self.kind == "trace":
+            lines.append(
+                f"replayed sessions={self.replay_sessions} "
+                f"decisions={self.replay_decisions} "
+                f"identical={self.satisfied} flips={self.replay_flips}"
             )
         elif self.kind == "stream":
             lines.append(
@@ -168,6 +178,29 @@ def simulate_scenario(
             retried=retried,
             still_deferred=len(session.deferred),
             utilization=session.utilization(),
+            **common,
+        )
+
+    if spec.kind == "trace":
+        # Reenactment: the payload is a recorded TraceWorkload; re-drive
+        # its primary-ensemble sessions on this engine and fold the
+        # decision diff into the flat report (``satisfied`` carries the
+        # exactly-reproduced pair count, ``alternative`` the changed
+        # pairs — the full diff comes from ``repro replay``).
+        from repro.journal.replay import reenact_on_engine
+
+        common["n_strategies"] = len(ensemble.names)
+        start = time.perf_counter()
+        replay = reenact_on_engine(engine, payload)
+        elapsed = time.perf_counter() - start
+        return SimulationReport(
+            arrivals=payload.arrivals,
+            elapsed_s=elapsed,
+            satisfied=replay.identical,
+            alternative=replay.changed,
+            replay_sessions=replay.sessions,
+            replay_decisions=replay.decisions,
+            replay_flips=replay.flips,
             **common,
         )
 

@@ -56,8 +56,10 @@ from repro.workloads.generators import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (wire imports us)
     from repro.api.wire import EngineSpec
 
-#: The three scenario kinds :meth:`ScenarioSpec.build` understands.
-SCENARIO_KINDS = ("batch", "stream", "adpar")
+#: The scenario kinds :meth:`ScenarioSpec.build` understands.  ``trace``
+#: replays a recorded decision journal (``trace_path``) instead of
+#: generating synthetic requests.
+SCENARIO_KINDS = ("batch", "stream", "adpar", "trace")
 
 #: The arrival processes :class:`ArrivalSpec` models.
 ARRIVAL_PROCESSES = ("steady", "burst", "diurnal", "adversarial")
@@ -343,6 +345,7 @@ class ScenarioSpec:
     arrival: "ArrivalSpec | None" = None
     engine: "EngineSpec | None" = None
     tightness: float = 0.15
+    trace_path: str = ""
 
     def __post_init__(self):
         if self.kind not in SCENARIO_KINDS:
@@ -379,6 +382,7 @@ class ScenarioSpec:
         _check_number("tightness", self.tightness)
         if not 0.0 <= self.tightness <= 1.0:
             raise InvalidSpecError("tightness must be in [0, 1]")
+        _check_str("trace_path", self.trace_path)
 
     # ------------------------------------------------------------ overrides
     #: Flat override aliases ``with_`` routes into sub-specs, so sweeps
@@ -505,10 +509,22 @@ class ScenarioSpec:
         ``batch`` / ``stream`` kinds return ``(ensemble, requests)``;
         ``adpar`` returns ``(ensemble, hard_request)`` where the request
         is a deliberately unsatisfiable :class:`TriParams` near the point
-        cloud (the legacy ``ADPaRScenario`` contract).  ``rng`` overrides
-        the spec seed — how the fig-runners drive repetition sweeps from
-        externally spawned generators.
+        cloud (the legacy ``ADPaRScenario`` contract); ``trace`` reads
+        the recorded journal at ``trace_path`` and returns ``(ensemble,
+        TraceWorkload)`` — deterministic by construction, the trace *is*
+        the workload.  ``rng`` overrides the spec seed — how the
+        fig-runners drive repetition sweeps from externally spawned
+        generators.
         """
+        if self.kind == "trace":
+            if not self.trace_path:
+                raise InvalidSpecError(
+                    "a 'trace' scenario needs trace_path (a decision "
+                    "journal directory or segment file)"
+                )
+            from repro.journal.replay import load_trace
+
+            return load_trace(self.trace_path)
         source = self.seed if rng is None else rng
         rng_ensemble, rng_requests = spawn_rngs(source, 2)
         if self.kind == "adpar":

@@ -306,6 +306,102 @@ def test_killed_worker_is_survived():
         supervisor.stop()
 
 
+def test_killed_worker_sessions_survive_with_journal(tmp_path):
+    """SIGKILL a worker holding live sessions under ``--journal``: the
+    supervisor restarts the slot over its journal directory, the fresh
+    process recovers the sessions from checkpoint + tail, and the
+    clients' held session ids keep working — no ``unknown_session``."""
+    supervisor = WorkerSupervisor(
+        2,
+        worker_args=("--availability", "0.7", "--threads", "24"),
+        journal_dir=str(tmp_path),
+    )
+    supervisor.start()
+    router = RouterService(supervisor)
+    try:
+        ensemble = generate_strategy_ensemble(40, "uniform", 17)
+        opened = router.handle_dict(
+            envelope(
+                "submit_batch",
+                ensemble=EnsembleRef.of(ensemble).to_dict(),
+                spec=SPEC.to_dict(),
+                requests=request_dicts(seed=71, prefix="j0"),
+            )
+        )
+        assert opened["type"] == "submit_batch_result"
+        session_id = opened["session_id"]
+        follow = router.handle_dict(
+            envelope(
+                "submit_batch",
+                session_id=session_id,
+                requests=request_dicts(seed=72, prefix="j1"),
+            )
+        )
+        assert follow["type"] == "submit_batch_result"
+
+        owner = int(session_id[1 : session_id.index(".")])
+        # Bounded-lag durability: the write-behind journal group-commits
+        # a short gather window behind each append, and SIGKILL forfeits
+        # whatever is still queued.  The crash contract is "lose at most
+        # the last window", so wait until both bursts are actually on
+        # disk before pulling the trigger — this test exercises recovery
+        # of durable events, not a race against the window.
+        from repro.journal import read_events
+        from repro.journal.events import SubmitEvent
+
+        journal_dir = tmp_path / f"worker-{owner}"
+        durable_by = time.monotonic() + RECOVERY_TIMEOUT_S
+        while time.monotonic() < durable_by:
+            submits = [
+                event
+                for event in read_events(journal_dir)
+                if isinstance(event, SubmitEvent)
+            ]
+            if len(submits) >= 2:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("journal never made both bursts durable")
+
+        victim_pid = dict(
+            zip(supervisor.slots(), supervisor.worker_pids())
+        )[owner]
+        os.kill(victim_pid, signal.SIGKILL)
+
+        retry = envelope("retry_deferred", session_id=session_id)
+        deadline = time.monotonic() + RECOVERY_TIMEOUT_S
+        recovered = None
+        while time.monotonic() < deadline:
+            answer = router.handle_dict(retry)
+            if answer["type"] == "retry_deferred_result":
+                recovered = answer
+                break
+            # While the slot respawns the only acceptable answer is the
+            # retryable 503 — an unknown_session here means the restart
+            # dropped the journaled sessions.
+            assert answer["code"] == "upstream_unavailable", answer
+            time.sleep(0.25)
+        assert recovered is not None, "worker did not recover in time"
+        assert recovered["session_id"] == session_id
+
+        # The restored session still accepts traffic under its old id.
+        more = router.handle_dict(
+            envelope(
+                "submit_batch",
+                session_id=session_id,
+                requests=request_dicts(seed=73, prefix="j2"),
+            )
+        )
+        assert more["type"] == "submit_batch_result"
+        assert more["session_id"] == session_id
+
+        stats = router.handle_dict(envelope("stats"))
+        assert stats["journal"]["restores"] >= 1
+        assert stats["journal"]["events"] > 0
+    finally:
+        supervisor.stop()
+
+
 def _pid_alive(pid: int) -> bool:
     try:
         os.kill(pid, 0)

@@ -367,3 +367,97 @@ def test_response_envelopes_roundtrip(outcome, report, results, decisions, stats
         assert (
             parse_response(json.loads(json.dumps(envelope.to_dict()))) == envelope
         )
+
+
+# ------------------------------------------------------- journal extensions
+journal_counters = st.fixed_dictionaries(
+    {
+        key: st.integers(min_value=0, max_value=2**40)
+        for key in (
+            "events",
+            "bytes",
+            "checkpoints",
+            "rotations",
+            "restores",
+            "replay_decisions",
+            "replay_flips",
+            "segments",
+            "pending_checkpoint",
+        )
+    }
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cache_stats(), journal_counters)
+def test_stats_response_journal_roundtrip(stats, journal):
+    envelope = StatsResponse(
+        cache=stats, engines=1, sessions=2, ensembles=3, journal=journal
+    )
+    assert parse_response(json.loads(json.dumps(envelope.to_dict()))) == envelope
+
+
+def test_stats_response_without_journal_omits_key():
+    """Pre-journal stats payloads stay byte-identical."""
+    body = StatsResponse(
+        cache=CacheStats(), engines=1, sessions=0, ensembles=0
+    ).to_dict()
+    assert "journal" not in body
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(["", "/var/lib/repro/journal", "journal-000001.jsonl"]))
+def test_scenario_spec_trace_path_roundtrip(trace_path):
+    from repro.workloads import EnsembleSpec, RequestBatchSpec, ScenarioSpec
+
+    spec = ScenarioSpec(
+        kind="trace" if trace_path else "batch",
+        ensemble=EnsembleSpec(n_strategies=1),
+        requests=RequestBatchSpec(m_requests=1, k=1),
+        seed=7,
+        trace_path=trace_path,
+    )
+    encoded = wire.scenario_spec_to_dict(spec)
+    # An empty trace_path is omitted so pre-journal payloads are
+    # byte-identical; a set one round-trips verbatim.
+    assert ("trace_path" in encoded) == bool(trace_path)
+    back = wire.scenario_spec_from_dict(json.loads(json.dumps(encoded)))
+    assert back == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+)
+def test_simulation_report_replay_fields_roundtrip(sessions, decisions, flips):
+    from repro.workloads import (
+        EnsembleSpec,
+        RequestBatchSpec,
+        ScenarioSpec,
+        SimulationReport,
+    )
+
+    report = SimulationReport(
+        scenario=ScenarioSpec(
+            kind="trace",
+            ensemble=EnsembleSpec(n_strategies=1),
+            requests=RequestBatchSpec(m_requests=1, k=1),
+            seed=7,
+            trace_path="journal",
+        ),
+        kind="trace",
+        fingerprint="f" * 64,
+        n_strategies=4,
+        arrivals=decisions,
+        elapsed_s=0.25,
+        satisfied=min(sessions, decisions),
+        replay_sessions=sessions,
+        replay_decisions=decisions,
+        replay_flips=flips,
+    )
+    back = wire_trip(
+        wire.simulation_report_to_dict, wire.simulation_report_from_dict, report
+    )
+    assert back == report

@@ -24,7 +24,7 @@ class TestScenarioRegistry:
         registry = default_scenario_registry()
         assert len(registry.names()) >= 8
         kinds = {registry.get(name).kind for name in registry.names()}
-        assert kinds == {"batch", "stream", "adpar"}
+        assert kinds == {"batch", "stream", "adpar", "trace"}
 
     def test_catalog_covers_the_named_families(self):
         registry = default_scenario_registry()
