@@ -38,6 +38,27 @@ WARM_SPEEDUP_FLOOR = 1.5
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_workloads.json"
 
+#: The whole family catalog, by name, so every registered scenario is
+#: measured here (and the registry-coverage lint pass, R002, can hold
+#: each name to this list).  Materialization is shrunk per family —
+#: this pins per-family build cost, not full-scale workloads.
+SCENARIO_CATALOG = (
+    "paper-batch",
+    "paper-batch-small",
+    "paper-adpar",
+    "paper-adpar-small",
+    "skewed-availability",
+    "heavy-tail",
+    "mixture-of-distributions",
+    "high-k-stress",
+    "steady-stream",
+    "flash-crowd",
+    "diurnal-stream",
+    "deferred-churn",
+    "recorded-trace",
+    "adversarial-arrivals",
+)
+
 
 def _materialization() -> tuple[float, float]:
     spec = default_scenario_registry().create(
@@ -86,6 +107,34 @@ def test_bench_spec_materialization(benchmark):
         f"{MATERIALIZE_CEILING}x the raw generators ({raw_s:.3f}s), "
         f"got {overhead:.2f}x"
     )
+
+
+def test_bench_scenario_catalog_materialization(benchmark):
+    """Build one shrunk instance of every registered family.
+
+    A trace-kind family has no generated workload (its workload is a
+    recorded journal), so it is name-checked but not built.
+    """
+    registry = default_scenario_registry()
+    assert sorted(registry.names()) == sorted(SCENARIO_CATALOG)
+
+    def build_all() -> dict:
+        built = {}
+        for name in SCENARIO_CATALOG:
+            spec = registry.get(name)
+            if spec.kind == "trace":
+                continue
+            shrunk = registry.create(
+                name, n_strategies=50, m_requests=8
+            )
+            ensemble, _workload = shrunk.build()
+            built[name] = len(ensemble)
+        return built
+
+    built = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    assert len(built) == len(SCENARIO_CATALOG) - 1  # all but recorded-trace
+    assert all(n == 50 for n in built.values())
+    benchmark.extra_info["families"] = len(built)
 
 
 def _simulate_inprocess() -> dict:

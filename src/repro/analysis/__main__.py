@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — the machine-facing lint entry point."""
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

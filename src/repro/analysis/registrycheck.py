@@ -1,0 +1,112 @@
+"""Registry-coverage analysis: no backend ships unpinned.
+
+Every backend name registered by a ``_builtin_registry()`` factory
+(planners in ``engine/registry.py``, solvers in ``engine/solvers.py``,
+scenarios in ``workloads/registry.py``) must be referenced — as an exact
+string literal — by at least one test under ``tests/`` (**R001**) and at
+least one benchmark under ``benchmarks/`` (**R002**).  A backend nobody
+pins can silently regress or silently slow down; this rule makes the
+pin a merge requirement the moment the name is registered.
+
+The scan is literal-to-literal on purpose: a test that *constructs* the
+name dynamically isn't a pin a reader can grep for.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, SourceFile
+
+
+def collect_string_literals(paths: "list[Path]") -> "set[str]":
+    """Every string constant in the given Python files (AST scan; a file
+    that fails to parse contributes nothing)."""
+    literals: "set[str]" = set()
+    for path in paths:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                literals.add(node.value)
+    return literals
+
+
+def _registered_names(source: SourceFile) -> "list[tuple[str, int]]":
+    """(backend name, line) for every ``register("name", ...)`` call
+    inside this module's ``_builtin_registry`` factory."""
+    names: "list[tuple[str, int]]" = []
+    for top in source.tree.body:
+        if not (
+            isinstance(top, ast.FunctionDef)
+            and top.name == "_builtin_registry"
+        ):
+            continue
+        for node in ast.walk(top):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            is_register = (
+                isinstance(func, ast.Name) and func.id == "register"
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr == "register"
+            )
+            if not is_register:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                names.append((first.value, node.lineno))
+    return names
+
+
+def analyze_registries(
+    sources: "dict[str, SourceFile]",
+    test_literals: "set[str]",
+    bench_literals: "set[str]",
+) -> "list[Diagnostic]":
+    """Flag registered backend names no test/benchmark literal pins."""
+    diagnostics: "list[Diagnostic]" = []
+    for source in sources.values():
+        if source.tree is None:
+            continue
+        for name, line in _registered_names(source):
+            if name not in test_literals:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="R001",
+                        file=source.relpath,
+                        line=line,
+                        message=(
+                            f"backend {name!r} is registered but no test "
+                            f"under tests/ references it"
+                        ),
+                        hint=(
+                            "add a test that exercises the backend by "
+                            "this exact name"
+                        ),
+                        subject=name,
+                    )
+                )
+            if name not in bench_literals:
+                diagnostics.append(
+                    Diagnostic(
+                        rule="R002",
+                        file=source.relpath,
+                        line=line,
+                        message=(
+                            f"backend {name!r} is registered but no "
+                            f"benchmark under benchmarks/ references it"
+                        ),
+                        hint=(
+                            "add (or extend) a benchmark that measures "
+                            "the backend by this exact name"
+                        ),
+                        subject=name,
+                    )
+                )
+    return diagnostics

@@ -1,0 +1,214 @@
+"""The ``repro lint`` driver: collect, analyze, diff, report.
+
+One run parses every module under ``src/``, feeds the shared
+:class:`~repro.analysis.diagnostics.SourceFile` set through the three
+analyzer families, applies inline suppressions, and diffs the surviving
+findings against ``analysis/baseline.json``:
+
+* **new** findings (not in the baseline) fail the run;
+* **accepted** findings (baselined, with a justification) pass;
+* **stale** baseline entries (the finding no longer fires) also fail,
+  so the baseline can only shrink — it never rots.
+
+Exit codes: 0 clean, 1 new-or-stale findings, 2 analysis error.
+``--json`` emits the machine-readable report CI uploads as an artifact;
+``--update-baseline`` rewrites the baseline for the current findings
+(preserving existing justifications) for deliberate, reviewed accepts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SourceFile,
+    apply_suppressions,
+    diff_against_baseline,
+    load_baseline,
+    sort_diagnostics,
+    write_baseline,
+)
+from repro.analysis.lockcheck import analyze_locks
+from repro.analysis.registrycheck import analyze_registries, collect_string_literals
+from repro.analysis.wirecheck import analyze_wire
+
+
+def find_repo_root(start: "Path | None" = None) -> Path:
+    """The repo root: the nearest ancestor holding ``src/repro``."""
+    here = Path.cwd() if start is None else Path(start)
+    for candidate in (here, *here.resolve().parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # Fall back to the tree this installed module lives in.
+    return Path(__file__).resolve().parents[3]
+
+
+def collect_sources(root: Path) -> "dict[str, SourceFile]":
+    """Parse every module under ``src/`` into the shared SourceFile map."""
+    sources: "dict[str, SourceFile]" = {}
+    src = root / "src"
+    for path in sorted(src.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=relpath)
+        sources[relpath] = SourceFile(
+            path=path,
+            relpath=relpath,
+            lines=text.splitlines(),
+            tree=tree,
+        )
+    return sources
+
+
+@dataclass
+class AnalysisReport:
+    """One lint run: every finding, split against the baseline."""
+
+    root: Path
+    diagnostics: "list[Diagnostic]" = field(default_factory=list)
+    new: "list[Diagnostic]" = field(default_factory=list)
+    accepted: "list[Diagnostic]" = field(default_factory=list)
+    stale: "list[dict]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "counts": {
+                "total": len(self.diagnostics),
+                "new": len(self.new),
+                "accepted": len(self.accepted),
+                "stale_baseline": len(self.stale),
+            },
+            "new": [d.to_dict() for d in self.new],
+            "accepted": [d.to_dict() for d in self.accepted],
+            "stale_baseline": self.stale,
+        }
+
+
+def default_baseline_path(root: Path) -> Path:
+    return root / "analysis" / "baseline.json"
+
+
+def run_analysis(
+    root: "Path | None" = None,
+    baseline_path: "Path | None" = None,
+) -> AnalysisReport:
+    """Run all three analyzer families and diff against the baseline."""
+    root = find_repo_root() if root is None else Path(root)
+    sources = collect_sources(root)
+    diagnostics: "list[Diagnostic]" = []
+    lock_diags, _graph = analyze_locks(sources)
+    diagnostics.extend(lock_diags)
+    diagnostics.extend(analyze_wire(sources))
+    test_literals = collect_string_literals(
+        sorted((root / "tests").rglob("*.py"))
+    )
+    bench_literals = collect_string_literals(
+        sorted((root / "benchmarks").rglob("*.py"))
+    )
+    diagnostics.extend(
+        analyze_registries(sources, test_literals, bench_literals)
+    )
+    diagnostics = sort_diagnostics(apply_suppressions(diagnostics, sources))
+    if baseline_path is None:
+        baseline_path = default_baseline_path(root)
+    baseline = load_baseline(baseline_path)
+    new, accepted, stale = diff_against_baseline(diagnostics, baseline)
+    return AnalysisReport(
+        root=root,
+        diagnostics=diagnostics,
+        new=new,
+        accepted=accepted,
+        stale=stale,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static project-invariant analysis: lock discipline, wire "
+            "drift, registry coverage."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root (default: auto-detect from cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <root>/analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to accept the current findings "
+            "(keeps existing justifications)"
+        ),
+    )
+    return parser
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    root = find_repo_root(args.root) if args.root else find_repo_root()
+    baseline_path = args.baseline or default_baseline_path(root)
+    try:
+        report = run_analysis(root, baseline_path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        print(f"repro lint: analysis failed: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        previous = load_baseline(baseline_path)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        write_baseline(baseline_path, report.diagnostics, previous)
+        print(
+            f"baseline updated: {len(report.diagnostics)} accepted "
+            f"finding(s) -> {baseline_path}",
+            file=out,
+        )
+        return 0
+    if args.json:
+        json.dump(report.to_dict(), out, indent=2)
+        out.write("\n")
+    else:
+        for diag in report.new:
+            print(diag.render(), file=out)
+        for entry in report.stale:
+            print(
+                f"stale baseline entry {entry['key']!r}: the finding no "
+                f"longer fires — remove it from {baseline_path}",
+                file=out,
+            )
+        print(
+            f"repro lint: {len(report.new)} new, "
+            f"{len(report.accepted)} baselined, "
+            f"{len(report.stale)} stale baseline entr"
+            f"{'y' if len(report.stale) == 1 else 'ies'}",
+            file=out,
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

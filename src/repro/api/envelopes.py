@@ -661,6 +661,7 @@ class StatsResponse:
             "max_engines": self.max_engines,
             "max_sessions": self.max_sessions,
             "max_ensembles": self.max_ensembles,
+            # lint: wire-ok derived from cache counters, output-only
             "hit_rate": self.hit_rate,
             "occupancy": self.occupancy,
             "coalescer": self.coalescer,

@@ -106,6 +106,7 @@ from repro.journal.events import (
     SubmitEvent,
 )
 from repro.journal.journal import read_events
+from repro.utils.lockdebug import maybe_guarded
 from repro.workloads.registry import (
     ScenarioRegistry,
     default_scenario_registry,
@@ -282,12 +283,16 @@ class EngineService:
         self._engines = _ShardedLRU(self._max_engines)
         self._ensembles = _ShardedLRU(self._max_ensembles)
         self._sessions: "dict[str, _SessionHandle]" = {}
-        self._sessions_lock = threading.Lock()
+        self._sessions_lock = maybe_guarded(
+            threading.Lock(), "EngineService._sessions_lock"
+        )
         self._workloads = _ShardedLRU(self._max_workloads)
         self._session_seq = itertools.count(1)
         self._coalescer = None
         self._journal = None
-        self._checkpoint_lock = threading.Lock()
+        self._checkpoint_lock = maybe_guarded(
+            threading.Lock(), "EngineService._checkpoint_lock"
+        )
 
     # ------------------------------------------------------------- coalescer
     def attach_coalescer(self, coalescer):

@@ -415,6 +415,32 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit the full structured replay report as JSON",
     )
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "static project-invariant analysis: lock discipline, wire "
+            "drift, registry coverage"
+        ),
+    )
+    lint.add_argument(
+        "--root", default=None, help="repo root (default: auto-detect)"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: <root>/analysis/baseline.json)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline",
+    )
     return parser
 
 
@@ -720,6 +746,23 @@ def run_serve(args, out) -> int:
     return 0
 
 
+def run_lint(args, out) -> int:
+    """``repro lint``: the static analysis suite, diffed vs the baseline."""
+    # Imported lazily: linting is a dev/CI path, not a serving one.
+    from repro.analysis.runner import main as lint_main
+
+    argv = []
+    if args.root:
+        argv += ["--root", args.root]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.as_json:
+        argv.append("--json")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return lint_main(argv, out=out)
+
+
 def run_replay(args, out) -> int:
     """The ``replay`` subcommand: reenact a recorded decision journal.
 
@@ -841,6 +884,8 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
         return run_serve(args, out)
     if args.command == "replay":
         return run_replay(args, out)
+    if args.command == "lint":
+        return run_lint(args, out)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, factory = EXPERIMENTS[name]

@@ -70,6 +70,7 @@ from repro.api.wire import API_VERSION, EnsembleRef
 from repro.cluster.hashring import HashRing
 from repro.cluster.supervisor import WorkerSupervisor
 from repro.engine.cache import CacheStats
+from repro.utils.lockdebug import maybe_guarded
 
 #: Request types that must reach the worker holding the session.
 SESSION_AFFINE_TYPES = frozenset(
@@ -150,7 +151,9 @@ class RouterService:
             "replicas": 0,
             "upstream_failures": 0,
         }
-        self._counters_lock = threading.Lock()
+        self._counters_lock = maybe_guarded(
+            threading.Lock(), "RouterService._counters_lock"
+        )
         self._inflight = 0
         self._inflight_cv = threading.Condition()
 

@@ -111,6 +111,7 @@ class WorkerSupervisor:
         """Spawn every worker, then start the health monitor."""
         try:
             for slot in range(self.n_workers):
+                # lint: unguarded-ok single-threaded until the monitor starts
                 self._workers[slot] = self._spawn(slot)
         except Exception:
             self.stop()

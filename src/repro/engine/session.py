@@ -48,6 +48,7 @@ from repro.core.request import DeploymentRequest
 from repro.core.streaming import StreamDecision, StreamStatus
 from repro.core.workforce import RequestWorkforce
 from repro.exceptions import InfeasibleRequestError
+from repro.utils.lockdebug import maybe_guarded
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.adpar import ADPaRResult
@@ -112,7 +113,7 @@ class EngineSession:
     def __init__(self, engine: "RecommendationEngine"):
         self.engine = engine
         self.availability = engine.availability
-        self.lock = threading.RLock()
+        self.lock = maybe_guarded(threading.RLock(), "EngineSession.lock")
         self._computer = engine.computer
         self._reserved: "dict[str, StreamDecision]" = {}
         self._deferred: "dict[str, DeferredEntry]" = {}

@@ -1,5 +1,12 @@
-"""Shared utilities: seeded randomness, ASCII tables, validation helpers."""
+"""Shared utilities: seeded randomness, ASCII tables, validation, lock debug."""
 
+from repro.utils.lockdebug import (
+    GuardedLock,
+    LockOrderAsserter,
+    LockOrderInversion,
+    lock_debug_enabled,
+    maybe_guarded,
+)
 from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
 from repro.utils.tables import format_table, format_series
 from repro.utils.validation import (
@@ -17,4 +24,9 @@ __all__ = [
     "check_fraction",
     "check_positive_int",
     "check_probability_vector",
+    "GuardedLock",
+    "LockOrderAsserter",
+    "LockOrderInversion",
+    "lock_debug_enabled",
+    "maybe_guarded",
 ]

@@ -1,0 +1,158 @@
+"""Runtime lock-order assertion, the dynamic twin of the static graph.
+
+``repro lint``'s lock-discipline pass (L001) proves the *source* never
+orders two locks both ways; this module checks the same property on the
+*running* process, catching orderings the static pass cannot resolve
+(locks reached through callbacks, containers, or dynamic dispatch).
+
+A :class:`GuardedLock` wraps any lock-like object with a stable name.
+Every acquisition consults a process-wide order graph: if thread T holds
+``A`` and acquires ``B``, the edge ``A → B`` is recorded; if some thread
+ever acquires them the other way around, the second acquisition raises
+:class:`LockOrderInversion` *instead of deadlocking*, with both paths in
+the message.  Reentrant re-acquisition of a held lock is exempt (RLock
+semantics).
+
+The guard costs a dict lookup and a small DFS per acquisition, so it is
+off by default: :func:`maybe_guarded` returns the raw lock unless
+``REPRO_LOCK_DEBUG=1`` — the concurrency tests flip it on to corroborate
+the static graph under real traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: Environment flag that turns :func:`maybe_guarded` into a real guard.
+ENV_FLAG = "REPRO_LOCK_DEBUG"
+
+
+class LockOrderInversion(RuntimeError):
+    """Two locks were acquired in both orders by the running process."""
+
+
+class LockOrderAsserter:
+    """A process-wide lock-acquisition order graph with inversion checks.
+
+    Thread-safe; one instance is shared by every :class:`GuardedLock` it
+    guards so orderings observed on different threads compose.
+    """
+
+    def __init__(self):
+        self._edges: "dict[str, set[str]]" = {}
+        self._meta = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- plumbing
+    def _held(self) -> "list[str]":
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    def _path(self, src: str, dst: str) -> "list[str] | None":
+        """A recorded acquisition path ``src → ... → dst`` (meta held)."""
+        stack: "list[list[str]]" = [[src]]
+        seen = {src}
+        while stack:
+            path = stack.pop()
+            if path[-1] == dst:
+                return path
+            for nxt in self._edges.get(path[-1], ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(path + [nxt])
+        return None
+
+    # ------------------------------------------------------------ recording
+    def note_acquire(self, name: str) -> None:
+        """Record intent to acquire ``name``; raise on a known inversion.
+
+        Raises *before* the underlying acquire, so an inversion surfaces
+        as a diagnostic instead of a deadlock.
+        """
+        held = self._held()
+        if name in held:  # reentrant: no new ordering information
+            held.append(name)
+            return
+        with self._meta:
+            for h in held:
+                reverse = self._path(name, h)
+                if reverse is not None:
+                    raise LockOrderInversion(
+                        f"acquiring {name!r} while holding {h!r}, but the "
+                        f"opposite order {' -> '.join(reverse)} was already "
+                        f"observed; pick one global order for these locks"
+                    )
+            for h in held:
+                self._edges.setdefault(h, set()).add(name)
+        held.append(name)
+
+    def note_release(self, name: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    def edges(self) -> "dict[str, set[str]]":
+        """A snapshot of the observed order graph (for tests/debugging)."""
+        with self._meta:
+            return {a: set(bs) for a, bs in self._edges.items()}
+
+
+#: The shared process-wide asserter :func:`maybe_guarded` wires up.
+GLOBAL_ASSERTER = LockOrderAsserter()
+
+
+class GuardedLock:
+    """A named wrapper asserting acquisition order around any lock.
+
+    Supports the full lock protocol (``with``, ``acquire``/``release``),
+    so it can replace a ``threading.Lock``/``RLock`` attribute in place.
+    """
+
+    def __init__(self, lock, name: str, asserter: "LockOrderAsserter | None" = None):
+        self._lock = lock
+        self.name = name
+        self.asserter = GLOBAL_ASSERTER if asserter is None else asserter
+
+    def acquire(self, *args, **kwargs) -> bool:
+        self.asserter.note_acquire(self.name)
+        acquired = self._lock.acquire(*args, **kwargs)
+        if not acquired:  # timed/non-blocking miss: roll the record back
+            self.asserter.note_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self.asserter.note_release(self.name)
+
+    def __enter__(self) -> "GuardedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GuardedLock({self.name!r})"
+
+
+def lock_debug_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+def maybe_guarded(lock, name: str):
+    """``lock`` wrapped in a :class:`GuardedLock` iff ``REPRO_LOCK_DEBUG=1``.
+
+    The zero-cost default keeps the hot serve path free of the guard;
+    the names should match the static graph's ``Class.attr`` labels so
+    runtime inversions line up with ``repro lint`` output.
+    """
+    if lock_debug_enabled():
+        return GuardedLock(lock, name)
+    return lock

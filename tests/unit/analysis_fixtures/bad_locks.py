@@ -1,0 +1,45 @@
+"""Seeded-bad lock discipline for the analyzer tests.
+
+Contains, deliberately: a lock-order inversion across two classes
+(L001), a blocking call while holding a lock (L002), an attribute
+written both inside and outside lock scope (L003), and one suppressed
+unguarded write.  Never imported — parsed as source by the tests.
+"""
+
+import threading
+
+
+class Courier:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sent = 0
+        self.draining = False
+
+    def send(self, depot):
+        with self._lock:
+            with depot._gate:  # order: Courier._lock -> Depot._gate
+                self.sent += 1
+
+    def flush(self, path):
+        with self._lock:
+            path.write_text("x")  # blocking file I/O under the lock
+
+    def mark(self):
+        with self._lock:
+            self.draining = True
+
+    def reset(self):
+        self.draining = False  # unguarded: also written under the lock
+
+    def reset_quietly(self):
+        self.draining = False  # lint: unguarded-ok fixture suppression
+
+
+class Depot:
+    def __init__(self):
+        self._gate = threading.Lock()
+
+    def pull(self, courier):
+        with self._gate:
+            with courier._lock:  # order: Depot._gate -> Courier._lock
+                return courier.sent

@@ -1,0 +1,35 @@
+"""Seeded-bad wire codec for the analyzer tests.
+
+One codec pair with three deliberate drifts: two keys encoded but never
+decoded (W001), one key decoded but never encoded (W002), and one
+dataclass field no decoder constructs (W003).  Never imported — parsed
+as source by the tests.
+"""
+
+from dataclasses import dataclass
+
+
+def require(payload, key, what):
+    return payload[key]
+
+
+@dataclass(frozen=True)
+class Parcel:
+    parcel_id: str
+    weight: float
+    insured: bool = False  # never constructed by the decoder
+
+
+def parcel_to_dict(parcel):
+    return {
+        "parcel_id": parcel.parcel_id,
+        "weight": parcel.weight,  # encoded, never decoded
+        "flagged": True,  # encoded, never decoded
+    }
+
+
+def parcel_from_dict(payload):
+    return Parcel(
+        parcel_id=require(payload, "parcel_id", "parcel"),
+        weight=float(payload.get("priority", 1.0)),  # never encoded
+    )

@@ -1,0 +1,31 @@
+"""Known-good lock discipline: one global order, no blocking, no races.
+
+Never imported — parsed as source by the analyzer tests, which assert
+this module produces zero diagnostics.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, vault):
+        with self._lock:
+            with vault._gate:  # always Ledger._lock -> Vault._gate
+                self.total += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self.total
+
+
+class Vault:
+    def __init__(self):
+        self._gate = threading.Lock()
+
+    def audit(self):
+        with self._gate:
+            return True

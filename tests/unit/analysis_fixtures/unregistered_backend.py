@@ -1,0 +1,21 @@
+"""Seeded-bad registry for the analyzer tests.
+
+``_builtin_registry`` registers two backends; the tests pin only
+``toy-fast`` in their literal sets, so ``toy-ghost`` must be flagged
+R001 + R002.  Never imported — parsed as source by the tests.
+"""
+
+
+class ToyRegistry:
+    def __init__(self):
+        self.backends = {}
+
+    def register(self, name, factory, description=""):
+        self.backends[name] = (factory, description)
+
+
+def _builtin_registry():
+    registry = ToyRegistry()
+    registry.register("toy-fast", object, "pinned by test and bench")
+    registry.register("toy-ghost", object, "registered but unpinned")
+    return registry
